@@ -1,0 +1,58 @@
+"""Ablation: streaming MSS vs batch -- accuracy and memory/time trade.
+
+The chunk+overlap scheme guarantees exactness only up to the overlap
+length; this benchmark measures what that costs in practice on long
+streams with planted bursts: the streaming result matches the batch
+optimum whenever the optimum is shorter than the overlap, at a bounded
+memory footprint and comparable total time (the same O(m^1.5) scans,
+just re-paid on the overlap regions).
+"""
+
+import time
+
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.extensions.streaming import StreamingMSS
+from repro.generators import PlantedSegment, generate_with_planted
+
+N = 60_000
+BURST = PlantedSegment(start=41_000, length=350, probabilities=(0.9, 0.1))
+CONFIGS = [(4000, 800), (8000, 1600), (16000, 3200)]
+
+
+def run_comparison():
+    model = BernoulliModel.uniform("ab")
+    codes = generate_with_planted(model, N, [BURST], seed=13)
+    text = model.decode_to_string(codes)
+
+    started = time.perf_counter()
+    batch = find_mss(text, model)
+    batch_time = time.perf_counter() - started
+
+    rows = [("batch", N, batch.best.chi_square, batch_time)]
+    for chunk, overlap in CONFIGS:
+        miner = StreamingMSS(model, chunk=chunk, overlap=overlap)
+        started = time.perf_counter()
+        miner.feed(text)
+        best = miner.finish()
+        elapsed = time.perf_counter() - started
+        rows.append((f"stream {chunk}/{overlap}", chunk + overlap,
+                     best.chi_square, elapsed))
+    return rows, batch.best.chi_square
+
+
+def test_ablation_streaming(benchmark, reporter):
+    rows, batch_value = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    reporter.emit(f"Streaming vs batch MSS (n={N}, planted 350-symbol burst):")
+    reporter.table(
+        ["mode", "memory (symbols)", "X2max", "time (s)"],
+        [[mode, memory, round(x2, 2), round(t, 2)] for mode, memory, x2, t in rows],
+        widths=[18, 16, 9, 9],
+    )
+    for mode, _memory, x2, _t in rows[1:]:
+        # burst (350) < overlap (>= 800): streaming must match batch
+        assert x2 >= batch_value - 1e-9, mode
+    reporter.emit(
+        "burst shorter than every overlap -> all streaming configs exact, "
+        f"with memory bounded at chunk+overlap instead of {N}"
+    )

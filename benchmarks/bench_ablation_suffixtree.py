@@ -1,0 +1,124 @@
+"""Ablation: why suffix trees do not help (measuring §2's argument).
+
+The paper dismisses suffix trees in two sentences: counts come from
+count arrays in O(1), and "no obvious properties of the suffix trees or
+its invariants can be utilized" for the non-linear X².  This benchmark
+turns the dismissal into three measurements:
+
+1. *Preprocessing*: count arrays build far faster than a suffix tree /
+   automaton of the same string (and in O(k n) guaranteed).
+2. *Deduplication is worthless*: the one thing a suffix structure adds
+   over brute force is collapsing duplicate substrings -- but on null
+   strings almost every substring occurrence is distinct as a string
+   anyway (only the O(log n)-length short ones repeat), so the
+   candidate space shrinks by a negligible fraction.
+3. *Repetition structure doesn't find the optimum*: the best
+   *repeated* substring (occurring >= 2 times -- the substrings suffix
+   structures organise) scores far below the true MSS, because the MSS
+   is long and hence essentially unique.
+"""
+
+import time
+
+from repro.core.chisquare import chi_square
+from repro.core.counts import PrefixCountIndex
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.generators import generate_null_string
+from repro.strings import SuffixAutomaton, SuffixTree
+
+N_BUILD = 20000
+N_DEDUP = 2000
+SEEDS = range(5)
+
+
+def run_build_comparison():
+    model = BernoulliModel.uniform("ab")
+    text = generate_null_string(model, N_BUILD, seed=42)
+    codes = model.encode(text).tolist()
+
+    started = time.perf_counter()
+    PrefixCountIndex(codes, 2)
+    count_array_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    SuffixAutomaton(text)
+    automaton_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    SuffixTree(text)
+    tree_time = time.perf_counter() - started
+    return count_array_time, automaton_time, tree_time
+
+
+def run_dedup_and_repeats():
+    model = BernoulliModel.uniform("ab")
+    outcomes = []
+    for seed in SEEDS:
+        text = generate_null_string(model, N_DEDUP, seed=seed)
+        n = len(text)
+        total = n * (n + 1) // 2
+        automaton = SuffixAutomaton(text)
+        distinct = automaton.count_distinct_substrings()
+
+        # Best substring that occurs at least twice: walk the distinct
+        # substring classes; a class occurring >= 2 times contributes its
+        # longest member (longer members of rarer classes score higher
+        # only if they too repeat).  Scan all starts x doubling lengths
+        # restricted to repeated substrings for a sound lower bound, and
+        # cap by the repeated-length maximum for the exact ceiling.
+        best_repeated = 0.0
+        for start in range(n):
+            for length in range(1, n - start + 1):
+                substring = text[start : start + length]
+                if automaton.count_occurrences(substring) < 2:
+                    break  # extensions of a unique substring stay unique
+                value = chi_square(substring, model)
+                if value > best_repeated:
+                    best_repeated = value
+        true_best = find_mss(text, model).best.chi_square
+        outcomes.append((total, distinct, best_repeated, true_best))
+    return outcomes
+
+
+def test_ablation_build_times(benchmark, reporter):
+    count_time, automaton_time, tree_time = benchmark.pedantic(
+        run_build_comparison, rounds=1, iterations=1
+    )
+    reporter.emit(f"Suffix-structure ablation (n={N_BUILD}):")
+    reporter.table(
+        ["structure", "build time (s)"],
+        [
+            ["count arrays", round(count_time, 4)],
+            ["suffix automaton", round(automaton_time, 4)],
+            ["suffix tree (Ukkonen)", round(tree_time, 4)],
+        ],
+        widths=[22, 14],
+    )
+    assert count_time < automaton_time
+    assert count_time < tree_time
+
+
+def test_ablation_dedup_and_repeats(benchmark, reporter):
+    outcomes = benchmark.pedantic(run_dedup_and_repeats, rounds=1, iterations=1)
+    reporter.emit(
+        f"Deduplication value and repeated-substring ceiling (n={N_DEDUP}):"
+    )
+    reporter.table(
+        ["substrings", "distinct", "dedup_gain%", "best repeated X2", "true X2max"],
+        [
+            [total, distinct, round(100 * (1 - distinct / total), 2),
+             round(repeated, 2), round(true, 2)]
+            for total, distinct, repeated, true in outcomes
+        ],
+        widths=[11, 11, 12, 16, 11],
+    )
+    for total, distinct, repeated, true in outcomes:
+        # (2) dedup removes a negligible slice of the candidate space
+        assert distinct > 0.97 * total
+        # (3) the repeated-substring world never contains the optimum
+        assert repeated < true
+    reporter.emit(
+        "suffix structures dedup <3% of candidates and their repeated "
+        "substrings score far below the MSS -- the §2 dismissal, measured"
+    )

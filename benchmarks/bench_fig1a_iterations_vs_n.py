@@ -1,0 +1,51 @@
+"""Figure 1a: iterations of the MSS scan vs string length (k = 2).
+
+Paper: on null strings, ln(iterations) grows linearly in ln(n) with
+slope ~1.5 for the pruned scan, vs slope 2 for the trivial scan (whose
+count is the closed form n(n+1)/2).
+
+Scaling: the paper sweeps n up to ~e^11 ~ 60000; we sweep 1000..32000
+(pure Python).  The measured quantity -- iteration count -- is exact.
+"""
+
+import math
+
+from conftest import fit_loglog_slope
+
+from repro.baselines.trivial import trivial_iterations
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.generators import generate_null_string
+
+SIZES = [1000, 2000, 4000, 8000, 16000, 32000]
+PAPER_SLOPE = 1.5
+
+
+def run_sweep():
+    model = BernoulliModel.uniform("ab")
+    rows = []
+    for n in SIZES:
+        text = generate_null_string(model, n, seed=n)
+        stats = find_mss(text, model).stats
+        rows.append((n, stats.substrings_evaluated, trivial_iterations(n)))
+    return rows
+
+
+def test_fig1a_iterations_vs_n(benchmark, reporter):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    reporter.emit("Figure 1a: iterations vs n, k=2 (paper slopes: ours 1.5, trivial 2.0)")
+    reporter.table(
+        ["n", "ln n", "ours_iter", "ln ours", "trivial_iter", "ln trivial"],
+        [
+            [n, round(math.log(n), 2), ours, round(math.log(ours), 2),
+             trivial, round(math.log(trivial), 2)]
+            for n, ours, trivial in rows
+        ],
+        widths=[8, 6, 12, 8, 14, 10],
+    )
+    ours_slope = fit_loglog_slope([r[0] for r in rows], [r[1] for r in rows])
+    trivial_slope = fit_loglog_slope([r[0] for r in rows], [r[2] for r in rows])
+    reporter.emit(f"measured slope (ours):    {ours_slope:.3f}   (paper ~1.5)")
+    reporter.emit(f"measured slope (trivial): {trivial_slope:.3f}   (paper  2.0)")
+    assert ours_slope < 1.75, "pruned scan iterations growing near-quadratically"
+    assert abs(trivial_slope - 2.0) < 0.05

@@ -1,0 +1,51 @@
+"""Figure 1b: effect of alphabet size on MSS iterations.
+
+Paper: varying k in {2, 3, 5, 10} has "no significant effect" on the
+number of iterations -- the skip bound depends on the per-character
+deviations, not on k, so the curves for different k coincide.
+
+Scaling: n swept 500..8000 (paper up to ~e^10.8); iteration counts exact.
+"""
+
+import math
+
+from conftest import fit_loglog_slope
+
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.generators import generate_null_string
+
+SIZES = [500, 1000, 2000, 4000, 8000]
+ALPHABET = "abcdefghij"
+KS = [2, 3, 5, 10]
+
+
+def run_sweep():
+    results = {}
+    for k in KS:
+        model = BernoulliModel.uniform(ALPHABET[:k])
+        per_n = []
+        for n in SIZES:
+            text = generate_null_string(model, n, seed=1000 + n)
+            per_n.append(find_mss(text, model).stats.substrings_evaluated)
+        results[k] = per_n
+    return results
+
+
+def test_fig1b_alphabet_size(benchmark, reporter):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    reporter.emit("Figure 1b: iterations vs n for k in {2,3,5,10} (curves should coincide)")
+    headers = ["n"] + [f"k={k}" for k in KS]
+    rows = []
+    for index, n in enumerate(SIZES):
+        rows.append([n] + [results[k][index] for k in KS])
+    reporter.table(headers, rows, widths=[8] + [10] * len(KS))
+    for k in KS:
+        slope = fit_loglog_slope(SIZES, results[k])
+        reporter.emit(f"slope k={k}: {slope:.3f}")
+    # "no significant effect": every k's curve within a small factor of k=2's
+    for index, n in enumerate(SIZES):
+        base = results[2][index]
+        for k in KS[1:]:
+            ratio = results[k][index] / base
+            assert 0.4 < ratio < 2.5, (n, k, ratio)

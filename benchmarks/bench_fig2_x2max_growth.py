@@ -1,0 +1,50 @@
+"""Figure 2: growth of X²max with string length (k = 2).
+
+Paper: ln-scale plot of X²max against ln n is linear with slope ~2,
+i.e. X²max ~ 2 ln n on null strings -- the asymptotic law the
+conclusion highlights (and the cryptology benchmark of Table 2 uses as
+its randomness baseline).
+"""
+
+import math
+
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.generators import generate_null_string
+
+SIZES = [500, 1000, 2000, 4000, 8000, 16000, 32000]
+SEEDS = [0, 1, 2]
+
+
+def run_sweep():
+    model = BernoulliModel.uniform("ab")
+    rows = []
+    for n in SIZES:
+        values = []
+        for seed in SEEDS:
+            text = generate_null_string(model, n, seed=seed * 10_000 + n)
+            values.append(find_mss(text, model).best.chi_square)
+        rows.append((n, sum(values) / len(values)))
+    return rows
+
+
+def test_fig2_x2max_growth(benchmark, reporter):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    reporter.emit("Figure 2: X2max vs n on null strings (paper: X2max ~ 2 ln n)")
+    reporter.table(
+        ["n", "ln n", "X2max(avg)", "2 ln n"],
+        [[n, round(math.log(n), 2), round(v, 2), round(2 * math.log(n), 2)]
+         for n, v in rows],
+        widths=[8, 6, 12, 8],
+    )
+    # Least-squares fit of X2max against ln n: the paper reports slope ~2.
+    xs = [math.log(n) for n, _ in rows]
+    ys = [v for _, v in rows]
+    mean_x, mean_y = sum(xs) / len(xs), sum(ys) / len(ys)
+    linear_slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / sum(
+        (x - mean_x) ** 2 for x in xs
+    )
+    reporter.emit(f"linear slope of X2max vs ln n: {linear_slope:.2f} (paper ~2)")
+    assert 1.0 < linear_slope < 3.2
+    for n, value in rows:
+        assert value > math.log(n), "Lemma 4's event X2max > ln n failed"

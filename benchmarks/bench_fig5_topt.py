@@ -1,0 +1,83 @@
+"""Figure 5: top-t scan -- time vs n (5a) and vs t (5b).
+
+Paper: (a) for fixed t the time grows with slope ~1.5 in log-log, same
+as the MSS; (b) for fixed n the time is flat while t is small, then the
+slope rises towards 2 once t stops being o(n) (the heap bound stops
+pruning).
+
+Scaling: paper sweeps n to ~e^12 and t to 2000/4096; we sweep n to 4000
+and t to 1024.
+"""
+
+from conftest import fit_loglog_slope
+
+from repro.core.model import BernoulliModel
+from repro.core.topt import find_top_t
+from repro.generators import generate_null_string
+
+SIZES_5A = [500, 1000, 2000, 4000]
+TS_5A = [1, 10, 100]
+NS_5B = [500, 2000]
+TS_5B = [1, 4, 16, 64, 256, 1024]
+
+
+def run_5a():
+    model = BernoulliModel.uniform("ab")
+    results = {}
+    for t in TS_5A:
+        per_n = []
+        for n in SIZES_5A:
+            text = generate_null_string(model, n, seed=n)
+            stats = find_top_t(text, model, t).stats
+            per_n.append((stats.substrings_evaluated, stats.elapsed_seconds))
+        results[t] = per_n
+    return results
+
+
+def run_5b():
+    model = BernoulliModel.uniform("ab")
+    results = {}
+    for n in NS_5B:
+        text = generate_null_string(model, n, seed=n)
+        per_t = []
+        for t in TS_5B:
+            stats = find_top_t(text, model, t).stats
+            per_t.append((stats.substrings_evaluated, stats.elapsed_seconds))
+        results[n] = per_t
+    return results
+
+
+def test_fig5a_time_vs_n(benchmark, reporter):
+    results = benchmark.pedantic(run_5a, rounds=1, iterations=1)
+    reporter.emit("Figure 5a: top-t iterations vs n (paper: slope ~1.5 per t)")
+    reporter.table(
+        ["n"] + [f"t={t}" for t in TS_5A],
+        [
+            [n] + [results[t][index][0] for t in TS_5A]
+            for index, n in enumerate(SIZES_5A)
+        ],
+        widths=[8] + [10] * len(TS_5A),
+    )
+    for t in TS_5A:
+        slope = fit_loglog_slope(SIZES_5A, [row[0] for row in results[t]])
+        reporter.emit(f"slope t={t}: {slope:.3f}")
+        assert slope < 1.95, f"t={t} growing quadratically"
+
+
+def test_fig5b_time_vs_t(benchmark, reporter):
+    results = benchmark.pedantic(run_5b, rounds=1, iterations=1)
+    reporter.emit("Figure 5b: top-t iterations vs t (flat, then rising once t ~ n)")
+    reporter.table(
+        ["t"] + [f"n={n}" for n in NS_5B],
+        [
+            [t] + [results[n][index][0] for n in NS_5B]
+            for index, t in enumerate(TS_5B)
+        ],
+        widths=[8] + [10] * len(NS_5B),
+    )
+    for n in NS_5B:
+        iterations = [row[0] for row in results[n]]
+        # monotone-ish growth in t, with large t clearly more work
+        assert iterations[-1] > iterations[0]
+        # small t barely matters (the paper's flat region)
+        assert iterations[1] < iterations[0] * 2

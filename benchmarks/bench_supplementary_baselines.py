@@ -1,0 +1,72 @@
+"""Supplementary: the §2 baselines the paper mentions but does not table.
+
+Agarwal's thesis [2] proposed the blocking technique and a heap
+strategy; §2 records that they "showed no asymptotic improvement".
+Table 1 includes blocking; this module adds the heap strategy, whose
+behaviour is input-dependent in an instructive way:
+
+* on *null* strings its optimistic bounds (linear in remaining length)
+  never drop below the incumbent (~2 ln n), so it expands nearly the
+  full O(n²) frontier -- the "no improvement" verdict, measured;
+* on strings with one *dominant anomaly* the incumbent jumps early and
+  the bounds prune a real constant factor of the frontier -- best-first
+  search's niche, though still no asymptotic gain.
+
+The chain-cover scanner dominates it in both regimes.
+"""
+
+from repro.baselines import find_mss_heap, find_mss_trivial
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.generators import PlantedSegment, generate_null_string, generate_with_planted
+
+N = 2500
+
+
+def run_comparison():
+    model = BernoulliModel.uniform("ab")
+    null_text = generate_null_string(model, N, seed=55)
+    segment = PlantedSegment(start=N // 2, length=200, probabilities=(0.95, 0.05))
+    planted_codes = generate_with_planted(model, N, [segment], seed=56)
+    planted_text = model.decode_to_string(planted_codes)
+
+    rows = []
+    for label, text in (("null", null_text), ("anomalous", planted_text)):
+        trivial = find_mss_trivial(text, model)
+        heap = find_mss_heap(text, model)
+        ours = find_mss(text, model)
+        assert abs(heap.best.chi_square - trivial.best.chi_square) < 1e-7
+        assert abs(ours.best.chi_square - trivial.best.chi_square) < 1e-7
+        rows.append(
+            (
+                label,
+                trivial.stats.substrings_evaluated,
+                heap.stats.substrings_evaluated,
+                ours.stats.substrings_evaluated,
+            )
+        )
+    return rows
+
+
+def test_supplementary_heap_strategy(benchmark, reporter):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    reporter.emit(f"Heap strategy [2] vs trivial vs chain-cover (n={N}):")
+    reporter.table(
+        ["input", "trivial evals", "heap evals", "ours evals"],
+        [[label, trivial, heap, ours] for label, trivial, heap, ours in rows],
+        widths=[10, 14, 12, 11],
+    )
+    null_row, anomalous_row = rows
+    # Null input: heap expands essentially everything (>= 60% of trivial).
+    assert null_row[2] > null_row[1] * 0.6
+    # Anomalous input: the early incumbent lets the bounds prune a real
+    # fraction of the frontier (a constant factor -- not asymptotic).
+    assert anomalous_row[2] < anomalous_row[1] * 0.85
+    assert anomalous_row[2] < null_row[2]
+    # The chain-cover scanner beats the heap strategy in both regimes.
+    for row in rows:
+        assert row[3] < row[2]
+    reporter.emit(
+        "heap strategy: no improvement on null inputs, real pruning on "
+        "dominant anomalies; the chain-cover scanner wins both regimes"
+    )

@@ -1,0 +1,93 @@
+"""Table 1: trivial / ours / ARLM / AGMM on synthetic null strings.
+
+Paper (n = 20000 and 80000, averaged over runs):
+
+    Algo      n       avg X2max   avg time
+    Trivial   20000   18.69       8.54 s
+    Our       20000   18.69       0.50 s
+    ARLM      20000   18.69       1.90 s
+    AGMM      20000   15.10       0.01 s
+    Trivial   80000   20.35     142.21 s
+    Our       80000   20.35       2.82 s
+    ARLM      80000   20.32      39.22 s
+    AGMM      80000   17.71       0.03 s
+
+The reproduction target is the *pattern*: the exact methods agree on
+X2max, ours is much faster than trivial and ARLM, and AGMM is fastest
+but returns a lower X2max.  Absolute times differ (C vs Python); sizes
+scaled to n in {10000, 20000}.  The blocking baseline [2] is included
+as an extra row.
+"""
+
+from repro.baselines import (
+    find_mss_agmm,
+    find_mss_arlm,
+    find_mss_blocked,
+    find_mss_trivial_numpy,
+)
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.generators import generate_null_string
+
+SIZES = [10000, 20000]
+SEEDS = [0, 1, 2]
+
+ALGORITHMS = [
+    ("Trivial", find_mss_trivial_numpy),
+    ("Our", find_mss),
+    ("ARLM", find_mss_arlm),
+    ("Blocked", find_mss_blocked),
+    ("AGMM", find_mss_agmm),
+]
+
+PAPER_20K = {"Trivial": 18.69, "Our": 18.69, "ARLM": 18.69, "AGMM": 15.10}
+
+
+def run_comparison():
+    model = BernoulliModel.uniform("ab")
+    rows = []
+    for n in SIZES:
+        texts = [generate_null_string(model, n, seed=s) for s in SEEDS]
+        for name, algorithm in ALGORITHMS:
+            values, times = [], []
+            for text in texts:
+                result = algorithm(text, model)
+                values.append(result.best.chi_square)
+                times.append(result.stats.elapsed_seconds)
+            rows.append(
+                (
+                    name,
+                    n,
+                    sum(values) / len(values),
+                    sum(times) / len(times),
+                )
+            )
+    return rows
+
+
+def test_table1_comparison(benchmark, reporter):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    reporter.emit("Table 1: algorithm comparison on null strings (3 seeds)")
+    reporter.table(
+        ["algo", "n", "avg X2max", "avg time (s)"],
+        [[name, n, round(x2, 2), round(t, 3)] for name, n, x2, t in rows],
+        widths=[8, 8, 10, 12],
+    )
+    by_key = {(name, n): (x2, t) for name, n, x2, t in rows}
+    for n in SIZES:
+        exact = by_key[("Trivial", n)][0]
+        # exact methods agree ...
+        assert abs(by_key[("Our", n)][0] - exact) < 1e-6
+        assert abs(by_key[("ARLM", n)][0] - exact) < 1e-6
+        assert abs(by_key[("Blocked", n)][0] - exact) < 1e-6
+        # ... AGMM does not exceed and typically trails (paper: 15.10 vs 18.69)
+        assert by_key[("AGMM", n)][0] <= exact + 1e-9
+        # ours beats the trivial scan's wall time
+        assert by_key[("Our", n)][1] < by_key[("Trivial", n)][1]
+        # AGMM is the fastest
+        assert by_key[("AGMM", n)][1] <= by_key[("Our", n)][1]
+    reporter.emit(
+        "paper (n=20000): Trivial/Our/ARLM 18.69, AGMM 15.10; "
+        "our X2max values above are for different random strings -- the "
+        "pattern (exact tie, AGMM lower, time ordering) is the target"
+    )

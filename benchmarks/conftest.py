@@ -1,0 +1,77 @@
+"""Shared machinery for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's §7 and
+prints it in the paper's own format.  Because pytest captures stdout,
+the tables are written both to the real terminal (``sys.__stdout__``,
+so they appear live under ``pytest benchmarks/ --benchmark-only``) and
+to ``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+
+Sizes are scaled to pure-Python reach (the paper used C); each module
+documents its scaling.  Iteration counts -- the unit the paper itself
+plots in Figures 1, 4, 6, 7 -- are exact and machine-independent.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+class Reporter:
+    """Collects lines for one experiment; writes them to terminal + file."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: list[str] = []
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append(text)
+        print(text, file=sys.__stdout__, flush=True)
+
+    def table(self, headers: list[str], rows: list[list], widths: list[int] | None = None) -> None:
+        if widths is None:
+            widths = [max(len(str(h)), 10) for h in headers]
+        header_line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+        self.emit(header_line)
+        self.emit("-" * len(header_line))
+        for row in rows:
+            self.emit(
+                "  ".join(
+                    (f"{cell:.4g}" if isinstance(cell, float) else str(cell)).rjust(w)
+                    for cell, w in zip(row, widths)
+                )
+            )
+
+    def close(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+
+
+@pytest.fixture
+def reporter(request):
+    """Per-test reporter named after the test module."""
+    name = request.module.__name__.replace("bench_", "")
+    rep = Reporter(name)
+    rep.emit("")
+    rep.emit(f"===== {name} =====")
+    yield rep
+    rep.close()
+
+
+def fit_loglog_slope(xs: list[float], ys: list[float]) -> float:
+    """Least-squares slope of ln(y) against ln(x)."""
+    import math
+
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    numerator = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    denominator = sum((a - mean_x) ** 2 for a in lx)
+    return numerator / denominator

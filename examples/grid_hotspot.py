@@ -1,0 +1,50 @@
+"""2-D extension: the most significant rectangle of a labelled grid.
+
+Section 8 of the paper proposes extending the substring problem to
+two-dimensional grids.  This example builds a synthetic spatial grid --
+think incident categories over a city map -- plants a hotspot rectangle
+with a skewed category mix, and recovers it with both the trivial scan
+and the chain-cover-pruned scan (same answer, far fewer evaluations).
+
+Run:  python examples/grid_hotspot.py
+"""
+
+import numpy as np
+
+from repro import BernoulliModel
+from repro.extensions import find_ms_rectangle, find_ms_rectangle_trivial
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    model = BernoulliModel("nsx", [0.80, 0.15, 0.05])  # normal / suspicious /extreme
+    rows, columns = 40, 60
+
+    grid_codes = rng.choice(3, size=(rows, columns), p=[0.80, 0.15, 0.05])
+    # Plant a 8 x 12 hotspot where the mix shifts hard toward 's'/'x'.
+    hotspot = rng.choice(3, size=(8, 12), p=[0.30, 0.45, 0.25])
+    grid_codes[20:28, 30:42] = hotspot
+    grid = ["".join("nsx"[c] for c in row) for row in grid_codes]
+
+    pruned = find_ms_rectangle(grid, model)
+    trivial = find_ms_rectangle_trivial(grid, model)
+
+    print(f"grid: {rows} x {columns}, hotspot planted at rows 20:28, cols 30:42")
+    print("\nChain-cover-pruned scan:")
+    print(
+        f"  rows [{pruned.top}, {pruned.bottom})  cols [{pruned.left}, "
+        f"{pruned.right})  X2={pruned.chi_square:.1f}  p={pruned.p_value:.2g}"
+    )
+    print(f"  rectangle evaluations: {pruned.cells_evaluated}")
+    print("\nTrivial scan:")
+    print(
+        f"  rows [{trivial.top}, {trivial.bottom})  cols [{trivial.left}, "
+        f"{trivial.right})  X2={trivial.chi_square:.1f}"
+    )
+    print(f"  rectangle evaluations: {trivial.cells_evaluated}")
+    speedup = trivial.cells_evaluated / pruned.cells_evaluated
+    print(f"\nsame optimum, {speedup:.1f}x fewer rectangle evaluations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Intrusion detection: anomalous bursts in an event-type stream.
+
+The paper's introduction cites chi-square intrusion detection [26, 27]:
+audit events arrive as a stream of types whose long-run mix is known, and
+an intrusion shows up as a stretch whose mix is wrong (e.g. a flood of
+failed logins).  The substring miner localises that stretch without a
+fixed window size -- contrast with the fixed-window scan of the related
+work, also shown below.
+
+Run:  python examples/intrusion_detection.py
+"""
+
+from repro import BernoulliModel, find_mss
+from repro.extensions import top_windows
+from repro.generators import PlantedSegment, generate_with_planted
+
+#: Event alphabet: normal request, failed login, privileged op, error.
+EVENTS = ("req", "fail", "priv", "err")
+BASELINE = (0.90, 0.04, 0.03, 0.03)
+#: During the attack: failed logins and privileged ops spike.
+ATTACK = (0.30, 0.40, 0.25, 0.05)
+
+
+def main() -> None:
+    model = BernoulliModel(EVENTS, BASELINE)
+    attack = PlantedSegment(start=60_000, length=400, probabilities=ATTACK)
+    codes = generate_with_planted(model, 100_000, [attack], seed=99)
+    stream = model.decode(codes)  # the actual event-type sequence
+
+    result = find_mss(stream, model)
+    best = result.best
+    print(f"audit stream: {len(stream)} events over {model.k} types")
+    print("\nMost significant window (attack planted at [60000, 60400)):")
+    print(f"  [{best.start}, {best.end})  length={best.length}")
+    print(f"  X2={best.chi_square:.1f}  p={best.p_value:.3g}")
+    for event, count in zip(EVENTS, best.counts):
+        expected = best.length * model.probability_of(event)
+        print(f"    {event:>5}: observed {count:4d}  expected {expected:7.1f}")
+
+    # The fixed-window alternative needs the right w guessed in advance.
+    print("\nFixed-window scan (related-work style) at three window sizes:")
+    for w in (100, 400, 2000):
+        [window] = top_windows(stream, model, w, 1)
+        print(
+            f"  w={w:5d}: best [{window.start}, {window.end})  "
+            f"X2={window.chi_square:8.1f}"
+        )
+    print(
+        "\nw too small truncates the attack; w too large dilutes it.  The\n"
+        "MSS finds the attack boundary without a window-size guess."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Two securities: finding the window where they become coupled.
+
+The paper's closing future-work idea: two securities "might not be very
+correlated in general, but might point to significant correlations
+during certain specific events such as recession".  This example builds
+two synthetic daily series that move independently except during a
+planted crisis window where they crash *together*, then recovers that
+window with the pair-symbol reduction of
+:mod:`repro.extensions.correlation` -- the core O(k n^1.5) miner run on
+a 4-symbol alphabet of (up/down, up/down) pairs against the
+independence null.
+
+Run:  python examples/market_coupling.py
+"""
+
+import numpy as np
+
+from repro.extensions import find_most_dependent_window, window_association, pair_encode
+from repro import BernoulliModel
+
+N_DAYS = 4000
+CRISIS = (2400, 300)        # 300 coupled days
+COUPLING = 0.85             # P[B mirrors A] inside the crisis
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    moves_a = rng.choice(["u", "d"], N_DAYS)
+    independent_b = rng.choice(["u", "d"], N_DAYS)
+    mirror = rng.random(N_DAYS) < COUPLING
+    start, length = CRISIS
+    crisis_mask = np.zeros(N_DAYS, dtype=bool)
+    crisis_mask[start : start + length] = True
+    moves_b = np.where(crisis_mask & mirror, moves_a, independent_b)
+
+    series_a = "".join(moves_a)
+    series_b = "".join(moves_b)
+
+    result = find_most_dependent_window(series_a, series_b)
+    best = result.best
+    print(f"two series of {N_DAYS} days; crisis planted at "
+          f"[{start}, {start + length})")
+    print("\nMost dependent window:")
+    print(f"  [{best.start}, {best.end})  length={best.length} days")
+    print(f"  X2={best.chi_square:.1f}  p(single window)={best.p_value:.2g}")
+    print(f"  scan: {result.stats.substrings_evaluated} substrings evaluated, "
+          f"{100 * result.stats.fraction_skipped:.1f}% pruned")
+
+    # Decompose: is it co-movement or just individual drift?
+    model_a = BernoulliModel.from_string(series_a)
+    model_b = BernoulliModel.from_string(series_b)
+    window_pairs = pair_encode(
+        series_a[best.start : best.end], series_b[best.start : best.end]
+    )
+    breakdown = window_association(window_pairs, model_a, model_b)
+    print("\nAssociation breakdown of the window:")
+    print(f"  total (vs independence null): {breakdown.total:9.1f}")
+    print(f"  A's own marginal drift:       {breakdown.marginal_a:9.1f}")
+    print(f"  B's own marginal drift:       {breakdown.marginal_b:9.1f}")
+    print(f"  pure interaction (coupling):  {breakdown.interaction:9.1f}")
+    print("\n-> the signal is co-movement, not individual drift")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Cryptology: auditing a random bit generator (paper §7.4, Table 2).
+
+An ideal binary generator repeats its previous symbol with probability
+exactly 0.5.  A deficient one is "sticky" (p > 0.5), and the stickiness
+shows up as a too-large X²max against the fair-coin null -- even when
+the bias only afflicts part of the stream, which is exactly the case the
+substring miner is built for.
+
+This script reproduces Table 2's grid (X²max vs n and p) at reduced
+sizes, then shows the "localised defect" scenario: a generator that is
+fair except for a corrupted stretch in the middle.
+
+Run:  python examples/randomness_audit.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import BernoulliModel, find_mss
+from repro.generators import generate_correlated_binary
+
+
+def main() -> None:
+    model = BernoulliModel.uniform("01")
+
+    print("X2max of a sticky generator vs the fair null (cf. paper Table 2)")
+    lengths = [1000, 5000, 10000]
+    probabilities = [0.50, 0.55, 0.60, 0.80]
+    header = "".join(f"  p={p:.2f}" for p in probabilities)
+    print(f"{'n':>8}{header}")
+    for n in lengths:
+        row = []
+        for p in probabilities:
+            bits = generate_correlated_binary(n, p, seed=1000 + n)
+            text = "".join("01"[b] for b in bits)
+            row.append(find_mss(text, model).best.chi_square)
+        cells = "".join(f"  {value:6.2f}" for value in row)
+        benchmark = 2 * math.log(n)
+        print(f"{n:>8}{cells}   (null benchmark ~2 ln n = {benchmark:.1f})")
+
+    print(
+        "\nReading the table: p = 0.50 stays near the 2 ln n benchmark;\n"
+        "every extra bit of stickiness pushes X2max far above it."
+    )
+
+    # A locally-defective generator: fair everywhere except 500 sticky
+    # steps in the middle.  Whole-stream tests dilute the defect; the
+    # substring miner pins it.
+    rng = np.random.default_rng(7)
+    clean_before = generate_correlated_binary(4000, 0.5, seed=rng)
+    defect = generate_correlated_binary(500, 0.9, seed=rng)
+    clean_after = generate_correlated_binary(4000, 0.5, seed=rng)
+    stream = "".join("01"[b] for b in np.concatenate([clean_before, defect, clean_after]))
+
+    result = find_mss(stream, model)
+    best = result.best
+    print("\nLocalised defect scenario (corrupted window = [4000, 4500)):")
+    print(f"  found [{best.start}, {best.end})  X2={best.chi_square:.1f}  p={best.p_value:.2g}")
+    whole = BernoulliModel.uniform("01")
+    from repro import chi_square
+
+    print(f"  whole-stream X2 = {chi_square(stream, whole):.2f} -- looks fine!")
+
+
+if __name__ == "__main__":
+    main()

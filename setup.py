@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that legacy
+editable installs (``pip install -e . --no-use-pep517``) work on
+environments without the ``wheel`` package (PEP 517 editable builds
+require it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro: mining statistically significant substrings with the chi-square statistic.
+
+A full reproduction of Sachan & Bhattacharya, *Mining Statistically
+Significant Substrings using the Chi-Square Statistic*, VLDB 2012.
+
+Quickstart
+----------
+>>> from repro import BernoulliModel, find_mss
+>>> model = BernoulliModel.uniform("ab")
+>>> text = "ab" * 20 + "aaaaaaaaaa" + "ba" * 20
+>>> result = find_mss(text, model)
+>>> result.best.slice(text)
+'aaaaaaaaaa'
+>>> result.best.p_value < 0.01
+True
+
+The public API re-exported here covers the paper's four problems
+(:func:`find_mss`, :func:`find_top_t`, :func:`find_above_threshold`,
+:func:`find_mss_min_length`), the null model and statistic, and the
+p-value machinery.  Baselines, generators, datasets and extensions live in
+their own subpackages:
+
+* :mod:`repro.baselines` -- trivial / blocked / heap / ARLM / AGMM.
+* :mod:`repro.stats` -- chi-square distribution, LR statistic, exact
+  p-values, concentration bounds.
+* :mod:`repro.generators` -- null / geometric / zipf / Markov /
+  correlated / planted-anomaly string generators.
+* :mod:`repro.datasets` -- synthetic sports-rivalry and securities data.
+* :mod:`repro.strings` -- suffix tree, suffix automaton, run-length blocks.
+* :mod:`repro.extensions` -- 2-D grids, Markov nulls, windows, graphs.
+"""
+
+from repro.core import (
+    BernoulliModel,
+    ChiSquareScorer,
+    MSSResult,
+    PrefixCountIndex,
+    ScanStats,
+    SignificantSubstring,
+    ThresholdResult,
+    TopTResult,
+    chi_square,
+    chi_square_from_counts,
+    find_above_threshold,
+    find_mss,
+    find_mss_min_length,
+    find_top_t,
+)
+from repro.stats import chi2_critical_value, chi2_sf, p_value
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliModel",
+    "ChiSquareScorer",
+    "PrefixCountIndex",
+    "chi_square",
+    "chi_square_from_counts",
+    "find_mss",
+    "find_top_t",
+    "find_above_threshold",
+    "find_mss_min_length",
+    "MSSResult",
+    "TopTResult",
+    "ThresholdResult",
+    "ScanStats",
+    "SignificantSubstring",
+    "chi2_critical_value",
+    "chi2_sf",
+    "p_value",
+    "__version__",
+]

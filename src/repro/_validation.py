@@ -1,0 +1,81 @@
+"""Shared argument validators.
+
+Small, typed error messages beat silent misbehaviour: every public entry
+point funnels its arguments through these helpers so that a user who feeds
+a probability of 0, an empty string or a negative threshold gets told
+exactly what is wrong.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "ensure_positive_int",
+    "ensure_non_negative_int",
+    "ensure_probability_vector",
+    "ensure_finite",
+]
+
+
+def ensure_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive integer, else raise ``ValueError``."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def ensure_non_negative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a non-negative integer, else raise."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def ensure_finite(value: float, name: str) -> float:
+    """Return ``value`` as a finite float, else raise ``ValueError``."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def ensure_probability_vector(
+    probabilities: Sequence[float], *, minimum_size: int = 2, tolerance: float = 1e-9
+) -> tuple[float, ...]:
+    """Validate a multinomial probability vector.
+
+    Requires at least ``minimum_size`` entries, every entry strictly inside
+    ``(0, 1)`` and a total within ``tolerance`` of 1.  Returns the vector
+    re-normalised to sum exactly to 1 (so chains of float literals such as
+    ``[0.1] * 10`` are accepted).
+    """
+    probs = tuple(float(p) for p in probabilities)
+    if len(probs) < minimum_size:
+        raise ValueError(
+            f"need at least {minimum_size} probabilities, got {len(probs)}"
+        )
+    for p in probs:
+        if not math.isfinite(p) or p <= 0.0:
+            raise ValueError(
+                f"every probability must be finite and > 0 (chi-square "
+                f"divides by them), got {p!r}"
+            )
+    total = sum(probs)
+    if abs(total - 1.0) > tolerance:
+        raise ValueError(
+            f"probabilities must sum to 1 (within {tolerance}), got {total!r}"
+        )
+    if total != 1.0:
+        probs = tuple(p / total for p in probs)
+    for p in probs:
+        if p >= 1.0:
+            raise ValueError(
+                f"every probability must be < 1 with k >= 2 symbols, got {p!r}"
+            )
+    return probs

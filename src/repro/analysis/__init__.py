@@ -1,0 +1,44 @@
+"""Analysis tools built on top of the miners.
+
+Three gaps a practitioner hits immediately after running ``find_mss``
+are closed here:
+
+* **Calibration** (:mod:`repro.analysis.calibration`): the MSS score is
+  the *maximum* of O(n²) dependent chi-square variables, so its p-value
+  is NOT ``chi2_sf(X²max, k-1)`` -- that is the p-value of one fixed
+  substring.  The paper's §7.4 uses the empirical law ``X²max ~ 2 ln n``
+  as a benchmark; this module turns that idea into a proper Monte-Carlo
+  null distribution with empirical p-values and critical values.
+* **Skip profiling** (:mod:`repro.analysis.skipprofile`): Lemma 5 says
+  skips are ``omega(sqrt(L))`` on null inputs.  The profiler records the
+  actual skip-length distribution of a scan so the claim (and the §5.1
+  speed-up on non-null inputs) can be inspected on any input.
+* **Complexity model** (:mod:`repro.analysis.complexity`): closed-form
+  iteration predictions for the trivial and pruned scans, for sizing
+  runs before making them.
+"""
+
+from repro.analysis.calibration import (
+    MSSNullDistribution,
+    mss_critical_value,
+    mss_null_distribution,
+    mss_p_value,
+)
+from repro.analysis.complexity import (
+    predicted_mss_iterations,
+    predicted_threshold_iterations,
+    trivial_iterations_closed_form,
+)
+from repro.analysis.skipprofile import SkipProfile, profile_skips
+
+__all__ = [
+    "MSSNullDistribution",
+    "mss_null_distribution",
+    "mss_p_value",
+    "mss_critical_value",
+    "SkipProfile",
+    "profile_skips",
+    "predicted_mss_iterations",
+    "predicted_threshold_iterations",
+    "trivial_iterations_closed_form",
+]

@@ -1,0 +1,86 @@
+"""Closed-form iteration predictions (for sizing runs before making them).
+
+The paper's complexity statements, as usable formulas:
+
+* trivial scan: exactly ``n (n + 1) / 2`` substrings;
+* pruned MSS scan: ``c * n^1.5`` expected on null inputs (Lemma 6/7),
+  with the constant calibrated once per (model, machine) from a small
+  probe run;
+* threshold scan: ``O(n sqrt(n / alpha0))`` beyond the knee (§6.2).
+
+These are estimates of *iteration counts*; multiply by a measured
+seconds-per-iteration to budget wall time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._validation import ensure_positive_int
+
+__all__ = [
+    "trivial_iterations_closed_form",
+    "predicted_mss_iterations",
+    "predicted_threshold_iterations",
+    "calibrate_constant",
+]
+
+#: Default constant for the n^1.5 law, measured on uniform binary null
+#: strings (Figure 1a reproduction: iterations / n^1.5 ~ 0.38-0.45).
+DEFAULT_MSS_CONSTANT = 0.42
+
+
+def trivial_iterations_closed_form(n: int, min_length: int = 1) -> int:
+    """Exact substring count of the trivial scan.
+
+    >>> trivial_iterations_closed_form(100)
+    5050
+    """
+    ensure_positive_int(n, "n")
+    ensure_positive_int(min_length, "min_length")
+    if min_length > n:
+        return 0
+    m = n - min_length + 1
+    return m * (m + 1) // 2
+
+
+def predicted_mss_iterations(n: int, constant: float = DEFAULT_MSS_CONSTANT) -> float:
+    """Expected pruned-scan iterations ``constant * n^1.5`` (null input).
+
+    >>> 300_000 < predicted_mss_iterations(8000) < 400_000
+    True
+    """
+    ensure_positive_int(n, "n")
+    if constant <= 0:
+        raise ValueError(f"constant must be positive, got {constant!r}")
+    return constant * n ** 1.5
+
+
+def predicted_threshold_iterations(
+    n: int, alpha0: float, constant: float = 1.0
+) -> float:
+    """§6.2's beyond-the-knee estimate ``constant * n * sqrt(n / alpha0)``.
+
+    Only meaningful for ``alpha0`` comfortably above the string's typical
+    substring score (below the knee the scan is Theta(n²) by definition).
+
+    >>> predicted_threshold_iterations(10_000, 25.0) < 10_000 ** 2 / 2
+    True
+    """
+    ensure_positive_int(n, "n")
+    if alpha0 <= 0:
+        raise ValueError(f"alpha0 must be positive, got {alpha0!r}")
+    if constant <= 0:
+        raise ValueError(f"constant must be positive, got {constant!r}")
+    return constant * n * math.sqrt(n / alpha0)
+
+
+def calibrate_constant(probe_n: int, probe_iterations: int) -> float:
+    """Back out the n^1.5 constant from one probe run.
+
+    >>> round(calibrate_constant(10_000, 420_000), 3)
+    0.42
+    """
+    ensure_positive_int(probe_n, "probe_n")
+    ensure_positive_int(probe_iterations, "probe_iterations")
+    return probe_iterations / probe_n ** 1.5

@@ -1,0 +1,42 @@
+"""Baseline algorithms the paper compares against (§2, §7.3).
+
+* :mod:`repro.baselines.trivial` -- the O(n²) exhaustive scan, in a
+  pure-Python form (the test oracle) and a numpy-vectorised form (fast
+  enough to run the paper's Table 1 sizes).
+* :mod:`repro.baselines.blocked` -- the run-length "blocking technique"
+  from Agarwal's thesis [2]: only block-aligned substrings are evaluated.
+* :mod:`repro.baselines.heap_strategy` -- the best-first "heap strategy"
+  from [2]: start positions are expanded in order of an optimistic
+  chain-cover bound, stopping when the bound drops below the incumbent.
+* :mod:`repro.baselines.arlm` -- reconstruction of ARLM [9]: candidate
+  boundaries at local extrema of the per-character deviation walks.
+* :mod:`repro.baselines.agmm` -- reconstruction of AGMM [9]: the O(n)
+  heuristic that only examines substrings spanned by global extrema of
+  the walks.
+"""
+
+from repro.baselines.agmm import find_mss_agmm
+from repro.baselines.arlm import find_mss_arlm
+from repro.baselines.blocked import find_mss_blocked
+from repro.baselines.heap_strategy import find_mss_heap
+from repro.baselines.trivial import (
+    find_above_threshold_trivial,
+    find_mss_min_length_trivial,
+    find_mss_trivial,
+    find_mss_trivial_numpy,
+    find_top_t_trivial,
+    trivial_iterations,
+)
+
+__all__ = [
+    "find_mss_trivial",
+    "find_mss_trivial_numpy",
+    "find_top_t_trivial",
+    "find_above_threshold_trivial",
+    "find_mss_min_length_trivial",
+    "trivial_iterations",
+    "find_mss_blocked",
+    "find_mss_heap",
+    "find_mss_arlm",
+    "find_mss_agmm",
+]

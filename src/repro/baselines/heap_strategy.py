@@ -1,0 +1,133 @@
+"""The heap strategy: best-first expansion with optimistic bounds (from [2]).
+
+Each heap entry is a partially-expanded start position ``(i, e)`` carrying
+an optimistic upper bound on the X² of *every* substring ``[i, e')`` with
+``e' >= e`` -- the chain-cover score of ``[i, e)`` extended over the whole
+remaining string (Theorem 1 with ``l1 = n - e``), joined with the
+substring's own score.  Entries are popped best-bound-first; popping
+evaluates ``[i, e)``, updates the incumbent and pushes ``(i, e + 1)``.
+The search is exact: it stops as soon as the top bound cannot beat the
+incumbent, at which point every unexpanded substring is provably
+dominated.
+
+On null strings the optimistic bounds stay far above the incumbent (they
+grow linearly in the remaining length while the true maximum grows like
+``2 ln n``), so almost nothing is pruned and the strategy degenerates to
+an O(n² log n) scan -- the "no asymptotic improvement" verdict of §2.  On
+strings with one dominant anomaly it prunes heavily.  Both behaviours are
+measured in the comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from typing import Iterable
+
+from repro.core.counts import PrefixCountIndex
+from repro.core.model import BernoulliModel
+from repro.core.results import MSSResult, ScanStats, SignificantSubstring
+
+__all__ = ["find_mss_heap"]
+
+
+def _chain_bound(
+    counts: list[int],
+    length: int,
+    probabilities: tuple[float, ...],
+    remaining: int,
+    current_x2: float,
+) -> float:
+    """Upper bound on X² of any extension of the substring by <= remaining chars."""
+    if remaining <= 0:
+        return current_x2
+    best = current_x2
+    total_length = length + remaining
+    for j, p in enumerate(probabilities):
+        # Chain cover over `remaining` copies of character j.
+        value = 0.0
+        for m, (count, q) in enumerate(zip(counts, probabilities)):
+            y = count + remaining if m == j else count
+            value += y * y / q
+        value = value / total_length - total_length
+        if value > best:
+            best = value
+    return best
+
+
+def find_mss_heap(text: Iterable, model: BernoulliModel) -> MSSResult:
+    """Exact MSS via best-first search over optimistic chain-cover bounds.
+
+    >>> model = BernoulliModel.uniform("ab")
+    >>> find_mss_heap("abbba", model).best.slice("abbba")
+    'bbb'
+    """
+    codes = model.encode(text)
+    n = len(codes)
+    if n == 0:
+        raise ValueError("cannot mine an empty string")
+    index = PrefixCountIndex(codes.tolist(), model.k)
+    prefix = index.prefix_lists
+    probabilities = model.probabilities
+    k = model.k
+    inv_p = [1.0 / p for p in probabilities]
+    char_range = range(k)
+
+    started = time.perf_counter()
+
+    def score(i: int, e: int) -> tuple[float, list[int]]:
+        length = e - i
+        total = 0.0
+        counts = [0] * k
+        for j in char_range:
+            y = prefix[j][e] - prefix[j][i]
+            counts[j] = y
+            total += y * y * inv_p[j]
+        return total / length - length, counts
+
+    best = -math.inf
+    best_pair = (0, 1)
+    evaluated = 0
+    heap: list[tuple[float, int, int]] = []
+    for i in range(n):
+        x2, counts = score(i, i + 1)
+        evaluated += 1
+        if x2 > best:
+            best = x2
+            best_pair = (i, i + 1)
+        bound = _chain_bound(counts, 1, probabilities, n - i - 1, x2)
+        heapq.heappush(heap, (-bound, i, i + 2))
+
+    while heap:
+        negative_bound, i, e = heapq.heappop(heap)
+        if -negative_bound <= best:
+            break  # every remaining entry is dominated
+        if e > n:
+            continue
+        x2, counts = score(i, e)
+        evaluated += 1
+        if x2 > best:
+            best = x2
+            best_pair = (i, e)
+        if e < n:
+            bound = _chain_bound(counts, e - i, probabilities, n - e, x2)
+            heapq.heappush(heap, (-bound, i, e + 1))
+    elapsed = time.perf_counter() - started
+
+    start, end = best_pair
+    substring = SignificantSubstring(
+        start=start,
+        end=end,
+        chi_square=best,
+        counts=index.counts(start, end),
+        alphabet_size=k,
+    )
+    stats = ScanStats(
+        n=n,
+        substrings_evaluated=evaluated,
+        positions_skipped=0,
+        start_positions=n,
+        elapsed_seconds=elapsed,
+    )
+    return MSSResult(best=substring, stats=stats)

@@ -1,0 +1,104 @@
+"""Deviation walks: the shared geometry behind ARLM, AGMM and blocking.
+
+For a binary string with null probability ``p`` of symbol 1, define the
+*deviation walk*
+
+``D(i) = (# of 1s among the first i characters) - i * p``.
+
+The X² of the substring ``[s, e)`` then has the closed form
+
+``X² = (D(e) - D(s))² / (L * p * (1 - p))``,  ``L = e - s``,
+
+so maximising X² is maximising ``(Delta D)² / L`` over walk increments --
+a picture in which the significant substrings are the steep stretches of
+the walk.  The local-extrema structure of ``D`` is what the ARLM / AGMM
+heuristics of Dutta & Bhattacharya [9] exploit, and this module computes
+it once for all of them.
+
+For ``k > 2`` we keep one walk per character,
+``D_j(i) = count_j(i) - i * p_j``, and take unions of their extrema as
+candidate boundaries (the natural multi-alphabet generalisation; exactness
+is only established for ``k = 2`` -- see ``repro.baselines.arlm``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.counts import PrefixCountIndex
+
+__all__ = [
+    "deviation_walks",
+    "local_extrema_positions",
+    "global_extrema_positions",
+    "block_boundary_positions",
+]
+
+
+def deviation_walks(index: PrefixCountIndex, probabilities: Sequence[float]) -> np.ndarray:
+    """Per-character deviation walks as a ``(k, n + 1)`` float matrix.
+
+    ``walks[j][i] = count_j(first i chars) - i * p_j``; every row starts
+    and ends at a value summing to zero across rows.
+
+    >>> from repro.core.counts import PrefixCountIndex
+    >>> walks = deviation_walks(PrefixCountIndex([1, 1, 0], 2), (0.5, 0.5))
+    >>> walks[1].tolist()
+    [0.0, 0.5, 1.0, 0.5]
+    """
+    matrix = index.counts_matrix().astype(np.float64)
+    positions = np.arange(index.n + 1, dtype=np.float64)
+    probs = np.asarray(probabilities, dtype=np.float64)
+    return matrix - probs[:, None] * positions[None, :]
+
+
+def local_extrema_positions(walk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Strict local minima and maxima of a single walk.
+
+    Returns ``(minima, maxima)`` position arrays.  The endpoints 0 and n
+    are always included in *both* (they bound every substring), so the
+    candidate sets are usable directly as interval boundaries.
+
+    >>> mins, maxs = local_extrema_positions(np.array([0.0, 0.5, 0.0, 0.5, 1.0]))
+    >>> mins.tolist(), maxs.tolist()
+    ([0, 2, 4], [0, 1, 4])
+    """
+    n = len(walk) - 1
+    if n < 1:
+        raise ValueError("walk must have at least 2 points")
+    diffs = np.diff(walk)
+    # Steps of a deviation walk are never zero (each is 1 - p or -p), so
+    # strict comparisons identify every direction change.
+    interior = np.arange(1, n)
+    minima_mask = (diffs[:-1] < 0) & (diffs[1:] > 0)
+    maxima_mask = (diffs[:-1] > 0) & (diffs[1:] < 0)
+    minima = np.concatenate(([0], interior[minima_mask], [n]))
+    maxima = np.concatenate(([0], interior[maxima_mask], [n]))
+    return minima, maxima
+
+
+def global_extrema_positions(walk: np.ndarray) -> tuple[int, int]:
+    """Positions of the global minimum and maximum of a walk.
+
+    >>> global_extrema_positions(np.array([0.0, -0.5, 0.0, 0.5, 0.0]))
+    (1, 3)
+    """
+    return int(np.argmin(walk)), int(np.argmax(walk))
+
+
+def block_boundary_positions(codes: Sequence[int], n: int) -> np.ndarray:
+    """Boundaries of maximal runs of identical characters, plus 0 and n.
+
+    These are the candidate cut points of the blocking technique: position
+    ``i`` is a boundary when ``codes[i - 1] != codes[i]``.
+
+    >>> block_boundary_positions([0, 0, 1, 1, 0], 5).tolist()
+    [0, 2, 4, 5]
+    """
+    if n == 0:
+        raise ValueError("cannot compute boundaries of an empty string")
+    array = np.asarray(codes)
+    changes = np.nonzero(array[1:] != array[:-1])[0] + 1
+    return np.concatenate(([0], changes, [n]))

@@ -1,0 +1,300 @@
+"""Command-line interface: ``repro-mss`` (or ``python -m repro.cli``).
+
+Subcommands map one-to-one onto the paper's four problems plus a
+generator for experimenting:
+
+* ``mss``        -- Problem 1: the most significant substring.
+* ``top``        -- Problem 2: the top-t substrings.
+* ``threshold``  -- Problem 3: all substrings with X² above a threshold.
+* ``minlength``  -- Problem 4: the MSS with a length floor.
+* ``generate``   -- emit a synthetic string (null / geometric / zipf /
+  markov / correlated) for piping back into the miners.
+* ``calibrate``  -- Monte-Carlo family-wise critical values for X²max
+  (the look-elsewhere-corrected significance threshold).
+* ``stream``     -- online MSS over stdin with bounded memory
+  (chunk + overlap; exact for anomalies up to the overlap length).
+
+Input is a text file (or stdin with ``-``); the alphabet defaults to the
+distinct characters of the input with maximum-likelihood probabilities,
+or is given explicitly with ``--alphabet``/``--probs``.  Output is
+human-readable by default, JSON with ``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.minlength import find_mss_min_length
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.core.results import SignificantSubstring
+from repro.core.threshold import find_above_threshold
+from repro.core.topt import find_top_t
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read().strip()
+    with open(path, encoding="utf-8") as handle:
+        return handle.read().strip()
+
+
+def _build_model(text: str, alphabet: str | None, probs: str | None) -> BernoulliModel:
+    if probs is not None and alphabet is None:
+        raise SystemExit("--probs requires --alphabet")
+    if alphabet is None:
+        return BernoulliModel.from_string(text)
+    symbols = list(alphabet)
+    if probs is None:
+        return BernoulliModel.from_string(text, alphabet=symbols, laplace=1.0)
+    values = [float(x) for x in probs.split(",")]
+    if len(values) != len(symbols):
+        raise SystemExit(
+            f"--probs has {len(values)} values but --alphabet has "
+            f"{len(symbols)} symbols"
+        )
+    return BernoulliModel(symbols, values)
+
+
+def _substring_payload(s: SignificantSubstring, text: str, preview: int = 60) -> dict:
+    snippet = text[s.start : s.end]
+    if len(snippet) > preview:
+        snippet = snippet[: preview - 3] + "..."
+    return {
+        "start": s.start,
+        "end": s.end,
+        "length": s.length,
+        "chi_square": round(s.chi_square, 6),
+        "p_value": s.p_value,
+        "counts": list(s.counts),
+        "preview": snippet,
+    }
+
+
+def _emit(payload: dict, as_json: bool) -> None:
+    if as_json:
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return
+    def render(entry: dict) -> str:
+        return (
+            f"  [{entry['start']}, {entry['end']})  len={entry['length']}"
+            f"  X2={entry['chi_square']:.4f}  p={entry['p_value']:.3g}"
+            f"  {entry['preview']!r}"
+        )
+    print(f"n={payload['n']}  k={payload['k']}  evaluated={payload['evaluated']}")
+    for entry in payload["substrings"]:
+        print(render(entry))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mss",
+        description="Mine statistically significant substrings (chi-square).",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="input text file, or - for stdin")
+        p.add_argument("--alphabet", help="explicit alphabet, e.g. 'ab'")
+        p.add_argument(
+            "--probs",
+            help="comma-separated null probabilities matching --alphabet",
+        )
+
+    mss = sub.add_parser("mss", help="most significant substring (Problem 1)")
+    common(mss)
+
+    top = sub.add_parser("top", help="top-t substrings (Problem 2)")
+    common(top)
+    top.add_argument("-t", type=int, default=10, help="how many substrings")
+
+    threshold = sub.add_parser(
+        "threshold", help="substrings with X2 above a threshold (Problem 3)"
+    )
+    common(threshold)
+    threshold.add_argument("--alpha", type=float, required=True, help="X2 threshold")
+    threshold.add_argument(
+        "--limit", type=int, default=1000, help="cap on reported substrings"
+    )
+
+    minlength = sub.add_parser(
+        "minlength", help="MSS among substrings of a minimum length (Problem 4)"
+    )
+    common(minlength)
+    minlength.add_argument(
+        "--min-length", type=int, required=True, help="inclusive length floor"
+    )
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="Monte-Carlo critical value of X2max (family-wise threshold)",
+    )
+    calibrate.add_argument("-n", type=int, required=True, help="string length")
+    calibrate.add_argument("-k", type=int, default=2, help="alphabet size (<= 26)")
+    calibrate.add_argument("--alpha", type=float, default=0.05,
+                           help="family-wise significance level")
+    calibrate.add_argument("--trials", type=int, default=100,
+                           help="Monte-Carlo trials")
+    calibrate.add_argument("--seed", type=int, default=0, help="random seed")
+
+    stream = sub.add_parser(
+        "stream", help="online MSS over a stream (bounded memory)"
+    )
+    common(stream)
+    stream.add_argument("--chunk", type=int, default=4096,
+                        help="symbols dropped per flush")
+    stream.add_argument("--overlap", type=int, default=512,
+                        help="symbols retained across flushes "
+                             "(exact detection up to this length)")
+
+    generate = sub.add_parser("generate", help="emit a synthetic string")
+    generate.add_argument(
+        "kind",
+        choices=["null", "geometric", "zipf", "markov", "correlated"],
+        help="generator family",
+    )
+    generate.add_argument("-n", type=int, default=1000, help="string length")
+    generate.add_argument("-k", type=int, default=2, help="alphabet size (<= 26)")
+    generate.add_argument("--seed", type=int, default=0, help="random seed")
+    generate.add_argument(
+        "--same-prob",
+        type=float,
+        default=0.5,
+        help="correlated generator: probability of repeating the last symbol",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "generate":
+        return _run_generate(args)
+    if args.command == "calibrate":
+        return _run_calibrate(args)
+
+    text = _read_text(args.file)
+    if not text:
+        raise SystemExit("input is empty")
+    model = _build_model(text, args.alphabet, args.probs)
+
+    if args.command == "mss":
+        result = find_mss(text, model)
+        substrings = [result.best]
+        stats = result.stats
+    elif args.command == "stream":
+        from repro.extensions.streaming import StreamingMSS
+
+        miner = StreamingMSS(model, chunk=args.chunk, overlap=args.overlap)
+        miner.feed(text)
+        best = miner.finish()
+        payload = {
+            "n": miner.symbols_seen,
+            "k": model.k,
+            "evaluated": miner.flushes,
+            "skipped": 0,
+            "elapsed_seconds": 0.0,
+            "exact_length_limit": miner.exact_length_limit,
+            "substrings": [_substring_payload(best, text)],
+        }
+        _emit(payload, args.json)
+        return 0
+    elif args.command == "top":
+        result = find_top_t(text, model, args.t)
+        substrings = result.substrings
+        stats = result.stats
+    elif args.command == "threshold":
+        result = find_above_threshold(text, model, args.alpha, limit=args.limit)
+        substrings = result.substrings
+        stats = result.stats
+    else:  # minlength
+        result = find_mss_min_length(text, model, args.min_length)
+        substrings = [result.best]
+        stats = result.stats
+
+    payload = {
+        "n": stats.n,
+        "k": model.k,
+        "evaluated": stats.substrings_evaluated,
+        "skipped": stats.positions_skipped,
+        "elapsed_seconds": stats.elapsed_seconds,
+        "substrings": [_substring_payload(s, text) for s in substrings],
+    }
+    _emit(payload, args.json)
+    return 0
+
+
+def _run_calibrate(args: argparse.Namespace) -> int:
+    from repro.analysis.calibration import mss_null_distribution
+
+    if not 2 <= args.k <= 26:
+        raise SystemExit("-k must be between 2 and 26")
+    alphabet = "abcdefghijklmnopqrstuvwxyz"[: args.k]
+    model = BernoulliModel.uniform(alphabet)
+    distribution = mss_null_distribution(
+        model, args.n, trials=args.trials, seed=args.seed
+    )
+    payload = {
+        "n": args.n,
+        "k": args.k,
+        "trials": args.trials,
+        "alpha": args.alpha,
+        "critical_value": distribution.critical_value(args.alpha),
+        "mean_x2max": distribution.mean,
+        "two_ln_n": distribution.two_ln_n,
+    }
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(
+            f"n={args.n} k={args.k} trials={args.trials}: reject at "
+            f"X2max > {payload['critical_value']:.3f} "
+            f"(alpha={args.alpha}; mean={payload['mean_x2max']:.2f}, "
+            f"2 ln n={payload['two_ln_n']:.2f})"
+        )
+    return 0
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    from repro.generators import (
+        MarkovChain,
+        generate_correlated_binary,
+        generate_null_string,
+        paper_markov_chain,
+    )
+
+    if not 2 <= args.k <= 26:
+        raise SystemExit("-k must be between 2 and 26")
+    alphabet = "abcdefghijklmnopqrstuvwxyz"[: args.k]
+    if args.kind == "null":
+        model = BernoulliModel.uniform(alphabet)
+        text = generate_null_string(model, args.n, seed=args.seed)
+    elif args.kind == "geometric":
+        model = BernoulliModel.geometric(alphabet)
+        text = generate_null_string(model, args.n, seed=args.seed)
+    elif args.kind == "zipf":
+        model = BernoulliModel.harmonic(alphabet)
+        text = generate_null_string(model, args.n, seed=args.seed)
+    elif args.kind == "markov":
+        chain: MarkovChain = paper_markov_chain(args.k)
+        codes = chain.generate(args.n, seed=args.seed)
+        text = "".join(alphabet[c] for c in codes)
+    else:  # correlated
+        bits = generate_correlated_binary(args.n, args.same_prob, seed=args.seed)
+        text = "".join("ab"[b] for b in bits)
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: chi-square substring mining.
+
+Modules
+-------
+* :mod:`repro.core.model` -- the memoryless Bernoulli null model.
+* :mod:`repro.core.counts` -- O(1) substring character counts.
+* :mod:`repro.core.chisquare` -- the X² statistic (eq. 4-5).
+* :mod:`repro.core.skip` -- the chain-cover pruning bound (Theorem 1).
+* :mod:`repro.core.mss` -- Algorithm 1 (most significant substring).
+* :mod:`repro.core.topt` -- Algorithm 2 (top-t substrings).
+* :mod:`repro.core.threshold` -- Algorithm 3 (X² above a threshold).
+* :mod:`repro.core.minlength` -- §6.3 (MSS with a length floor).
+* :mod:`repro.core.results` -- result and instrumentation types.
+"""
+
+from repro.core.chisquare import (
+    ChiSquareScorer,
+    chi_square,
+    chi_square_definitional,
+    chi_square_from_counts,
+    chi_square_profile,
+)
+from repro.core.counts import PrefixCountIndex
+from repro.core.minlength import find_mss_min_length
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.core.results import (
+    MSSResult,
+    ScanStats,
+    SignificantSubstring,
+    ThresholdResult,
+    TopTResult,
+)
+from repro.core.skip import chain_cover_chi_square, max_safe_skip
+from repro.core.threshold import find_above_threshold
+from repro.core.topt import find_top_t
+
+__all__ = [
+    "BernoulliModel",
+    "PrefixCountIndex",
+    "ChiSquareScorer",
+    "chi_square",
+    "chi_square_definitional",
+    "chi_square_from_counts",
+    "chi_square_profile",
+    "chain_cover_chi_square",
+    "max_safe_skip",
+    "find_mss",
+    "find_top_t",
+    "find_above_threshold",
+    "find_mss_min_length",
+    "MSSResult",
+    "TopTResult",
+    "ThresholdResult",
+    "ScanStats",
+    "SignificantSubstring",
+]

@@ -1,0 +1,178 @@
+"""Pearson's chi-square statistic for substrings (eq. 4-5 of the paper).
+
+The defining form is
+
+``X² = sum_i (O_i - E_i)² / E_i``                        (eq. 4)
+
+with ``E_i = L * p_i``; the paper simplifies it (eq. 5) to
+
+``X² = sum_i Y_i² / (L * p_i)  -  L``
+
+which is the form every hot loop in this library uses.  The statistic
+depends only on the substring's count vector, never on character order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.counts import PrefixCountIndex
+from repro.core.model import BernoulliModel
+
+__all__ = [
+    "chi_square_from_counts",
+    "chi_square_definitional",
+    "chi_square",
+    "ChiSquareScorer",
+    "chi_square_profile",
+]
+
+
+def chi_square_from_counts(
+    counts: Sequence[int], probabilities: Sequence[float]
+) -> float:
+    """X² of a count vector, by the simplified eq. 5.
+
+    >>> chi_square_from_counts([5, 5], [0.5, 0.5])
+    0.0
+    >>> chi_square_from_counts([10, 0], [0.5, 0.5])
+    10.0
+    """
+    if len(counts) != len(probabilities):
+        raise ValueError(
+            f"counts has {len(counts)} entries but probabilities has "
+            f"{len(probabilities)}"
+        )
+    length = 0
+    for c in counts:
+        if c < 0:
+            raise ValueError(f"negative count {c!r}")
+        length += c
+    if length == 0:
+        raise ValueError("counts must sum to a positive substring length")
+    total = 0.0
+    for observed, p in zip(counts, probabilities):
+        if p <= 0.0:
+            raise ValueError(f"probabilities must be positive, got {p!r}")
+        total += observed * observed / p
+    return total / length - length
+
+
+def chi_square_definitional(
+    counts: Sequence[int], probabilities: Sequence[float]
+) -> float:
+    """X² by the definitional eq. 4, ``sum (O - E)² / E``.
+
+    Algebraically identical to :func:`chi_square_from_counts`; kept (and
+    property-tested for equality) as the readable reference form.
+
+    >>> round(chi_square_definitional([19, 1], [0.5, 0.5]), 6)
+    16.2
+    """
+    length = sum(counts)
+    if length <= 0:
+        raise ValueError("counts must sum to a positive substring length")
+    total = 0.0
+    for observed, p in zip(counts, probabilities):
+        if p <= 0.0:
+            raise ValueError(f"probabilities must be positive, got {p!r}")
+        expected = length * p
+        deviation = observed - expected
+        total += deviation * deviation / expected
+    return total
+
+
+def chi_square(text: Iterable, model: BernoulliModel) -> float:
+    """X² of a whole string under ``model``.
+
+    >>> model = BernoulliModel.uniform("HT")
+    >>> round(chi_square("H" * 19 + "T", model), 6)
+    16.2
+    """
+    return chi_square_from_counts(model.count_vector(text), model.probabilities)
+
+
+class ChiSquareScorer:
+    """O(1) X² queries for any substring of a fixed string.
+
+    Builds a :class:`~repro.core.counts.PrefixCountIndex` once, then scores
+    half-open ranges ``[start, end)`` in O(k).
+
+    >>> model = BernoulliModel.uniform("ab")
+    >>> scorer = ChiSquareScorer("aabb", model)
+    >>> scorer.score(0, 2)      # "aa": all a's
+    2.0
+    >>> scorer.score(0, 4)      # "aabb": perfectly balanced
+    0.0
+    """
+
+    __slots__ = ("_model", "_index", "_inv_p")
+
+    def __init__(self, text: Iterable, model: BernoulliModel) -> None:
+        codes = model.encode(text)
+        if len(codes) == 0:
+            raise ValueError("cannot score an empty string")
+        self._model = model
+        self._index = PrefixCountIndex(codes.tolist(), model.k)
+        self._inv_p = tuple(1.0 / p for p in model.probabilities)
+
+    @property
+    def model(self) -> BernoulliModel:
+        """The null model used for scoring."""
+        return self._model
+
+    @property
+    def index(self) -> PrefixCountIndex:
+        """The underlying prefix count index."""
+        return self._index
+
+    @property
+    def n(self) -> int:
+        """Length of the scored string."""
+        return self._index.n
+
+    def score(self, start: int, end: int) -> float:
+        """X² of the substring ``text[start:end]`` (half-open range)."""
+        if not 0 <= start < end <= self._index.n:
+            raise IndexError(
+                f"substring range [{start}, {end}) is invalid for a string "
+                f"of length {self._index.n} (need start < end)"
+            )
+        length = end - start
+        total = 0.0
+        for row, inv_p in zip(self._index.prefix_lists, self._inv_p):
+            observed = row[end] - row[start]
+            total += observed * observed * inv_p
+        return total / length - length
+
+    def counts(self, start: int, end: int) -> tuple[int, ...]:
+        """Count vector of the substring ``text[start:end]``."""
+        return self._index.counts(start, end)
+
+
+def chi_square_profile(
+    index: PrefixCountIndex, probabilities: Sequence[float], start: int
+) -> np.ndarray:
+    """Vectorised X² of every substring starting at ``start``.
+
+    Returns an array ``profile`` with ``profile[j]`` equal to the X² of
+    ``codes[start : start + j + 1]`` -- i.e. all ``n - start`` substrings
+    sharing the given start position, computed in a handful of numpy
+    operations.  This is the workhorse of the vectorised trivial baseline.
+
+    >>> from repro.core.counts import PrefixCountIndex
+    >>> index = PrefixCountIndex([0, 0, 1, 1], 2)
+    >>> chi_square_profile(index, (0.5, 0.5), 0).round(6).tolist()
+    [1.0, 2.0, 0.333333, 0.0]
+    """
+    n = index.n
+    if not 0 <= start < n:
+        raise IndexError(f"start {start!r} outside range(0, {n})")
+    matrix = index.counts_matrix()  # (k, n + 1)
+    window = matrix[:, start + 1 :] - matrix[:, start : start + 1]  # (k, n - start)
+    inv_p = np.asarray([1.0 / p for p in probabilities], dtype=np.float64)
+    lengths = np.arange(1, n - start + 1, dtype=np.float64)
+    weighted = (window.astype(np.float64) ** 2 * inv_p[:, None]).sum(axis=0)
+    return weighted / lengths - lengths

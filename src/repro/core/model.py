@@ -1,0 +1,299 @@
+"""The memoryless Bernoulli (multinomial) null model.
+
+The paper's null hypothesis is that each letter of the string is drawn
+independently from a fixed multinomial distribution ``P = {p1 .. pk}``
+over an alphabet ``Sigma = {a1 .. ak}``.  :class:`BernoulliModel` bundles
+the alphabet, the probabilities, and the encoding between user-facing
+symbols and the dense integer codes the scanners operate on.
+
+Symbols may be single characters (the common case -- strings encode
+directly) or arbitrary hashable objects (event types, buckets, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro._validation import ensure_probability_vector
+
+__all__ = ["BernoulliModel"]
+
+
+class BernoulliModel:
+    """A fixed multinomial distribution over a finite alphabet.
+
+    Parameters
+    ----------
+    alphabet:
+        The distinct symbols ``a1 .. ak`` (order fixes the code of each
+        symbol).  At least two symbols are required -- with ``k = 1`` the
+        chi-square statistic is identically zero.
+    probabilities:
+        The occurrence probability of each symbol.  Must be strictly
+        positive (the statistic divides by them) and sum to 1.
+
+    Examples
+    --------
+    >>> model = BernoulliModel("HT", [0.5, 0.5])
+    >>> model.k
+    2
+    >>> model.encode("HHT").tolist()
+    [0, 0, 1]
+    >>> model.count_vector("HHT")
+    (2, 1)
+    """
+
+    __slots__ = ("_alphabet", "_probabilities", "_index", "_char_table")
+
+    def __init__(
+        self, alphabet: Sequence[Hashable], probabilities: Sequence[float]
+    ) -> None:
+        symbols = tuple(alphabet)
+        if len(symbols) != len(set(symbols)):
+            raise ValueError(f"alphabet contains duplicate symbols: {symbols!r}")
+        probs = ensure_probability_vector(probabilities)
+        if len(symbols) != len(probs):
+            raise ValueError(
+                f"alphabet has {len(symbols)} symbols but "
+                f"{len(probs)} probabilities were given"
+            )
+        self._alphabet = symbols
+        self._probabilities = probs
+        self._index: dict[Hashable, int] = {s: i for i, s in enumerate(symbols)}
+        # Fast path for single-character string alphabets: a 256/65536-free
+        # dict is still the general case, but str.translate-style lookup via
+        # the dict is what encode() uses; nothing else to precompute.
+        self._char_table = all(isinstance(s, str) and len(s) == 1 for s in symbols)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, alphabet: Sequence[Hashable]) -> "BernoulliModel":
+        """Uniform model: every symbol equally likely.
+
+        >>> BernoulliModel.uniform("ab").probabilities
+        (0.5, 0.5)
+        """
+        symbols = tuple(alphabet)
+        k = len(symbols)
+        if k < 2:
+            raise ValueError(f"alphabet must have >= 2 symbols, got {k}")
+        return cls(symbols, [1.0 / k] * k)
+
+    @classmethod
+    def geometric(cls, alphabet: Sequence[Hashable]) -> "BernoulliModel":
+        """Geometric model of §7.1.2(a): ``p_i`` proportional to ``1/2^i``.
+
+        >>> BernoulliModel.geometric("abc").probabilities[0] > 0.5
+        True
+        """
+        symbols = tuple(alphabet)
+        k = len(symbols)
+        if k < 2:
+            raise ValueError(f"alphabet must have >= 2 symbols, got {k}")
+        weights = [2.0 ** -(i + 1) for i in range(k)]
+        total = sum(weights)
+        return cls(symbols, [w / total for w in weights])
+
+    @classmethod
+    def harmonic(cls, alphabet: Sequence[Hashable], s: float = 1.0) -> "BernoulliModel":
+        """Harmonic / Zipf model of §7.1.2(b): ``p_i`` proportional to ``1/i^s``.
+
+        ``s = 1`` is the paper's harmonic string (the figures label it
+        "Zapian", i.e. Zipfian).
+
+        >>> model = BernoulliModel.harmonic("abcd")
+        >>> model.probabilities[0] > model.probabilities[3]
+        True
+        """
+        symbols = tuple(alphabet)
+        k = len(symbols)
+        if k < 2:
+            raise ValueError(f"alphabet must have >= 2 symbols, got {k}")
+        if s <= 0:
+            raise ValueError(f"zipf exponent must be positive, got {s!r}")
+        weights = [1.0 / (i + 1) ** s for i in range(k)]
+        total = sum(weights)
+        return cls(symbols, [w / total for w in weights])
+
+    @classmethod
+    def from_counts(
+        cls, counts: Mapping[Hashable, int], *, laplace: float = 0.0
+    ) -> "BernoulliModel":
+        """Estimate a model from observed symbol counts.
+
+        ``laplace`` adds the usual additive smoothing so that symbols never
+        observed still get positive probability.
+
+        >>> BernoulliModel.from_counts({"W": 3, "L": 1}).probabilities
+        (0.75, 0.25)
+        """
+        if laplace < 0:
+            raise ValueError(f"laplace must be >= 0, got {laplace!r}")
+        symbols = tuple(counts.keys())
+        raw = [float(counts[s]) + laplace for s in symbols]
+        total = sum(raw)
+        if total <= 0:
+            raise ValueError("counts must contain at least one observation")
+        if any(c <= 0 for c in raw):
+            raise ValueError(
+                "every symbol needs a positive (possibly smoothed) count; "
+                "pass laplace > 0 to smooth zero counts"
+            )
+        return cls(symbols, [c / total for c in raw])
+
+    @classmethod
+    def from_string(
+        cls,
+        text: Iterable[Hashable],
+        *,
+        alphabet: Sequence[Hashable] | None = None,
+        laplace: float = 0.0,
+    ) -> "BernoulliModel":
+        """Estimate the maximum-likelihood model of a string.
+
+        This is how the paper sets up its real-data experiments: the
+        Yankees/Red Sox probability is the overall win ratio, the stock
+        up-probability the overall fraction of up days (§7.5).
+
+        >>> BernoulliModel.from_string("WWLW").probabilities
+        (0.75, 0.25)
+        >>> BernoulliModel.from_string("aab", alphabet="abc", laplace=1.0).k
+        3
+        """
+        observed = Counter(text)
+        if alphabet is None:
+            symbols: tuple[Hashable, ...] = tuple(observed.keys())
+        else:
+            symbols = tuple(alphabet)
+            unknown = set(observed) - set(symbols)
+            if unknown:
+                raise ValueError(
+                    f"string contains symbols outside the alphabet: {unknown!r}"
+                )
+        counts = {s: observed.get(s, 0) for s in symbols}
+        return cls.from_counts(counts, laplace=laplace)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> tuple[Hashable, ...]:
+        """The symbols ``a1 .. ak`` in code order."""
+        return self._alphabet
+
+    @property
+    def probabilities(self) -> tuple[float, ...]:
+        """The multinomial probabilities ``p1 .. pk`` in code order."""
+        return self._probabilities
+
+    @property
+    def k(self) -> int:
+        """Alphabet size."""
+        return len(self._alphabet)
+
+    def probability_of(self, symbol: Hashable) -> float:
+        """Null-model probability of ``symbol``."""
+        return self._probabilities[self.code_of(symbol)]
+
+    def code_of(self, symbol: Hashable) -> int:
+        """Integer code of ``symbol`` (raises ``KeyError`` with context)."""
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise KeyError(
+                f"symbol {symbol!r} is not in the alphabet {self._alphabet!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, text: Iterable[Hashable]) -> np.ndarray:
+        """Encode a symbol sequence into an ``int64`` numpy array of codes.
+
+        >>> BernoulliModel.uniform("ab").encode("aba").tolist()
+        [0, 1, 0]
+        """
+        index = self._index
+        try:
+            return np.fromiter(
+                (index[s] for s in text), dtype=np.int64, count=len(text) if hasattr(text, "__len__") else -1
+            )
+        except KeyError as exc:
+            raise KeyError(
+                f"symbol {exc.args[0]!r} is not in the alphabet {self._alphabet!r}"
+            ) from None
+
+    def decode(self, codes: Iterable[int]) -> list[Hashable]:
+        """Inverse of :meth:`encode`.
+
+        >>> model = BernoulliModel.uniform("ab")
+        >>> model.decode([0, 1, 0])
+        ['a', 'b', 'a']
+        """
+        alphabet = self._alphabet
+        return [alphabet[int(c)] for c in codes]
+
+    def decode_to_string(self, codes: Iterable[int]) -> str:
+        """Decode to a plain string (alphabet must be single characters)."""
+        if not self._char_table:
+            raise TypeError(
+                "decode_to_string requires a single-character alphabet; "
+                "use decode() for general symbols"
+            )
+        alphabet = self._alphabet
+        return "".join(alphabet[int(c)] for c in codes)
+
+    def count_vector(self, text: Iterable[Hashable]) -> tuple[int, ...]:
+        """Observed frequency of each alphabet symbol in ``text``.
+
+        >>> BernoulliModel.uniform("abc").count_vector("abba")
+        (2, 2, 0)
+        """
+        counts = [0] * self.k
+        index = self._index
+        for symbol in text:
+            try:
+                counts[index[symbol]] += 1
+            except KeyError:
+                raise KeyError(
+                    f"symbol {symbol!r} is not in the alphabet "
+                    f"{self._alphabet!r}"
+                ) from None
+        return tuple(counts)
+
+    def expected_counts(self, length: int) -> tuple[float, ...]:
+        """Expected frequency vector ``E = L * P`` for a length-``L`` substring."""
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length!r}")
+        return tuple(length * p for p in self._probabilities)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BernoulliModel):
+            return NotImplemented
+        return (
+            self._alphabet == other._alphabet
+            and all(
+                math.isclose(a, b, rel_tol=0.0, abs_tol=1e-12)
+                for a, b in zip(self._probabilities, other._probabilities)
+            )
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._alphabet, self._probabilities))
+
+    def __repr__(self) -> str:
+        probs = ", ".join(f"{p:.4g}" for p in self._probabilities)
+        return f"BernoulliModel(alphabet={self._alphabet!r}, probabilities=({probs}))"

@@ -1,0 +1,98 @@
+"""Post-processing of mined substring sets.
+
+A raw top-t list over a string with one dominant anomaly is mostly
+near-duplicates -- hundreds of intervals that shift the optimum's
+boundaries by a game or a day.  The paper's Table 3 reports five
+*distinct* eras, which is the result of suppressing such overlaps.  This
+module provides that step: greedy non-maximum suppression by descending
+X², the standard scheme for interval mining.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.model import BernoulliModel
+from repro.core.results import SignificantSubstring
+from repro.core.threshold import find_above_threshold
+
+__all__ = ["select_non_overlapping", "find_top_t_distinct"]
+
+
+def select_non_overlapping(
+    substrings: Iterable[SignificantSubstring],
+    *,
+    limit: int | None = None,
+    max_overlap_fraction: float = 0.0,
+) -> list[SignificantSubstring]:
+    """Greedy non-maximum suppression: keep by descending X², drop overlaps.
+
+    ``max_overlap_fraction`` relaxes strict disjointness: a candidate is
+    kept when its overlap with every kept interval is at most that
+    fraction of the *shorter* interval (0.0 = strictly disjoint).
+
+    >>> from repro.core.results import SignificantSubstring
+    >>> a = SignificantSubstring(0, 10, 9.0, (10, 0), 2)
+    >>> b = SignificantSubstring(5, 15, 8.0, (10, 0), 2)   # overlaps a
+    >>> c = SignificantSubstring(20, 30, 7.0, (10, 0), 2)
+    >>> [s.start for s in select_non_overlapping([b, a, c])]
+    [0, 20]
+    """
+    if not 0.0 <= max_overlap_fraction < 1.0:
+        raise ValueError(
+            f"max_overlap_fraction must be in [0, 1), got "
+            f"{max_overlap_fraction!r}"
+        )
+    kept: list[SignificantSubstring] = []
+    ordered = sorted(substrings, key=lambda s: (-s.chi_square, s.start))
+    for candidate in ordered:
+        if limit is not None and len(kept) >= limit:
+            break
+        acceptable = True
+        for existing in kept:
+            overlap = min(candidate.end, existing.end) - max(
+                candidate.start, existing.start
+            )
+            if overlap <= 0:
+                continue
+            shorter = min(candidate.length, existing.length)
+            if overlap > max_overlap_fraction * shorter:
+                acceptable = False
+                break
+        if acceptable:
+            kept.append(candidate)
+    return kept
+
+
+def find_top_t_distinct(
+    text: Sequence,
+    model: BernoulliModel,
+    t: int,
+    *,
+    floor: float = 1.0,
+    max_overlap_fraction: float = 0.0,
+) -> list[SignificantSubstring]:
+    """The ``t`` best *mutually non-overlapping* substrings.
+
+    Mines every substring with ``X² > floor`` (Algorithm 3) and applies
+    :func:`select_non_overlapping`.  ``floor`` trades completeness for
+    speed: anything below it can never appear in the output.  If fewer
+    than ``t`` disjoint intervals clear the floor, the result is shorter
+    than ``t`` -- lower ``floor`` to dig deeper.
+
+    This is how the sports/stocks benchmarks reproduce Table 3's five
+    distinct eras.
+
+    >>> from repro.core.model import BernoulliModel
+    >>> model = BernoulliModel.uniform("ab")
+    >>> text = "ab" * 10 + "aaaaaaaa" + "ab" * 10 + "bbbbbbbb" + "ab" * 10
+    >>> eras = find_top_t_distinct(text, model, 2, floor=4.0)
+    >>> sorted(text[s.start:s.end] for s in eras)   # runs absorb neighbours
+    ['aaaaaaaaa', 'bbbbbbbbb']
+    """
+    if t < 1:
+        raise ValueError(f"t must be >= 1, got {t!r}")
+    result = find_above_threshold(text, model, floor)
+    return select_non_overlapping(
+        result.substrings, limit=t, max_overlap_fraction=max_overlap_fraction
+    )

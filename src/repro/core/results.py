@@ -1,0 +1,195 @@
+"""Result and instrumentation types returned by the scanners.
+
+Every mining call returns both *what* was found
+(:class:`SignificantSubstring` values, ordered by X²) and *how much work*
+it took (:class:`ScanStats`).  The paper's evaluation plots iteration
+counts rather than wall time for its complexity figures, so the stats
+object tracks the number of substrings actually evaluated -- the exact
+quantity of Figures 1, 4, 6 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.stats.chi2dist import chi2_sf
+
+__all__ = ["SignificantSubstring", "ScanStats", "MSSResult", "TopTResult", "ThresholdResult"]
+
+
+@dataclass(frozen=True, order=False)
+class SignificantSubstring:
+    """A scored substring ``text[start:end]`` (half-open interval).
+
+    Attributes
+    ----------
+    start, end:
+        0-based half-open interval into the scanned string.  (The paper
+        uses 1-based inclusive indices; ``S[i..j]`` there corresponds to
+        ``start = i - 1``, ``end = j`` here.)
+    chi_square:
+        Pearson's X² of the substring under the scan's null model.
+    counts:
+        Observed count vector of the substring.
+    alphabet_size:
+        ``k``; fixes the degrees of freedom of the reference chi-square
+        distribution.
+    """
+
+    start: int
+    end: int
+    chi_square: float
+    counts: tuple[int, ...]
+    alphabet_size: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"invalid interval [{self.start}, {self.end}): need "
+                f"0 <= start < end"
+            )
+
+    @property
+    def length(self) -> int:
+        """Substring length ``end - start``."""
+        return self.end - self.start
+
+    @property
+    def p_value(self) -> float:
+        """Asymptotic p-value: chi-square(k-1) survival at the score."""
+        return chi2_sf(self.chi_square, self.alphabet_size - 1)
+
+    def slice(self, text: Sequence) -> Sequence:
+        """The actual substring, given the original text."""
+        return text[self.start : self.end]
+
+    def as_one_based(self) -> tuple[int, int]:
+        """The paper's 1-based inclusive ``(i, j)`` indices."""
+        return self.start + 1, self.end
+
+    def __lt__(self, other: "SignificantSubstring") -> bool:
+        return (self.chi_square, -self.length) < (other.chi_square, -other.length)
+
+    def __repr__(self) -> str:
+        return (
+            f"SignificantSubstring([{self.start}, {self.end}), "
+            f"X2={self.chi_square:.4f}, p={self.p_value:.3g})"
+        )
+
+
+@dataclass
+class ScanStats:
+    """Work counters for a single mining call.
+
+    ``substrings_evaluated`` is the paper's "iterations": the number of
+    (start, end) pairs whose X² was actually computed.  ``positions_skipped``
+    is the total number of end positions pruned by the chain-cover bound;
+    ``substrings_evaluated + positions_skipped`` always equals the trivial
+    algorithm's ``n (n + 1) / 2`` (minus positions excluded by a length
+    constraint), which the tests assert.
+    """
+
+    n: int = 0
+    substrings_evaluated: int = 0
+    positions_skipped: int = 0
+    start_positions: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_positions(self) -> int:
+        """Evaluated + skipped end positions (the trivial scan's count)."""
+        return self.substrings_evaluated + self.positions_skipped
+
+    @property
+    def fraction_skipped(self) -> float:
+        """Share of end positions pruned by the chain-cover bound."""
+        total = self.total_positions
+        return self.positions_skipped / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ScanStats(n={self.n}, evaluated={self.substrings_evaluated}, "
+            f"skipped={self.positions_skipped}, "
+            f"elapsed={self.elapsed_seconds:.4f}s)"
+        )
+
+
+@dataclass
+class MSSResult:
+    """Result of :func:`repro.core.mss.find_mss`."""
+
+    best: SignificantSubstring
+    stats: ScanStats
+
+    @property
+    def chi_square(self) -> float:
+        """X² of the most significant substring."""
+        return self.best.chi_square
+
+    def __repr__(self) -> str:
+        return f"MSSResult(best={self.best!r}, stats={self.stats!r})"
+
+
+@dataclass
+class TopTResult:
+    """Result of :func:`repro.core.topt.find_top_t`.
+
+    ``substrings`` is sorted by descending X².  When several substrings tie
+    at the t-th value the returned *values* are exact but the tied interval
+    identities are an arbitrary choice, as with any tie-break.
+    """
+
+    substrings: list[SignificantSubstring]
+    stats: ScanStats
+
+    @property
+    def values(self) -> list[float]:
+        """The X² values, descending."""
+        return [s.chi_square for s in self.substrings]
+
+    def __iter__(self) -> Iterable[SignificantSubstring]:
+        return iter(self.substrings)
+
+    def __len__(self) -> int:
+        return len(self.substrings)
+
+    def __repr__(self) -> str:
+        return f"TopTResult(t={len(self.substrings)}, stats={self.stats!r})"
+
+
+@dataclass
+class ThresholdResult:
+    """Result of :func:`repro.core.threshold.find_above_threshold`.
+
+    ``substrings`` holds every substring with X² strictly greater than the
+    threshold, in descending X² order.  ``truncated`` is True when a
+    ``limit`` was hit; the scan stops early in that case.
+    """
+
+    substrings: list[SignificantSubstring]
+    stats: ScanStats
+    threshold: float = 0.0
+    truncated: bool = field(default=False)
+    match_count: int | None = None
+
+    @property
+    def matches(self) -> int:
+        """Number of qualifying substrings (valid even in count-only scans)."""
+        return len(self.substrings) if self.match_count is None else self.match_count
+
+    def intervals(self) -> set[tuple[int, int]]:
+        """The qualifying ``(start, end)`` pairs as a set."""
+        return {(s.start, s.end) for s in self.substrings}
+
+    def __iter__(self) -> Iterable[SignificantSubstring]:
+        return iter(self.substrings)
+
+    def __len__(self) -> int:
+        return len(self.substrings)
+
+    def __repr__(self) -> str:
+        return (
+            f"ThresholdResult(count={len(self.substrings)}, "
+            f"threshold={self.threshold}, truncated={self.truncated})"
+        )

@@ -1,0 +1,45 @@
+"""Dataset substitutes for the paper's real-world experiments (§7.5).
+
+The paper mines two proprietary-ish data sources: the Yankees-Red Sox
+game log (baseball-reference.com) and daily closes of Dow/S&P 500/IBM
+(finance.yahoo.com).  Neither is redistributable nor reachable offline,
+so this subpackage builds *seeded synthetic reconstructions* that plant
+the exact statistical structure the paper reports -- window lengths,
+within-window counts, and global symbol ratios -- while drawing
+everything else from the null model.  X² depends only on those planted
+quantities, so the mining landscape (who wins, which windows surface,
+approximate X² values) is preserved; see DESIGN.md's substitution table.
+
+Loaders for *real* CSV data are also provided so users with access to the
+original sources can run the identical pipeline on them.
+"""
+
+from repro.datasets.baseball import (
+    GameRecord,
+    RivalrySimulator,
+    games_to_binary,
+    load_game_log_csv,
+)
+from repro.datasets.finance import (
+    Regime,
+    SyntheticSecurity,
+    dow_jones_spec,
+    ibm_spec,
+    load_prices_csv,
+    prices_to_binary,
+    sp500_spec,
+)
+
+__all__ = [
+    "GameRecord",
+    "RivalrySimulator",
+    "games_to_binary",
+    "load_game_log_csv",
+    "Regime",
+    "SyntheticSecurity",
+    "dow_jones_spec",
+    "sp500_spec",
+    "ibm_spec",
+    "prices_to_binary",
+    "load_prices_csv",
+]

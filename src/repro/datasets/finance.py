@@ -1,0 +1,365 @@
+"""Synthetic securities (substitute for finance.yahoo.com daily closes).
+
+The paper encodes each security's history as a binary string -- 1 when
+the close rose, 0 otherwise -- estimates the up-probability from the
+whole series, and mines significant runs (§7.5.2, Tables 5-6).  We
+reconstruct each series as a log-price walk over a weekday calendar with
+*planted drift regimes* at the periods Table 5 reports.  Each regime is
+specified by the two quantities the paper actually publishes:
+
+* ``target_x2`` -- the X² the window should score (Table 6 gives 25.22
+  for the Dow's 1954-55 window and 22.21 for the S&P's 1973-74 window;
+  windows without a published value get plausible lower targets), and
+* ``target_change_pct`` -- the window's price change from Table 5.
+
+From those we *derive* the planted up-day count (inverting
+``X² = (Y - L p)² / (L p q)`` at ``p = 1/2``) and the per-day log move
+that makes the planted up-surplus produce the target change.  Up-days
+are spread near-evenly through the window -- the real eras were
+sustained drifts, not single bursts -- so the mined substring is the
+window itself rather than a random hot sub-burst.  Non-regime days are
+fair-coin draws.
+
+Users with real data can run the identical pipeline through
+:func:`load_prices_csv` + :func:`prices_to_binary`.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as dt
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import BernoulliModel
+from repro.datasets._plant import spread_positions, stratified_fill
+from repro.generators.base import resolve_rng
+
+__all__ = [
+    "Regime",
+    "SecuritySpec",
+    "SyntheticSecurity",
+    "dow_jones_spec",
+    "sp500_spec",
+    "ibm_spec",
+    "prices_to_binary",
+    "load_prices_csv",
+    "trading_calendar",
+]
+
+
+@dataclass(frozen=True)
+class Regime:
+    """A planted drift period between two calendar dates.
+
+    ``target_x2`` fixes how statistically significant the window is;
+    ``target_change_pct`` fixes the price change over it (negative for a
+    bear period -- its sign also decides whether the up-day surplus is
+    positive or negative).
+    """
+
+    start: dt.date
+    end: dt.date
+    target_x2: float
+    target_change_pct: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"regime ends before it starts: {self}")
+        if self.target_x2 <= 0.0:
+            raise ValueError(f"target_x2 must be positive, got {self.target_x2!r}")
+        if self.target_change_pct <= -100.0:
+            raise ValueError(
+                f"target_change_pct must be > -100, got {self.target_change_pct!r}"
+            )
+        if self.target_change_pct == 0:
+            raise ValueError("target_change_pct must be non-zero")
+
+
+@dataclass(frozen=True)
+class SecuritySpec:
+    """Blueprint of one synthetic security."""
+
+    name: str
+    first_day: dt.date
+    n_days: int
+    base_daily_move: float  # log-return magnitude on non-regime days
+    regimes: tuple[Regime, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.n_days < 2:
+            raise ValueError(f"n_days must be >= 2, got {self.n_days!r}")
+        if not 0.0 < self.base_daily_move < 0.2:
+            raise ValueError(
+                f"base_daily_move should be a small log return, got "
+                f"{self.base_daily_move!r}"
+            )
+
+
+def trading_calendar(first_day: dt.date, n_days: int) -> list[dt.date]:
+    """``n_days`` consecutive weekdays starting at/after ``first_day``.
+
+    A holiday-free Monday-Friday calendar -- adequate for the
+    reproduction, where only day ordering matters.
+
+    >>> days = trading_calendar(dt.date(2000, 1, 1), 5)
+    >>> [d.weekday() < 5 for d in days]
+    [True, True, True, True, True]
+    """
+    days: list[dt.date] = []
+    day = first_day
+    while len(days) < n_days:
+        if day.weekday() < 5:
+            days.append(day)
+        day += dt.timedelta(days=1)
+    return days
+
+
+class SyntheticSecurity:
+    """A generated security: dates, prices, and the paper's binary encoding.
+
+    >>> spec = dow_jones_spec()
+    >>> security = SyntheticSecurity(spec, seed=1)
+    >>> len(security.prices) == spec.n_days
+    True
+    >>> set(security.binary_string()) <= {"U", "D"}
+    True
+    """
+
+    def __init__(
+        self, spec: SecuritySpec, seed: int | np.random.Generator | None = 0
+    ) -> None:
+        rng = resolve_rng(seed)
+        self._spec = spec
+        self._dates = trading_calendar(spec.first_day, spec.n_days)
+        n_moves = spec.n_days - 1  # move i is into calendar day i + 1
+
+        ups = np.zeros(n_moves, dtype=bool)
+        moves = np.full(n_moves, spec.base_daily_move)
+        planted: list[tuple[int, int, Regime]] = []
+        taken = np.zeros(n_moves, dtype=bool)
+        for regime in spec.regimes:
+            # Moves whose *arrival* day lies in the regime window.
+            lo = self._first_move_on_or_after(regime.start)
+            hi = self._first_move_on_or_after(regime.end + dt.timedelta(days=1))
+            length = hi - lo
+            if length <= 0:
+                raise ValueError(
+                    f"regime {regime.label or regime.start} falls outside "
+                    f"the calendar of {spec.name}"
+                )
+            if taken[lo:hi].any():
+                raise ValueError(
+                    f"regime {regime.label or regime.start} overlaps another "
+                    f"regime of {spec.name}"
+                )
+            taken[lo:hi] = True
+            # Invert X² = (Y - L/2)² / (L/4) at p = 1/2 for the up count.
+            surplus = math.sqrt(regime.target_x2 * length * 0.25)
+            if surplus >= length / 2.0:
+                raise ValueError(
+                    f"regime {regime.label or regime.start}: target_x2 "
+                    f"{regime.target_x2} is unreachable over {length} days"
+                )
+            sign = 1.0 if regime.target_change_pct > 0 else -1.0
+            up_count = int(round(length / 2.0 + sign * surplus))
+            window = np.zeros(length, dtype=bool)
+            window[spread_positions(length, up_count, float(rng.random()))] = True
+            ups[lo:hi] = window
+            # Per-day log move that turns the planted surplus into the
+            # target change: change = exp(2 * surplus_days * move) - 1.
+            surplus_days = up_count - (length - up_count)
+            log_change = math.log1p(regime.target_change_pct / 100.0)
+            if surplus_days == 0:
+                raise ValueError(
+                    f"regime {regime.label or regime.start}: zero surplus "
+                    f"cannot produce a price change"
+                )
+            moves[lo:hi] = abs(log_change / surplus_days)
+            planted.append((lo, hi, regime))
+
+        # Background: stratified fair-coin fill (exact share per block,
+        # random within) so synthetic drift cannot out-signal the plants.
+        background_positions = np.nonzero(~taken)[0]
+        background = stratified_fill(
+            len(background_positions), len(background_positions) // 2, rng
+        )
+        ups[background_positions[background]] = True
+
+        log_returns = np.where(ups, moves, -moves)
+        prices = np.empty(spec.n_days)
+        prices[0] = 100.0
+        prices[1:] = 100.0 * np.exp(np.cumsum(log_returns))
+        self._prices = prices
+        self._ups = ups
+        self._planted = sorted(planted, key=lambda item: item[0])
+
+    def _first_move_on_or_after(self, date: dt.date) -> int:
+        """Index of the first move arriving on/after ``date`` (clamped)."""
+        # Move i arrives on calendar day i + 1.
+        for i, day in enumerate(self._dates[1:]):
+            if day >= date:
+                return i
+        return len(self._dates) - 1
+
+    @property
+    def spec(self) -> SecuritySpec:
+        """The generating blueprint."""
+        return self._spec
+
+    @property
+    def dates(self) -> list[dt.date]:
+        """The trading calendar."""
+        return self._dates
+
+    @property
+    def prices(self) -> np.ndarray:
+        """Synthetic daily closes."""
+        return self._prices
+
+    @property
+    def planted_windows(self) -> list[tuple[int, int, Regime]]:
+        """Ground truth: ``(start, end)`` binary-string ranges per regime."""
+        return self._planted
+
+    def binary_string(self) -> str:
+        """'U' for an up day, 'D' for a down day (one symbol per move)."""
+        return "".join("U" if up else "D" for up in self._ups)
+
+    def model(self) -> BernoulliModel:
+        """Null model from the overall up ratio (as the paper estimates it)."""
+        return BernoulliModel.from_string(self.binary_string(), alphabet="UD")
+
+    def date_range(self, start: int, end: int) -> tuple[dt.date, dt.date]:
+        """Calendar dates spanned by binary-string positions ``[start, end)``.
+
+        Position ``i`` describes the move into calendar day ``i + 1``, so
+        the period runs from the close the first move departs from to the
+        day the last move arrives at.
+        """
+        if not 0 <= start < end <= len(self._ups):
+            raise IndexError(f"invalid range [{start}, {end})")
+        return self._dates[start], self._dates[end]
+
+    def percent_change(self, start: int, end: int) -> float:
+        """Price change over binary positions ``[start, end)``, in percent."""
+        if not 0 <= start < end <= len(self._ups):
+            raise IndexError(f"invalid range [{start}, {end})")
+        return 100.0 * (self._prices[end] / self._prices[start] - 1.0)
+
+    def period_summary(self, start: int, end: int) -> dict:
+        """Paper-style row for Table 5: dates and percent change."""
+        first, last = self.date_range(start, end)
+        return {
+            "security": self._spec.name,
+            "start": first.isoformat(),
+            "end": last.isoformat(),
+            "change_pct": self.percent_change(start, end),
+        }
+
+
+def _regime(start: str, end: str, x2: float, change: float, label: str) -> Regime:
+    return Regime(
+        start=dt.date.fromisoformat(start),
+        end=dt.date.fromisoformat(end),
+        target_x2=x2,
+        target_change_pct=change,
+        label=label,
+    )
+
+
+def dow_jones_spec() -> SecuritySpec:
+    """Dow Jones-like series: 20906 days from 1928-10-01 (§7.5.2).
+
+    The 1954-55 window targets X² = 25.22 -- the Dow optimum of Table 6;
+    the other three windows are Table 5's Dow rows with lower targets.
+    """
+    return SecuritySpec(
+        name="Dow Jones",
+        first_day=dt.date(1928, 10, 1),
+        n_days=20906,
+        base_daily_move=0.008,
+        regimes=(
+            _regime("1954-02-24", "1955-12-06", 25.22, 68.10, "post-war boom"),
+            _regime("1958-06-25", "1959-08-04", 17.0, 43.52, "1958 recovery"),
+            _regime("1931-02-27", "1932-05-04", 20.0, -71.17, "Depression slide"),
+            _regime("1929-09-19", "1929-11-14", 15.0, -41.27, "1929 crash"),
+        ),
+    )
+
+
+def sp500_spec() -> SecuritySpec:
+    """S&P 500-like series: 15600 days from 1950-01-03 (§7.5.2).
+
+    The 1973-74 bear targets X² = 22.21 -- the S&P optimum of Table 6.
+    """
+    return SecuritySpec(
+        name="S&P 500",
+        first_day=dt.date(1950, 1, 3),
+        n_days=15600,
+        base_daily_move=0.008,
+        regimes=(
+            _regime("1953-09-15", "1955-09-20", 18.0, 97.07, "1950s bull"),
+            _regime("1994-12-09", "1995-05-17", 14.0, 17.92, "1995 rally"),
+            _regime("1973-10-26", "1974-11-21", 22.21, -39.79, "1973-74 bear"),
+            _regime("2000-09-05", "2003-03-12", 16.0, -46.24, "dot-com bear"),
+        ),
+    )
+
+
+def ibm_spec() -> SecuritySpec:
+    """IBM-like series: 12517 days from 1962-01-02 (§7.5.2)."""
+    return SecuritySpec(
+        name="IBM",
+        first_day=dt.date(1962, 1, 2),
+        n_days=12517,
+        base_daily_move=0.010,
+        regimes=(
+            _regime("1970-08-13", "1970-10-06", 12.0, 37.60, "1970 rebound"),
+            _regime("1962-10-26", "1968-01-26", 14.0, 252.0, "1960s bull"),
+            _regime("2005-03-31", "2005-04-20", 10.0, -21.20, "2005 slide"),
+            _regime("1973-02-22", "1975-08-13", 20.0, -46.91, "1973-75 slide"),
+        ),
+    )
+
+
+def prices_to_binary(prices: Sequence[float]) -> str:
+    """Encode a close series as the paper's 'U'/'D' string.
+
+    >>> prices_to_binary([100.0, 101.0, 100.5, 102.0])
+    'UDU'
+    """
+    if len(prices) < 2:
+        raise ValueError("need at least two prices to encode moves")
+    out = []
+    for previous, current in zip(prices, list(prices)[1:]):
+        if not (math.isfinite(previous) and math.isfinite(current)):
+            raise ValueError("prices must be finite")
+        if previous <= 0:
+            raise ValueError(f"prices must be positive, got {previous!r}")
+        out.append("U" if current > previous else "D")
+    return "".join(out)
+
+
+def load_prices_csv(
+    path: str | Path, date_column: str = "Date", close_column: str = "Close"
+) -> tuple[list[dt.date], np.ndarray]:
+    """Load real daily closes (yahoo-style CSV) for the same pipeline.
+
+    Returns ``(dates, closes)`` sorted by date.
+    """
+    rows: list[tuple[dt.date, float]] = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            rows.append(
+                (dt.date.fromisoformat(row[date_column]), float(row[close_column]))
+            )
+    rows.sort(key=lambda pair: pair[0])
+    dates = [d for d, _ in rows]
+    closes = np.asarray([c for _, c in rows], dtype=np.float64)
+    return dates, closes

@@ -1,0 +1,65 @@
+"""Extensions: the paper's §8 future-work directions, implemented.
+
+* :mod:`repro.extensions.grid2d` -- "the single dimensional problem ...
+  can be extended to two-dimensional grid networks": most significant
+  sub-rectangle mining, trivial and chain-cover-pruned (the paper's
+  Theorem 1 applies verbatim to column-strip extensions).
+* :mod:`repro.extensions.graph` -- "... as well as general graphs":
+  greedy significant-connected-subgraph search on labelled graphs.
+* :mod:`repro.extensions.markov_null` -- "the analysis can be further
+  extended to strings generated from Markov models": a transition-count
+  chi-square against a first-order Markov null.
+* :mod:`repro.extensions.windows` -- the fixed-window scan of the
+  related work ([3, 15] flavour), for comparison with the unconstrained
+  substring problem.
+* :mod:`repro.extensions.streaming` -- online MSS over unbounded
+  streams (chunk-with-overlap, exact up to the overlap length), for the
+  monitoring/intrusion/telecom applications of §1.
+* :mod:`repro.extensions.correlation` -- windows of significant
+  dependence between two aligned sequences (the paper's "two
+  securities" future-work idea), by exact reduction to the core miner
+  over pair symbols.
+"""
+
+from repro.extensions.graph import GraphScanResult, find_significant_subgraph
+from repro.extensions.grid2d import (
+    GridResult,
+    chi_square_rectangle,
+    find_ms_rectangle,
+    find_ms_rectangle_trivial,
+)
+from repro.extensions.markov_null import (
+    MarkovNullModel,
+    find_mss_markov,
+    transition_chi_square,
+)
+from repro.extensions.correlation import (
+    AssociationBreakdown,
+    find_most_dependent_window,
+    pair_encode,
+    pair_model,
+    window_association,
+)
+from repro.extensions.streaming import StreamingMSS
+from repro.extensions.windows import WindowScore, scan_windows, top_windows
+
+__all__ = [
+    "StreamingMSS",
+    "pair_model",
+    "pair_encode",
+    "find_most_dependent_window",
+    "window_association",
+    "AssociationBreakdown",
+    "GridResult",
+    "chi_square_rectangle",
+    "find_ms_rectangle",
+    "find_ms_rectangle_trivial",
+    "MarkovNullModel",
+    "transition_chi_square",
+    "find_mss_markov",
+    "WindowScore",
+    "scan_windows",
+    "top_windows",
+    "GraphScanResult",
+    "find_significant_subgraph",
+]

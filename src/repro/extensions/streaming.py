@@ -1,0 +1,142 @@
+"""Streaming MSS: mining an unbounded symbol stream online.
+
+The paper's motivating applications include automated monitoring,
+intrusion detection and telecom traffic -- settings where the string
+never ends and the miner must run *online*.  This module provides the
+standard chunk-with-overlap scheme on top of the batch scanner:
+
+* symbols are buffered; every time the buffer reaches
+  ``chunk + overlap`` symbols the buffer is mined with the O(k m^1.5)
+  batch scanner, the incumbent best is updated, and the oldest
+  ``chunk`` symbols are dropped (the trailing ``overlap`` symbols stay
+  to catch substrings spanning the cut);
+* any substring of length **<= overlap** is fully contained in at least
+  one mined buffer, so the reported best is *exact over all substrings
+  up to that length* -- the guarantee, its proof being one sentence:
+  a substring of length L <= overlap that crosses a cut lies entirely
+  within the retained overlap plus the next chunk.
+
+Longer substrings may be found (chunks often contain them) but are not
+guaranteed.  Choose ``overlap`` as the longest anomaly you need
+certainty about -- the same role the window plays in the related-work
+episode scanners, but without binding the *detected* length.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro._validation import ensure_positive_int
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.core.results import SignificantSubstring
+
+__all__ = ["StreamingMSS"]
+
+
+class StreamingMSS:
+    """Online most-significant-substring tracker.
+
+    Parameters
+    ----------
+    model:
+        The null model for the stream.
+    chunk:
+        Symbols dropped per flush; larger chunks amortise scan cost.
+    overlap:
+        Symbols retained across flushes.  Substrings up to this length
+        are tracked exactly.
+
+    Examples
+    --------
+    >>> model = BernoulliModel.uniform("ab")
+    >>> miner = StreamingMSS(model, chunk=500, overlap=200)
+    >>> miner.feed("ab" * 400)           # unremarkable traffic
+    >>> miner.feed("a" * 60)             # a burst
+    >>> miner.feed("ba" * 400)
+    >>> best = miner.finish()
+    >>> 795 <= best.start and best.end <= 865   # the burst, global offsets
+    True
+    """
+
+    def __init__(self, model: BernoulliModel, chunk: int = 4096, overlap: int = 512) -> None:
+        ensure_positive_int(chunk, "chunk")
+        ensure_positive_int(overlap, "overlap")
+        if overlap >= chunk:
+            raise ValueError(
+                f"overlap ({overlap}) must be smaller than chunk ({chunk})"
+            )
+        self._model = model
+        self._chunk = chunk
+        self._overlap = overlap
+        self._buffer: list[Hashable] = []
+        self._buffer_offset = 0  # global index of buffer[0]
+        self._symbols_seen = 0
+        self._flushes = 0
+        self._best: SignificantSubstring | None = None
+
+    @property
+    def symbols_seen(self) -> int:
+        """Total symbols consumed so far."""
+        return self._symbols_seen
+
+    @property
+    def flushes(self) -> int:
+        """Number of batch scans performed so far."""
+        return self._flushes
+
+    @property
+    def exact_length_limit(self) -> int:
+        """Substring lengths tracked exactly (the overlap)."""
+        return self._overlap
+
+    @property
+    def current_best(self) -> SignificantSubstring | None:
+        """Best substring confirmed so far (None before any symbol).
+
+        Note: symbols still in the buffer are only reflected after the
+        next flush or :meth:`finish`.
+        """
+        return self._best
+
+    def feed(self, symbols: Iterable[Hashable]) -> None:
+        """Consume symbols, flushing complete chunks as they fill."""
+        for symbol in symbols:
+            self._model.code_of(symbol)  # validate early, with context
+            self._buffer.append(symbol)
+            self._symbols_seen += 1
+            if len(self._buffer) >= self._chunk + self._overlap:
+                self._flush()
+
+    def _flush(self) -> None:
+        self._scan_buffer()
+        drop = len(self._buffer) - self._overlap
+        self._buffer = self._buffer[drop:]
+        self._buffer_offset += drop
+
+    def _scan_buffer(self) -> None:
+        if not self._buffer:
+            return
+        result = find_mss(self._buffer, self._model)
+        self._flushes += 1
+        candidate = result.best
+        if self._best is None or candidate.chi_square > self._best.chi_square:
+            self._best = SignificantSubstring(
+                start=candidate.start + self._buffer_offset,
+                end=candidate.end + self._buffer_offset,
+                chi_square=candidate.chi_square,
+                counts=candidate.counts,
+                alphabet_size=candidate.alphabet_size,
+            )
+
+    def finish(self) -> SignificantSubstring:
+        """Scan the residual buffer and return the overall best.
+
+        The miner remains usable afterwards (more symbols may be fed);
+        ``finish`` may be called repeatedly.
+        """
+        if self._symbols_seen == 0:
+            raise ValueError("no symbols were fed")
+        self._scan_buffer()
+        assert self._best is not None
+        return self._best

@@ -1,0 +1,37 @@
+"""Workload generators for the paper's experiments.
+
+All generators take a ``seed`` (or a ``numpy.random.Generator``) and
+return encoded integer arrays; pair them with the matching
+:class:`~repro.core.model.BernoulliModel` to decode or to mine.
+
+* :mod:`repro.generators.null` -- the memoryless Bernoulli null model
+  (§7.1), uniform or arbitrary multinomial.
+* :mod:`repro.generators.markov` -- first-order Markov strings with the
+  paper's ``1 / 2^{(i - j) mod k}`` transition kernel (§7.1.2c).
+* :mod:`repro.generators.correlated` -- the sticky binary generator of
+  the cryptology study (§7.4): repeat the previous symbol with
+  probability ``p``.
+* :mod:`repro.generators.planted` -- null strings with planted anomalous
+  segments (ground truth for detection tests and examples).
+
+The geometric and harmonic/Zipf strings of §7.1.2(a, b) are null strings
+drawn from the corresponding skewed models --
+:meth:`BernoulliModel.geometric` and :meth:`BernoulliModel.harmonic`.
+"""
+
+from repro.generators.base import resolve_rng
+from repro.generators.correlated import generate_correlated_binary
+from repro.generators.markov import MarkovChain, paper_markov_chain
+from repro.generators.null import generate_null, generate_null_string
+from repro.generators.planted import PlantedSegment, generate_with_planted
+
+__all__ = [
+    "resolve_rng",
+    "generate_null",
+    "generate_null_string",
+    "MarkovChain",
+    "paper_markov_chain",
+    "generate_correlated_binary",
+    "PlantedSegment",
+    "generate_with_planted",
+]

@@ -1,0 +1,22 @@
+"""Random-source plumbing shared by every generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["resolve_rng"]
+
+
+def resolve_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged, so callers can
+    thread one source through a pipeline), an integer seed, or ``None``
+    for OS entropy.
+
+    >>> int(resolve_rng(7).integers(0, 10)) == int(resolve_rng(7).integers(0, 10))
+    True
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,48 @@
+"""Null-model string generation: i.i.d. draws from a multinomial.
+
+This is the paper's null hypothesis source (§1) and its default workload
+(§7.1).  The geometric and harmonic strings of §7.1.2 are null strings of
+a *skewed* model -- build those models with
+:meth:`~repro.core.model.BernoulliModel.geometric` /
+:meth:`~repro.core.model.BernoulliModel.harmonic` and draw from them here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import ensure_positive_int
+from repro.core.model import BernoulliModel
+from repro.generators.base import resolve_rng
+
+__all__ = ["generate_null", "generate_null_string"]
+
+
+def generate_null(
+    model: BernoulliModel, n: int, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Draw an encoded length-``n`` string from ``model``, i.i.d. per position.
+
+    >>> model = BernoulliModel.uniform("ab")
+    >>> codes = generate_null(model, 1000, seed=0)
+    >>> len(codes), set(np.unique(codes)) <= {0, 1}
+    (1000, True)
+    """
+    ensure_positive_int(n, "n")
+    rng = resolve_rng(seed)
+    return rng.choice(model.k, size=n, p=np.asarray(model.probabilities))
+
+
+def generate_null_string(
+    model: BernoulliModel, n: int, seed: int | np.random.Generator | None = None
+) -> str:
+    """Like :func:`generate_null` but decoded to a plain string.
+
+    Requires a single-character alphabet.
+
+    >>> model = BernoulliModel.uniform("ab")
+    >>> text = generate_null_string(model, 12, seed=1)
+    >>> len(text) == 12 and set(text) <= {"a", "b"}
+    True
+    """
+    return model.decode_to_string(generate_null(model, n, seed))

@@ -1,0 +1,66 @@
+"""Statistical substrate for the chi-square substring miner.
+
+This subpackage implements, from scratch, every piece of statistical
+machinery the paper relies on:
+
+* :mod:`repro.stats.special` -- log-gamma, regularised incomplete gamma
+  and error functions (the building blocks of the chi-square CDF).
+* :mod:`repro.stats.chi2dist` -- the chi-square distribution
+  (pdf/cdf/sf/ppf), p-values and critical values.
+* :mod:`repro.stats.likelihood` -- the likelihood-ratio statistic
+  ``-2 ln LR`` (eq. 3 of the paper), the main alternative to Pearson's X².
+* :mod:`repro.stats.exact` -- exact multinomial p-values by enumeration
+  (eq. 1-2 of the paper), feasible for short substrings.
+* :mod:`repro.stats.bounds` -- Hoeffding/Chernoff concentration bounds and
+  the probabilistic helpers used by the paper's analysis (Lemmas 3-8).
+
+Nothing here imports scipy; the test-suite cross-checks these
+implementations against scipy where it is available.
+"""
+
+from repro.stats.chi2dist import (
+    Chi2Distribution,
+    chi2_cdf,
+    chi2_critical_value,
+    chi2_pdf,
+    chi2_ppf,
+    chi2_sf,
+    p_value,
+)
+from repro.stats.exact import exact_multinomial_p_value, multinomial_pmf
+from repro.stats.likelihood import (
+    likelihood_ratio_from_counts,
+    likelihood_ratio_statistic,
+)
+from repro.stats.power import (
+    chi_square_divergence,
+    detection_power,
+    minimum_detectable_length,
+    noncentral_chi2_cdf,
+    noncentral_chi2_sf,
+)
+from repro.stats.special import erf, erfc, lgamma, regularized_gamma_p, regularized_gamma_q
+
+__all__ = [
+    "Chi2Distribution",
+    "chi2_cdf",
+    "chi2_critical_value",
+    "chi2_pdf",
+    "chi2_ppf",
+    "chi2_sf",
+    "p_value",
+    "exact_multinomial_p_value",
+    "multinomial_pmf",
+    "likelihood_ratio_from_counts",
+    "likelihood_ratio_statistic",
+    "chi_square_divergence",
+    "detection_power",
+    "minimum_detectable_length",
+    "noncentral_chi2_cdf",
+    "noncentral_chi2_sf",
+    "erf",
+    "erfc",
+    "lgamma",
+    "regularized_gamma_p",
+    "regularized_gamma_q",
+]

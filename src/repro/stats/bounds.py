@@ -1,0 +1,150 @@
+"""Concentration bounds and analysis helpers used by the paper's proofs.
+
+Section 5 of the paper establishes the O(n^{3/2}) running time through a
+chain of probabilistic lemmas.  This module implements each quantitative
+bound so that the test-suite (and the analysis benchmarks) can check the
+theory empirically:
+
+* :func:`hoeffding_upper_bound` -- Hoeffding's inequality for sums of
+  bounded i.i.d. variables (used in Lemma 5, eq. 29-30).
+* :func:`chernoff_binomial_lower_tail` -- the Chernoff bound used by
+  Lemma 8 (eq. 44).
+* :func:`lemma3_probability` -- the ``1 - e^{-sqrt(m/c)}`` lower bound on
+  ``Pr[Z_max > ln(c m)]`` for the max of ``m`` chi-square variables.
+* :func:`lemma5_expected_skip` -- the ``(1/2) sqrt(l p_t ln l)`` skip
+  lower bound of eq. 35.
+* :func:`lemma7_recurrence_bound` -- the closed-form bound
+  ``T(l) <= 4 sqrt(l)/c + c^2`` of the appendix, plus
+  :func:`solve_skip_recurrence` which iterates the recurrence exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "hoeffding_upper_bound",
+    "chernoff_binomial_lower_tail",
+    "lemma3_probability",
+    "lemma5_expected_skip",
+    "lemma7_recurrence_bound",
+    "solve_skip_recurrence",
+]
+
+
+def hoeffding_upper_bound(deviation: float, n: int, range_width: float = 1.0) -> float:
+    """Hoeffding bound ``Pr[S_n - E S_n >= t] <= exp(-2 t^2 / (n w^2))``.
+
+    ``deviation`` is ``t``, ``n`` the number of bounded summands and
+    ``range_width`` the width ``b_i - a_i`` of each summand's support
+    (1 for Bernoulli indicators, as in eq. 29 of the paper).
+
+    >>> hoeffding_upper_bound(0.0, 10)
+    1.0
+    >>> hoeffding_upper_bound(10.0, 10) < 1e-8
+    True
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n!r}")
+    if range_width <= 0.0:
+        raise ValueError(f"range_width must be positive, got {range_width!r}")
+    if deviation <= 0.0:
+        return 1.0
+    exponent = -2.0 * deviation * deviation / (n * range_width * range_width)
+    return math.exp(exponent)
+
+
+def chernoff_binomial_lower_tail(n: int, p: float, t: float) -> float:
+    """Chernoff-style bound ``Pr[Y < t] <= exp(-(np - t)^2 / (2 n p))``.
+
+    ``Y ~ Binomial(n, p)`` and ``t < np``.  This is the form invoked in
+    Lemma 8 (eq. 44) to show that at least ``t`` of the independent
+    substring statistics exceed ``ln m``.
+
+    >>> chernoff_binomial_lower_tail(10000, 0.5, 4000) < 1e-40
+    True
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n!r}")
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p!r}")
+    mean = n * p
+    if t >= mean:
+        return 1.0
+    gap = mean - t
+    return math.exp(-gap * gap / (2.0 * mean))
+
+
+def lemma3_probability(m: int, c: float = 1.0) -> float:
+    """Lower bound on ``Pr[Z_max > ln(c m)]`` from Lemma 3 (eq. 27).
+
+    ``Z_max`` is the maximum of ``m`` i.i.d. chi-square variables; the
+    lemma shows the probability is at least ``1 - e^{-sqrt(m / c)}``,
+    which approaches 1 polynomially fast.
+
+    >>> lemma3_probability(10000) > 0.99
+    True
+    """
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m!r}")
+    if c <= 0.0:
+        raise ValueError(f"c must be positive, got {c!r}")
+    return 1.0 - math.exp(-math.sqrt(m / c))
+
+
+def lemma5_expected_skip(length: int, p_t: float) -> float:
+    """The high-probability skip lower bound ``(1/2) sqrt(l p_t ln l)``.
+
+    Eq. 35 of the paper: once ``X²_max > ln l``, each iteration of the
+    inner loop skips at least this many end positions, which is
+    ``omega(sqrt(l))``.
+
+    >>> lemma5_expected_skip(10000, 0.5) > 100
+    True
+    """
+    if length < 2:
+        return 0.0
+    if not 0.0 < p_t < 1.0:
+        raise ValueError(f"p_t must be in (0, 1), got {p_t!r}")
+    return 0.5 * math.sqrt(length * p_t * math.log(length))
+
+
+def lemma7_recurrence_bound(length: int, c: float) -> float:
+    """Closed-form bound ``T(l) <= 4 sqrt(l) / c + c^2`` (Lemma 7).
+
+    ``T`` counts the iterations of the inner loop when each iteration
+    advances the end position by at least ``c * sqrt(l)``.
+
+    >>> lemma7_recurrence_bound(10000, 2.0) <= 4 * 100 / 2 + 4 + 1e-9
+    True
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length!r}")
+    if c <= 0.0:
+        raise ValueError(f"c must be positive, got {c!r}")
+    return 4.0 * math.sqrt(length) / c + c * c
+
+
+def solve_skip_recurrence(length: int, c: float) -> int:
+    """Iterate ``l -> l + ceil(c sqrt(l))`` from 1 and count the steps.
+
+    The exact iteration count whose closed-form upper bound is
+    :func:`lemma7_recurrence_bound`; the test-suite checks
+    ``solve_skip_recurrence(l, c) <= lemma7_recurrence_bound(l, c)`` and
+    that the count grows as ``Theta(sqrt(l))``.
+
+    >>> solve_skip_recurrence(0, 1.0)
+    0
+    >>> solve_skip_recurrence(100, 1.0) <= lemma7_recurrence_bound(100, 1.0)
+    True
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length!r}")
+    if c <= 0.0:
+        raise ValueError(f"c must be positive, got {c!r}")
+    position = 1
+    steps = 0
+    while position <= length:
+        position += max(1, math.ceil(c * math.sqrt(position)))
+        steps += 1
+    return steps

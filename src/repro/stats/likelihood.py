@@ -1,0 +1,61 @@
+"""The likelihood-ratio statistic ``-2 ln LR`` (eq. 3 of the paper).
+
+Section 1 of the paper contrasts two large-sample approximations of the
+exact multinomial p-value: Pearson's X² (which the paper adopts) and the
+likelihood-ratio statistic (also called the G-statistic).  Both converge
+to the chi-square distribution with ``k - 1`` degrees of freedom, but X²
+converges from below while ``-2 ln LR`` converges from above, which is why
+the paper prefers X² (fewer type-I errors).  We implement the LR statistic
+so that this comparison is reproducible and so downstream users can score
+with either statistic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["likelihood_ratio_from_counts", "likelihood_ratio_statistic"]
+
+
+def likelihood_ratio_from_counts(
+    counts: Sequence[int], probabilities: Sequence[float]
+) -> float:
+    """G-statistic ``-2 ln LR = 2 * sum_i O_i * ln(O_i / E_i)``.
+
+    ``counts`` are the observed character frequencies of a substring and
+    ``probabilities`` the null-model multinomial.  Terms with ``O_i = 0``
+    contribute 0 (the ``x ln x -> 0`` limit).  Equivalent to eq. 3 of the
+    paper with the maximum-likelihood alternative ``pi_i = O_i / L``.
+
+    >>> likelihood_ratio_from_counts([5, 5], [0.5, 0.5])
+    0.0
+    >>> round(likelihood_ratio_from_counts([10, 0], [0.5, 0.5]), 6)
+    13.862944
+    """
+    if len(counts) != len(probabilities):
+        raise ValueError(
+            f"counts has {len(counts)} entries but probabilities has "
+            f"{len(probabilities)}"
+        )
+    length = sum(counts)
+    if length <= 0:
+        raise ValueError("counts must sum to a positive substring length")
+    total = 0.0
+    for observed, p in zip(counts, probabilities):
+        if observed < 0:
+            raise ValueError(f"negative count {observed!r}")
+        if p <= 0.0:
+            raise ValueError(f"probabilities must be positive, got {p!r}")
+        if observed > 0:
+            total += observed * math.log(observed / (length * p))
+    return 2.0 * total
+
+
+def likelihood_ratio_statistic(text: str, model) -> float:
+    """G-statistic of a whole string under a :class:`~repro.core.model.BernoulliModel`.
+
+    Convenience wrapper mirroring :func:`repro.core.chisquare.chi_square`.
+    """
+    counts = model.count_vector(text)
+    return likelihood_ratio_from_counts(counts, model.probabilities)

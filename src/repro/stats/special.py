@@ -1,0 +1,190 @@
+"""Special functions implemented from scratch.
+
+The chi-square distribution's CDF is a regularised incomplete gamma
+function, so the whole p-value machinery of the paper reduces to the three
+classical special functions implemented here:
+
+* :func:`lgamma` -- natural log of the gamma function (Lanczos
+  approximation, ~15 significant digits for real positive arguments).
+* :func:`regularized_gamma_p` / :func:`regularized_gamma_q` -- the
+  regularised lower/upper incomplete gamma functions ``P(a, x)`` and
+  ``Q(a, x) = 1 - P(a, x)``, computed by the standard series /
+  continued-fraction split at ``x = a + 1`` (Numerical Recipes §6.2).
+* :func:`erf` / :func:`erfc` -- error functions, expressed through
+  ``P(1/2, x^2)``.
+
+These are deliberately dependency-free; tests cross-check them against
+scipy to ~1e-12 relative accuracy over the ranges the library uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "lgamma",
+    "gamma",
+    "regularized_gamma_p",
+    "regularized_gamma_q",
+    "erf",
+    "erfc",
+]
+
+# Lanczos coefficients for g=7, n=9 (Boost/GSL standard set).
+_LANCZOS_G = 7.0
+_LANCZOS_COEFFS = (
+    0.99999999999980993,
+    676.5203681218851,
+    -1259.1392167224028,
+    771.32342877765313,
+    -176.61502916214059,
+    12.507343278686905,
+    -0.13857109526572012,
+    9.9843695780195716e-6,
+    1.5056327351493116e-7,
+)
+
+_LN_SQRT_2PI = 0.9189385332046727  # ln(sqrt(2*pi))
+
+# Iteration limits for the incomplete-gamma series / continued fraction.
+_MAX_ITERATIONS = 1000
+_EPS = 3.0e-15
+_FPMIN = 1.0e-300
+
+
+def lgamma(x: float) -> float:
+    """Return ``ln |Gamma(x)|`` for real ``x > 0``.
+
+    Uses the Lanczos approximation.  Matches :func:`math.lgamma` to about
+    1e-13 relative accuracy; it exists so the library's statistical core
+    is self-contained and auditable.
+
+    >>> abs(lgamma(1.0)) < 1e-13
+    True
+    >>> round(lgamma(5.0), 10)  # ln(4!) = ln 24
+    3.1780538303
+    """
+    if x <= 0.0:
+        raise ValueError(f"lgamma requires x > 0, got {x!r}")
+    if x < 0.5:
+        # Reflection formula: Gamma(x) Gamma(1-x) = pi / sin(pi x).
+        return math.log(math.pi / math.sin(math.pi * x)) - lgamma(1.0 - x)
+    x -= 1.0
+    acc = _LANCZOS_COEFFS[0]
+    for i in range(1, len(_LANCZOS_COEFFS)):
+        acc += _LANCZOS_COEFFS[i] / (x + i)
+    t = x + _LANCZOS_G + 0.5
+    return _LN_SQRT_2PI + (x + 0.5) * math.log(t) - t + math.log(acc)
+
+
+def gamma(x: float) -> float:
+    """Return ``Gamma(x)`` for real ``x > 0`` (exponential of :func:`lgamma`).
+
+    >>> round(gamma(6.0), 8)  # 5! = 120
+    120.0
+    """
+    return math.exp(lgamma(x))
+
+
+def _gamma_p_series(a: float, x: float) -> float:
+    """Lower incomplete gamma by series expansion; valid for ``x < a + 1``."""
+    term = 1.0 / a
+    total = term
+    denominator = a
+    for _ in range(_MAX_ITERATIONS):
+        denominator += 1.0
+        term *= x / denominator
+        total += term
+        if abs(term) < abs(total) * _EPS:
+            break
+    return total * math.exp(-x + a * math.log(x) - lgamma(a))
+
+
+def _gamma_q_continued_fraction(a: float, x: float) -> float:
+    """Upper incomplete gamma by Lentz continued fraction; for ``x >= a + 1``."""
+    b = x + 1.0 - a
+    c = 1.0 / _FPMIN
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITERATIONS + 1):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = b + an / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            break
+    return h * math.exp(-x + a * math.log(x) - lgamma(a))
+
+
+def regularized_gamma_p(a: float, x: float) -> float:
+    """Regularised lower incomplete gamma ``P(a, x)``.
+
+    ``P(a, x) = gamma(a, x) / Gamma(a)`` rises from 0 at ``x = 0`` to 1 as
+    ``x -> inf``.  For the chi-square distribution with ``k`` degrees of
+    freedom, ``cdf(x) = P(k/2, x/2)``.
+
+    >>> round(regularized_gamma_p(1.0, 1.0), 10)  # 1 - e^-1
+    0.6321205588
+    """
+    if a <= 0.0:
+        raise ValueError(f"regularized_gamma_p requires a > 0, got {a!r}")
+    if x < 0.0:
+        raise ValueError(f"regularized_gamma_p requires x >= 0, got {x!r}")
+    if x == 0.0:
+        return 0.0
+    if x < a + 1.0:
+        return _gamma_p_series(a, x)
+    return 1.0 - _gamma_q_continued_fraction(a, x)
+
+
+def regularized_gamma_q(a: float, x: float) -> float:
+    """Regularised upper incomplete gamma ``Q(a, x) = 1 - P(a, x)``.
+
+    Computed directly by continued fraction in the right tail so that tiny
+    survival probabilities (p-values!) keep full relative precision instead
+    of cancelling against 1.
+
+    >>> regularized_gamma_q(0.5, 600.0) < 1e-250
+    True
+    """
+    if a <= 0.0:
+        raise ValueError(f"regularized_gamma_q requires a > 0, got {a!r}")
+    if x < 0.0:
+        raise ValueError(f"regularized_gamma_q requires x >= 0, got {x!r}")
+    if x == 0.0:
+        return 1.0
+    if x < a + 1.0:
+        return 1.0 - _gamma_p_series(a, x)
+    return _gamma_q_continued_fraction(a, x)
+
+
+def erf(x: float) -> float:
+    """Error function, via ``erf(x) = sign(x) * P(1/2, x^2)``.
+
+    >>> round(erf(1.0), 10)
+    0.8427007929
+    >>> erf(-2.0) == -erf(2.0)
+    True
+    """
+    if x == 0.0:
+        return 0.0
+    value = regularized_gamma_p(0.5, x * x)
+    return value if x > 0.0 else -value
+
+
+def erfc(x: float) -> float:
+    """Complementary error function ``1 - erf(x)``, tail-accurate for x > 0.
+
+    >>> erfc(10.0) < 1e-40
+    True
+    """
+    if x <= 0.0:
+        return 1.0 + regularized_gamma_p(0.5, x * x) if x < 0.0 else 1.0
+    return regularized_gamma_q(0.5, x * x)

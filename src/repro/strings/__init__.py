@@ -1,0 +1,32 @@
+"""Classic string data structures.
+
+Section 2 of the paper discusses -- and rejects -- suffix trees as a route
+to fast MSS mining: the X² of a substring needs only its character counts
+(O(1) from count arrays), and "due to the complex non-linear nature of
+the X² function ... no obvious properties of the suffix trees or its
+invariants can be utilized".  We build the structures anyway, for three
+reasons:
+
+* the ablation benchmark ``bench_ablation_suffixtree.py`` *measures* the
+  §2 argument instead of asserting it (enumerating distinct substrings
+  via the suffix structures does not beat scanning with count arrays);
+* the run-length view (:mod:`repro.strings.runs`) is the substrate of
+  the blocking baseline;
+* they are generally useful companions for anyone adopting the library
+  for string mining.
+
+Modules: :mod:`repro.strings.suffix_automaton` (linear-time SAM),
+:mod:`repro.strings.suffix_tree` (Ukkonen), :mod:`repro.strings.runs`.
+"""
+
+from repro.strings.runs import Run, run_length_encode, run_boundaries
+from repro.strings.suffix_automaton import SuffixAutomaton
+from repro.strings.suffix_tree import SuffixTree
+
+__all__ = [
+    "SuffixAutomaton",
+    "SuffixTree",
+    "Run",
+    "run_length_encode",
+    "run_boundaries",
+]

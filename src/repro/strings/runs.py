@@ -1,0 +1,82 @@
+"""Run-length structure: maximal blocks of identical characters.
+
+The blocking baseline (§2's "blocking technique") evaluates substrings
+aligned to run boundaries, and the ARLM/AGMM walk extrema are a typed
+subset of the same boundary set.  This module is the shared run-length
+substrate: encode, decode, and enumerate boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+__all__ = ["Run", "run_length_encode", "run_length_decode", "run_boundaries"]
+
+
+@dataclass(frozen=True)
+class Run:
+    """A maximal block: ``symbol`` repeated over ``[start, start + length)``."""
+
+    symbol: Hashable
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length <= 0:
+            raise ValueError(f"invalid run: {self!r}")
+
+    @property
+    def end(self) -> int:
+        """One past the last position of the run."""
+        return self.start + self.length
+
+
+def run_length_encode(text: Sequence[Hashable]) -> list[Run]:
+    """Maximal runs of a sequence, in order.
+
+    >>> [(r.symbol, r.length) for r in run_length_encode("aabbba")]
+    [('a', 2), ('b', 3), ('a', 1)]
+    """
+    runs: list[Run] = []
+    start = 0
+    for position in range(1, len(text) + 1):
+        if position == len(text) or text[position] != text[start]:
+            runs.append(Run(symbol=text[start], start=start, length=position - start))
+            start = position
+    return runs
+
+
+def run_length_decode(runs: Iterable[Run]) -> list[Hashable]:
+    """Inverse of :func:`run_length_encode`.
+
+    >>> "".join(run_length_decode(run_length_encode("aabbba")))
+    'aabbba'
+    """
+    out: list[Hashable] = []
+    expected = 0
+    for run in runs:
+        if run.start != expected:
+            raise ValueError(
+                f"runs are not contiguous: expected start {expected}, got "
+                f"{run.start}"
+            )
+        out.extend([run.symbol] * run.length)
+        expected = run.end
+    return out
+
+
+def run_boundaries(text: Sequence[Hashable]) -> list[int]:
+    """All run boundaries including 0 and ``len(text)``.
+
+    >>> run_boundaries("aabbba")
+    [0, 2, 5, 6]
+    """
+    if len(text) == 0:
+        return [0]
+    boundaries = [0]
+    for position in range(1, len(text)):
+        if text[position] != text[position - 1]:
+            boundaries.append(position)
+    boundaries.append(len(text))
+    return boundaries

@@ -1,0 +1,170 @@
+"""Tests for ARLM, AGMM, blocking and the heap strategy.
+
+The contracts, per the paper's characterisation (§2, §7.3):
+
+* heap strategy -- exact, any alphabet;
+* ARLM, blocking -- exact for binary strings (proved by the exchange
+  argument in ``repro.baselines.arlm``); on larger alphabets they are
+  strong heuristics and must never *exceed* the optimum;
+* AGMM -- O(n) heuristic, never exceeds the optimum, and demonstrably
+  misses it on adversarial inputs (the paper's Tables 4 and 6 behaviour).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import (
+    find_mss_agmm,
+    find_mss_arlm,
+    find_mss_blocked,
+    find_mss_heap,
+    find_mss_trivial,
+)
+from repro.core.model import BernoulliModel
+from tests.conftest import model_and_text
+
+
+class TestHeapStrategy:
+    @given(model_and_text(min_length=1, max_length=30))
+    @settings(max_examples=80)
+    def test_exact_any_alphabet(self, model_text):
+        model, text = model_text
+        ours = find_mss_heap(text, model)
+        oracle = find_mss_trivial(text, model)
+        assert ours.best.chi_square == pytest.approx(
+            oracle.best.chi_square, abs=1e-8
+        )
+
+    def test_prunes_on_dominant_anomaly(self, fair_model):
+        """One huge anomaly lets the bound cut off most start positions."""
+        text = "ab" * 100 + "a" * 120 + "ba" * 100
+        result = find_mss_heap(text, fair_model)
+        exhaustive = len(text) * (len(text) + 1) // 2
+        assert result.stats.substrings_evaluated < exhaustive
+
+    def test_empty_rejected(self, fair_model):
+        with pytest.raises(ValueError):
+            find_mss_heap("", fair_model)
+
+
+class TestARLM:
+    @given(model_and_text(min_k=2, max_k=2, min_length=1, max_length=45))
+    @settings(max_examples=120)
+    def test_exact_on_binary(self, model_text):
+        model, text = model_text
+        ours = find_mss_arlm(text, model)
+        oracle = find_mss_trivial(text, model)
+        assert ours.best.chi_square == pytest.approx(
+            oracle.best.chi_square, abs=1e-8
+        )
+
+    @given(model_and_text(min_k=3, max_k=4, min_length=1, max_length=30))
+    @settings(max_examples=80)
+    def test_never_exceeds_optimum(self, model_text):
+        model, text = model_text
+        ours = find_mss_arlm(text, model)
+        oracle = find_mss_trivial(text, model)
+        assert ours.best.chi_square <= oracle.best.chi_square + 1e-8
+
+    def test_fewer_pairs_than_trivial(self, fair_model):
+        from repro.generators import generate_null_string
+
+        text = generate_null_string(fair_model, 800, seed=6)
+        ours = find_mss_arlm(text, fair_model)
+        assert ours.stats.substrings_evaluated < 800 * 801 // 2
+
+    def test_empty_rejected(self, fair_model):
+        with pytest.raises(ValueError):
+            find_mss_arlm("", fair_model)
+
+
+class TestBlocked:
+    @given(model_and_text(min_k=2, max_k=2, min_length=1, max_length=45))
+    @settings(max_examples=120)
+    def test_exact_on_binary(self, model_text):
+        model, text = model_text
+        ours = find_mss_blocked(text, model)
+        oracle = find_mss_trivial(text, model)
+        assert ours.best.chi_square == pytest.approx(
+            oracle.best.chi_square, abs=1e-8
+        )
+
+    @given(model_and_text(min_k=3, max_k=4, min_length=1, max_length=30))
+    @settings(max_examples=80)
+    def test_never_exceeds_optimum(self, model_text):
+        model, text = model_text
+        ours = find_mss_blocked(text, model)
+        oracle = find_mss_trivial(text, model)
+        assert ours.best.chi_square <= oracle.best.chi_square + 1e-8
+
+    def test_interval_is_block_aligned(self, fair_model):
+        text = "aabbbaabbbaa"
+        best = find_mss_blocked(text, fair_model).best
+        # boundaries must fall where the character changes (or at ends)
+        for boundary in (best.start, best.end):
+            assert (
+                boundary in (0, len(text))
+                or text[boundary] != text[boundary - 1]
+            )
+
+
+class TestAGMM:
+    @given(model_and_text(min_length=1, max_length=40))
+    @settings(max_examples=100)
+    def test_never_exceeds_optimum(self, model_text):
+        model, text = model_text
+        ours = find_mss_agmm(text, model)
+        oracle = find_mss_trivial(text, model)
+        assert ours.best.chi_square <= oracle.best.chi_square + 1e-8
+
+    def test_linear_work(self, fair_model):
+        """Candidate pairs are O(k²), independent of n."""
+        from repro.generators import generate_null_string
+
+        short = find_mss_agmm(
+            generate_null_string(fair_model, 500, seed=1), fair_model
+        ).stats.substrings_evaluated
+        long = find_mss_agmm(
+            generate_null_string(fair_model, 5000, seed=1), fair_model
+        ).stats.substrings_evaluated
+        assert long <= short * 2 + 20
+
+    def test_misses_local_burst(self, fair_model):
+        """The paper's failure mode: a short intense burst inside a longer
+        gentle drift -- AGMM's global extrema straddle the drift and miss
+        the burst."""
+        # gentle drift of a's, then a violent short b-burst, then drift
+        text = ("aab" * 60) + ("b" * 14) + ("aab" * 60)
+        agmm = find_mss_agmm(text, fair_model).best.chi_square
+        optimum = find_mss_trivial(text, fair_model).best.chi_square
+        assert agmm <= optimum
+
+    def test_misses_interior_run_found_by_exact(self, fair_model):
+        """An interior run flanked by balanced noise: the global extrema
+        straddle the noise and AGMM lands well below the optimum --
+        the sub-optimality Table 1/4/6 report."""
+        text = "ab" * 30 + "a" * 40 + "ba" * 30
+        agmm = find_mss_agmm(text, fair_model).best
+        optimum = find_mss_trivial(text, fair_model).best
+        assert 0 < agmm.chi_square < optimum.chi_square
+
+    def test_exact_on_boundary_run(self, fair_model):
+        """A run at the string boundary IS the global extrema span."""
+        text = "a" * 40 + "ab" * 30
+        agmm = find_mss_agmm(text, fair_model).best
+        optimum = find_mss_trivial(text, fair_model).best
+        assert agmm.chi_square == pytest.approx(optimum.chi_square, rel=0.05)
+
+
+class TestRelativeOrdering:
+    def test_paper_quality_ordering(self):
+        """Table 1's qualitative ranking: exact methods tie, AGMM <= them."""
+        from repro.generators import generate_null_string
+
+        model = BernoulliModel.uniform("ab")
+        text = generate_null_string(model, 3000, seed=17)
+        exact = find_mss_trivial(text, model).best.chi_square
+        assert find_mss_arlm(text, model).best.chi_square == pytest.approx(exact, abs=1e-8)
+        assert find_mss_blocked(text, model).best.chi_square == pytest.approx(exact, abs=1e-8)
+        assert find_mss_heap(text, model).best.chi_square == pytest.approx(exact, abs=1e-8)
+        assert find_mss_agmm(text, model).best.chi_square <= exact + 1e-8

@@ -1,0 +1,76 @@
+"""Direct tests for the vectorised candidate-pair evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines._pairs import best_over_pairs
+from repro.core.chisquare import ChiSquareScorer
+from repro.core.counts import PrefixCountIndex
+from repro.core.model import BernoulliModel
+from tests.conftest import model_and_text
+
+
+def _setup(text, model):
+    codes = model.encode(text).tolist()
+    index = PrefixCountIndex(codes, model.k)
+    inv_p = np.asarray([1.0 / p for p in model.probabilities])
+    return index.counts_matrix(), inv_p
+
+
+class TestBestOverPairs:
+    def test_single_pair(self, fair_model):
+        matrix, inv_p = _setup("aab", fair_model)
+        best, pair, evaluated = best_over_pairs(
+            matrix, inv_p, np.array([0]), np.array([2])
+        )
+        scorer = ChiSquareScorer("aab", fair_model)
+        assert best == pytest.approx(scorer.score(0, 2))
+        assert pair == (0, 2)
+        assert evaluated == 1
+
+    def test_no_valid_pairs(self, fair_model):
+        matrix, inv_p = _setup("ab", fair_model)
+        best, _pair, evaluated = best_over_pairs(
+            matrix, inv_p, np.array([2]), np.array([0, 1])
+        )
+        assert best == -np.inf
+        assert evaluated == 0
+
+    def test_duplicate_candidates_deduplicated(self, fair_model):
+        matrix, inv_p = _setup("abab", fair_model)
+        _best, _pair, evaluated = best_over_pairs(
+            matrix, inv_p, np.array([0, 0, 1]), np.array([2, 2, 4])
+        )
+        # starts {0,1} x ends {2,4}, all valid
+        assert evaluated == 4
+
+    @given(model_and_text(min_length=2, max_length=25), st.data())
+    @settings(max_examples=60)
+    def test_matches_scalar_scorer_on_random_candidates(self, model_text, data):
+        model, text = model_text
+        n = len(text)
+        matrix, inv_p = _setup(text, model)
+        starts = sorted(
+            data.draw(
+                st.sets(st.integers(0, n - 1), min_size=1, max_size=min(6, n))
+            )
+        )
+        ends = sorted(
+            data.draw(st.sets(st.integers(1, n), min_size=1, max_size=min(6, n)))
+        )
+        best, pair, evaluated = best_over_pairs(
+            matrix, inv_p, np.array(starts), np.array(ends)
+        )
+        scorer = ChiSquareScorer(text, model)
+        expected_pairs = [(s, e) for s in starts for e in ends if s < e]
+        assert evaluated == len(expected_pairs)
+        if expected_pairs:
+            expected_best = max(
+                scorer.score(s, e) for s, e in expected_pairs
+            )
+            assert best == pytest.approx(expected_best, abs=1e-9)
+            assert scorer.score(*pair) == pytest.approx(expected_best, abs=1e-9)
+        else:
+            assert best == -np.inf

@@ -1,0 +1,97 @@
+"""Tests for the trivial oracles themselves (internal consistency)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.trivial import (
+    find_above_threshold_trivial,
+    find_mss_min_length_trivial,
+    find_mss_trivial,
+    find_mss_trivial_numpy,
+    find_top_t_trivial,
+    trivial_iterations,
+)
+from tests.conftest import model_and_text
+
+
+class TestTrivialIterations:
+    def test_closed_form(self):
+        assert trivial_iterations(1) == 1
+        assert trivial_iterations(4) == 10
+        assert trivial_iterations(100) == 5050
+
+    def test_with_min_length(self):
+        # n=10, min 8: lengths 8,9,10 -> starts 3+2+1 = 6.
+        assert trivial_iterations(10, min_length=8) == 6
+
+    def test_min_length_above_n(self):
+        assert trivial_iterations(5, min_length=6) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            trivial_iterations(0)
+        with pytest.raises(ValueError):
+            trivial_iterations(5, min_length=0)
+
+    @given(model_and_text(min_length=1, max_length=20))
+    def test_matches_actual_evaluation_count(self, model_text):
+        model, text = model_text
+        result = find_mss_trivial(text, model)
+        assert result.stats.substrings_evaluated == trivial_iterations(len(text))
+
+
+class TestNumpyVariant:
+    @given(model_and_text(min_length=1, max_length=35))
+    @settings(max_examples=80)
+    def test_numpy_matches_pure_python(self, model_text):
+        model, text = model_text
+        pure = find_mss_trivial(text, model)
+        vectorised = find_mss_trivial_numpy(text, model)
+        assert vectorised.best.chi_square == pytest.approx(
+            pure.best.chi_square, abs=1e-8
+        )
+
+    def test_empty_rejected(self, fair_model):
+        with pytest.raises(ValueError):
+            find_mss_trivial_numpy("", fair_model)
+
+
+class TestTrivialVariants:
+    def test_top_t_contains_mss(self, fair_model):
+        text = "aabbbababab"
+        top = find_top_t_trivial(text, fair_model, 3)
+        mss = find_mss_trivial(text, fair_model)
+        assert top.substrings[0].chi_square == pytest.approx(mss.best.chi_square)
+
+    def test_top_t_validation(self, fair_model):
+        with pytest.raises(ValueError):
+            find_top_t_trivial("ab", fair_model, 0)
+        with pytest.raises(ValueError):
+            find_top_t_trivial("ab", fair_model, 100)
+
+    def test_threshold_consistent_with_top(self, fair_model):
+        text = "aaabbbbaba"
+        mss = find_mss_trivial(text, fair_model).best.chi_square
+        hits = find_above_threshold_trivial(text, fair_model, mss - 1e-9)
+        assert len(hits) >= 1
+        assert all(s.chi_square > mss - 1e-9 for s in hits)
+
+    def test_threshold_validation(self, fair_model):
+        with pytest.raises(ValueError):
+            find_above_threshold_trivial("ab", fair_model, -0.5)
+
+    def test_min_length_validation(self, fair_model):
+        with pytest.raises(ValueError):
+            find_mss_min_length_trivial("ab", fair_model, 3)
+        with pytest.raises(ValueError):
+            find_mss_min_length_trivial("ab", fair_model, 0)
+
+    @given(model_and_text(min_length=3, max_length=20), st.data())
+    def test_min_length_is_restriction_of_full_scan(self, model_text, data):
+        model, text = model_text
+        floor = data.draw(st.integers(1, len(text)))
+        constrained = find_mss_min_length_trivial(text, model, floor)
+        free = find_mss_trivial(text, model)
+        assert constrained.best.chi_square <= free.best.chi_square + 1e-9
+        assert constrained.best.length >= floor

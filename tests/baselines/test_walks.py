@@ -1,0 +1,95 @@
+"""Tests for the deviation-walk substrate of ARLM/AGMM/blocking."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.baselines.walks import (
+    block_boundary_positions,
+    deviation_walks,
+    global_extrema_positions,
+    local_extrema_positions,
+)
+from repro.core.counts import PrefixCountIndex
+from tests.conftest import model_and_text
+
+
+class TestDeviationWalks:
+    def test_shape(self):
+        index = PrefixCountIndex([0, 1, 0], 2)
+        walks = deviation_walks(index, (0.5, 0.5))
+        assert walks.shape == (2, 4)
+
+    def test_starts_at_zero(self):
+        index = PrefixCountIndex([0, 1, 1, 0], 2)
+        walks = deviation_walks(index, (0.3, 0.7))
+        assert walks[:, 0].tolist() == [0.0, 0.0]
+
+    def test_rows_sum_to_zero(self):
+        """sum_j D_j(i) = i - i * sum p_j = 0 at every position."""
+        index = PrefixCountIndex([0, 2, 1, 1, 0, 2], 3)
+        walks = deviation_walks(index, (0.2, 0.3, 0.5))
+        assert np.allclose(walks.sum(axis=0), 0.0)
+
+    def test_binary_walks_mirror(self):
+        index = PrefixCountIndex([0, 1, 1, 0, 1], 2)
+        walks = deviation_walks(index, (0.4, 0.6))
+        assert np.allclose(walks[0], -walks[1])
+
+    @given(model_and_text(min_length=1, max_length=30))
+    def test_closed_form_binary_x2(self, model_text):
+        """X²([s,e)) == (D(e)-D(s))² / (L p q) for binary strings."""
+        model, text = model_text
+        if model.k != 2:
+            return
+        from repro.core.chisquare import ChiSquareScorer
+
+        codes = model.encode(text).tolist()
+        index = PrefixCountIndex(codes, 2)
+        walks = deviation_walks(index, model.probabilities)
+        scorer = ChiSquareScorer(text, model)
+        p0, p1 = model.probabilities
+        n = len(text)
+        for start in range(n):
+            for end in range(start + 1, n + 1):
+                delta = walks[1][end] - walks[1][start]
+                length = end - start
+                closed = delta * delta / (length * p0 * p1)
+                assert closed == pytest.approx(scorer.score(start, end), abs=1e-8)
+
+
+class TestExtrema:
+    def test_local_extrema_simple(self):
+        walk = np.array([0.0, 0.5, 0.0, 0.5, 1.0])
+        minima, maxima = local_extrema_positions(walk)
+        assert minima.tolist() == [0, 2, 4]
+        assert maxima.tolist() == [0, 1, 4]
+
+    def test_endpoints_always_included(self):
+        walk = np.array([0.0, 0.5, 1.0, 1.5])  # monotone
+        minima, maxima = local_extrema_positions(walk)
+        assert 0 in minima and len(walk) - 1 in minima
+        assert 0 in maxima and len(walk) - 1 in maxima
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            local_extrema_positions(np.array([0.0]))
+
+    def test_global_extrema(self):
+        walk = np.array([0.0, -1.0, 2.0, 0.5])
+        assert global_extrema_positions(walk) == (1, 2)
+
+
+class TestBlockBoundaries:
+    def test_basic(self):
+        assert block_boundary_positions([0, 0, 1, 1, 0], 5).tolist() == [0, 2, 4, 5]
+
+    def test_single_run(self):
+        assert block_boundary_positions([1, 1, 1], 3).tolist() == [0, 3]
+
+    def test_alternating(self):
+        assert block_boundary_positions([0, 1, 0], 3).tolist() == [0, 1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            block_boundary_positions([], 0)

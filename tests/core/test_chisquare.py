@@ -1,0 +1,142 @@
+"""Unit + property tests for the chi-square statistic (eq. 4-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.chisquare import (
+    ChiSquareScorer,
+    chi_square,
+    chi_square_definitional,
+    chi_square_from_counts,
+    chi_square_profile,
+)
+from repro.core.counts import PrefixCountIndex
+from repro.core.model import BernoulliModel
+from tests.conftest import model_and_text
+
+
+class TestFromCounts:
+    def test_balanced_is_zero(self):
+        assert chi_square_from_counts([5, 5], [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_paper_coin_example(self):
+        # 19 heads in 20 fair tosses: X² = (19-10)²/10 + (1-10)²/10 = 16.2
+        assert chi_square_from_counts([19, 1], [0.5, 0.5]) == pytest.approx(16.2)
+
+    def test_extreme_run(self):
+        # All one character: X² = L(1-p)/p.
+        assert chi_square_from_counts([10, 0], [0.5, 0.5]) == pytest.approx(10.0)
+        assert chi_square_from_counts([0, 10], [0.2, 0.8]) == pytest.approx(2.5)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError, match="positive substring length"):
+            chi_square_from_counts([0, 0], [0.5, 0.5])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            chi_square_from_counts([-1, 2], [0.5, 0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="entries"):
+            chi_square_from_counts([1, 2, 3], [0.5, 0.5])
+
+    def test_zero_probability_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            chi_square_from_counts([1, 1], [0.0, 1.0])
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=2, max_size=5).filter(
+            lambda counts: sum(counts) > 0
+        ),
+        st.data(),
+    )
+    def test_simplified_equals_definitional(self, counts, data):
+        k = len(counts)
+        weights = data.draw(
+            st.lists(st.floats(0.1, 1.0), min_size=k, max_size=k)
+        )
+        total = sum(weights)
+        probs = [w / total for w in weights]
+        assert chi_square_from_counts(counts, probs) == pytest.approx(
+            chi_square_definitional(counts, probs), abs=1e-9
+        )
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=2, max_size=5).filter(
+            lambda counts: sum(counts) > 0
+        )
+    )
+    def test_non_negative(self, counts):
+        k = len(counts)
+        assert chi_square_from_counts(counts, [1.0 / k] * k) >= -1e-12
+
+    def test_order_invariance(self):
+        """The statistic sees only counts -- the defining property (§1)."""
+        model = BernoulliModel.uniform("ab")
+        assert chi_square("aabab", model) == pytest.approx(chi_square("babaa", model))
+
+
+class TestScorer:
+    def test_matches_direct_computation(self, fair_model):
+        text = "aababbbaab"
+        scorer = ChiSquareScorer(text, fair_model)
+        for start in range(len(text)):
+            for end in range(start + 1, len(text) + 1):
+                expected = chi_square(text[start:end], fair_model)
+                assert scorer.score(start, end) == pytest.approx(expected)
+
+    def test_counts_passthrough(self, fair_model):
+        scorer = ChiSquareScorer("abba", fair_model)
+        assert scorer.counts(1, 3) == (0, 2)
+
+    def test_empty_string_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="empty"):
+            ChiSquareScorer("", fair_model)
+
+    def test_empty_range_rejected(self, fair_model):
+        scorer = ChiSquareScorer("ab", fair_model)
+        with pytest.raises(IndexError):
+            scorer.score(1, 1)
+
+    def test_properties(self, fair_model):
+        scorer = ChiSquareScorer("abab", fair_model)
+        assert scorer.n == 4
+        assert scorer.model is fair_model
+        assert scorer.index.n == 4
+
+
+class TestProfile:
+    def test_matches_scalar_scores(self, skewed_model):
+        text = "abcacbbacc"
+        codes = skewed_model.encode(text).tolist()
+        index = PrefixCountIndex(codes, skewed_model.k)
+        scorer = ChiSquareScorer(text, skewed_model)
+        for start in range(len(text)):
+            profile = chi_square_profile(index, skewed_model.probabilities, start)
+            for offset, value in enumerate(profile):
+                assert value == pytest.approx(
+                    scorer.score(start, start + offset + 1), abs=1e-9
+                )
+
+    def test_invalid_start(self, fair_model):
+        index = PrefixCountIndex([0, 1], 2)
+        with pytest.raises(IndexError):
+            chi_square_profile(index, fair_model.probabilities, 2)
+
+    def test_profile_dtype_and_shape(self, fair_model):
+        index = PrefixCountIndex([0, 1, 0], 2)
+        profile = chi_square_profile(index, fair_model.probabilities, 1)
+        assert profile.shape == (2,)
+        assert profile.dtype == np.float64
+
+    @given(model_and_text(min_length=1, max_length=25))
+    def test_profile_consistency_random(self, model_text):
+        model, text = model_text
+        codes = model.encode(text).tolist()
+        index = PrefixCountIndex(codes, model.k)
+        scorer = ChiSquareScorer(text, model)
+        profile = chi_square_profile(index, model.probabilities, 0)
+        for offset, value in enumerate(profile):
+            assert value == pytest.approx(scorer.score(0, offset + 1), abs=1e-9)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.core.counts.PrefixCountIndex."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.counts import PrefixCountIndex
+
+
+class TestConstruction:
+    def test_empty_string_allowed(self):
+        index = PrefixCountIndex([], 2)
+        assert index.n == 0
+        assert index.counts(0, 0) == (0, 0)
+
+    def test_small_alphabet_rejected(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            PrefixCountIndex([0, 0], 1)
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            PrefixCountIndex([0, 2], 2)
+        with pytest.raises(ValueError, match="outside"):
+            PrefixCountIndex([-1], 2)
+
+    def test_len(self):
+        assert len(PrefixCountIndex([0, 1, 1], 2)) == 3
+
+    def test_repr(self):
+        assert "n=3" in repr(PrefixCountIndex([0, 1, 1], 2))
+
+
+class TestQueries:
+    def test_whole_string(self):
+        index = PrefixCountIndex([0, 1, 0, 2, 1], 3)
+        assert index.counts(0, 5) == (2, 2, 1)
+
+    def test_single_positions(self):
+        index = PrefixCountIndex([0, 1, 0], 2)
+        for i, code in enumerate([0, 1, 0]):
+            expected = tuple(1 if j == code else 0 for j in range(2))
+            assert index.counts(i, i + 1) == expected
+
+    def test_count_single_char(self):
+        index = PrefixCountIndex([0, 1, 1, 0], 2)
+        assert index.count(1, 1, 3) == 2
+        assert index.count(0, 1, 3) == 0
+
+    def test_count_invalid_char(self):
+        index = PrefixCountIndex([0, 1], 2)
+        with pytest.raises(ValueError, match="char"):
+            index.count(2, 0, 1)
+
+    def test_invalid_ranges(self):
+        index = PrefixCountIndex([0, 1, 0], 2)
+        with pytest.raises(IndexError):
+            index.counts(-1, 2)
+        with pytest.raises(IndexError):
+            index.counts(2, 1)
+        with pytest.raises(IndexError):
+            index.counts(0, 4)
+
+    def test_counts_matrix_matches_lists(self):
+        index = PrefixCountIndex([0, 2, 1, 1, 0], 3)
+        matrix = index.counts_matrix()
+        assert matrix.shape == (3, 6)
+        assert matrix.tolist() == index.prefix_lists
+
+    def test_counts_matrix_dtype(self):
+        assert PrefixCountIndex([0, 1], 2).counts_matrix().dtype == np.int64
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=50),
+        st.data(),
+    )
+    def test_matches_naive_counting(self, codes, data):
+        index = PrefixCountIndex(codes, 4)
+        start = data.draw(st.integers(0, len(codes)))
+        end = data.draw(st.integers(start, len(codes)))
+        naive = Counter(codes[start:end])
+        assert index.counts(start, end) == tuple(naive.get(j, 0) for j in range(4))
+
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=40))
+    def test_prefix_sums_are_monotone(self, codes):
+        index = PrefixCountIndex(codes, 3)
+        for row in index.prefix_lists:
+            assert all(b - a in (0, 1) for a, b in zip(row, row[1:]))
+
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=40))
+    def test_rows_sum_to_positions(self, codes):
+        index = PrefixCountIndex(codes, 3)
+        for position in range(len(codes) + 1):
+            total = sum(row[position] for row in index.prefix_lists)
+            assert total == position

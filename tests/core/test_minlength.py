@@ -1,0 +1,86 @@
+"""Tests for Problem 4 (find_mss_min_length)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.trivial import find_mss_min_length_trivial, trivial_iterations
+from repro.core.minlength import find_mss_min_length
+from repro.core.mss import find_mss
+from tests.conftest import model_and_text
+
+
+class TestExactness:
+    @given(model_and_text(min_length=1, max_length=30), st.data())
+    @settings(max_examples=100)
+    def test_matches_trivial(self, model_text, data):
+        model, text = model_text
+        min_length = data.draw(st.integers(1, len(text)))
+        ours = find_mss_min_length(text, model, min_length)
+        oracle = find_mss_min_length_trivial(text, model, min_length)
+        assert ours.best.chi_square == pytest.approx(
+            oracle.best.chi_square, abs=1e-8
+        )
+        assert ours.best.length >= min_length
+
+    @given(model_and_text(min_length=1, max_length=25))
+    def test_min_length_one_equals_mss(self, model_text):
+        model, text = model_text
+        constrained = find_mss_min_length(text, model, 1)
+        free = find_mss(text, model)
+        assert constrained.best.chi_square == pytest.approx(
+            free.best.chi_square, abs=1e-9
+        )
+
+    def test_constraint_binds(self, fair_model):
+        """A short hot run is excluded once the floor exceeds its length."""
+        text = "ab" * 10 + "aaaa" + "ab" * 10
+        free = find_mss(text, fair_model).best
+        constrained = find_mss_min_length(text, fair_model, 10).best
+        assert free.length < 10
+        assert constrained.length >= 10
+        assert constrained.chi_square < free.chi_square
+
+    def test_min_length_equal_n(self, fair_model):
+        text = "aabbab"
+        result = find_mss_min_length(text, fair_model, len(text))
+        assert (result.best.start, result.best.end) == (0, len(text))
+
+
+class TestValidation:
+    def test_zero_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="positive"):
+            find_mss_min_length("abab", fair_model, 0)
+
+    def test_above_n_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="exceeds"):
+            find_mss_min_length("abab", fair_model, 5)
+
+    def test_non_int_rejected(self, fair_model):
+        with pytest.raises(TypeError):
+            find_mss_min_length("abab", fair_model, 2.0)
+
+    def test_empty_string_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="empty"):
+            find_mss_min_length("", fair_model, 1)
+
+
+class TestWork:
+    def test_accounting_invariant(self, fair_model):
+        text = "abbaababab" * 4
+        min_length = 7
+        result = find_mss_min_length(text, fair_model, min_length)
+        assert result.stats.total_positions == trivial_iterations(
+            len(text), min_length
+        )
+
+    def test_long_floor_reduces_work(self, fair_model):
+        """§6.3: iterations decrease as Gamma0 grows."""
+        from repro.generators import generate_null_string
+
+        text = generate_null_string(fair_model, 1500, seed=4)
+        short_floor = find_mss_min_length(text, fair_model, 1).stats
+        long_floor = find_mss_min_length(text, fair_model, 1200).stats
+        assert (
+            long_floor.substrings_evaluated < short_floor.substrings_evaluated
+        )

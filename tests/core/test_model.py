@@ -1,0 +1,178 @@
+"""Unit tests for repro.core.model.BernoulliModel."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import BernoulliModel
+from tests.conftest import models
+
+
+class TestConstruction:
+    def test_basic(self):
+        model = BernoulliModel("ab", [0.3, 0.7])
+        assert model.k == 2
+        assert model.alphabet == ("a", "b")
+        assert model.probabilities == (0.3, 0.7)
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BernoulliModel("aa", [0.5, 0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            BernoulliModel("abc", [0.5, 0.5])
+
+    def test_zero_probability_rejected(self):
+        with pytest.raises(ValueError, match="> 0"):
+            BernoulliModel("ab", [0.0, 1.0])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError, match="> 0"):
+            BernoulliModel("ab", [-0.1, 1.1])
+
+    def test_non_normalised_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            BernoulliModel("ab", [0.5, 0.6])
+
+    def test_single_symbol_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            BernoulliModel("a", [1.0])
+
+    def test_small_float_noise_normalised(self):
+        probs = [1.0 / 3] * 3
+        model = BernoulliModel("abc", probs)
+        assert math.isclose(sum(model.probabilities), 1.0, abs_tol=1e-15)
+
+    def test_non_char_symbols(self):
+        model = BernoulliModel(("req", "err"), [0.9, 0.1])
+        assert model.probability_of("err") == pytest.approx(0.1)
+
+
+class TestConstructors:
+    def test_uniform(self):
+        model = BernoulliModel.uniform("abcd")
+        assert all(p == pytest.approx(0.25) for p in model.probabilities)
+
+    def test_uniform_requires_two_symbols(self):
+        with pytest.raises(ValueError):
+            BernoulliModel.uniform("a")
+
+    def test_geometric_halves(self):
+        model = BernoulliModel.geometric("abc")
+        p = model.probabilities
+        assert p[0] == pytest.approx(2 * p[1])
+        assert p[1] == pytest.approx(2 * p[2])
+
+    def test_harmonic_ratios(self):
+        model = BernoulliModel.harmonic("abcd")
+        p = model.probabilities
+        assert p[0] == pytest.approx(2 * p[1])
+        assert p[0] == pytest.approx(3 * p[2])
+
+    def test_harmonic_with_exponent(self):
+        model = BernoulliModel.harmonic("ab", s=2.0)
+        assert model.probabilities[0] == pytest.approx(4 * model.probabilities[1])
+
+    def test_harmonic_invalid_exponent(self):
+        with pytest.raises(ValueError, match="exponent"):
+            BernoulliModel.harmonic("ab", s=0.0)
+
+    def test_from_counts(self):
+        model = BernoulliModel.from_counts({"x": 3, "y": 1})
+        assert model.probability_of("x") == pytest.approx(0.75)
+
+    def test_from_counts_zero_needs_laplace(self):
+        with pytest.raises(ValueError, match="laplace"):
+            BernoulliModel.from_counts({"x": 3, "y": 0})
+        model = BernoulliModel.from_counts({"x": 3, "y": 0}, laplace=1.0)
+        assert model.probability_of("y") == pytest.approx(0.2)
+
+    def test_from_counts_negative_laplace(self):
+        with pytest.raises(ValueError, match="laplace"):
+            BernoulliModel.from_counts({"x": 1, "y": 1}, laplace=-1.0)
+
+    def test_from_string(self):
+        model = BernoulliModel.from_string("WWWL")
+        assert model.probability_of("W") == pytest.approx(0.75)
+
+    def test_from_string_with_alphabet(self):
+        model = BernoulliModel.from_string("aab", alphabet="abc", laplace=1.0)
+        assert model.k == 3
+        assert model.probability_of("c") == pytest.approx(1.0 / 6)
+
+    def test_from_string_unknown_symbol(self):
+        with pytest.raises(ValueError, match="outside the alphabet"):
+            BernoulliModel.from_string("abz", alphabet="ab")
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        model = BernoulliModel.uniform("abc")
+        text = "abcabccba"
+        assert model.decode_to_string(model.encode(text)) == text
+
+    def test_encode_dtype(self):
+        codes = BernoulliModel.uniform("ab").encode("ab")
+        assert codes.dtype == np.int64
+
+    def test_encode_unknown_symbol(self):
+        with pytest.raises(KeyError, match="not in the alphabet"):
+            BernoulliModel.uniform("ab").encode("abz")
+
+    def test_decode_general_symbols(self):
+        model = BernoulliModel(("up", "down"), [0.5, 0.5])
+        assert model.decode([1, 0]) == ["down", "up"]
+
+    def test_decode_to_string_requires_chars(self):
+        model = BernoulliModel(("up", "down"), [0.5, 0.5])
+        with pytest.raises(TypeError, match="single-character"):
+            model.decode_to_string([0, 1])
+
+    def test_count_vector(self):
+        model = BernoulliModel.uniform("abc")
+        assert model.count_vector("abba") == (2, 2, 0)
+
+    def test_count_vector_unknown(self):
+        with pytest.raises(KeyError):
+            BernoulliModel.uniform("ab").count_vector("xyz")
+
+    def test_expected_counts(self):
+        model = BernoulliModel("ab", [0.25, 0.75])
+        assert model.expected_counts(8) == (2.0, 6.0)
+
+    def test_expected_counts_negative_length(self):
+        with pytest.raises(ValueError):
+            BernoulliModel.uniform("ab").expected_counts(-1)
+
+    def test_code_of(self):
+        model = BernoulliModel.uniform("xyz")
+        assert model.code_of("y") == 1
+        with pytest.raises(KeyError):
+            model.code_of("w")
+
+
+class TestProtocol:
+    def test_equality(self):
+        a = BernoulliModel("ab", [0.5, 0.5])
+        b = BernoulliModel.uniform("ab")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_probs(self):
+        assert BernoulliModel("ab", [0.4, 0.6]) != BernoulliModel.uniform("ab")
+
+    def test_inequality_other_type(self):
+        assert BernoulliModel.uniform("ab") != "ab"
+
+    def test_repr_contains_alphabet(self):
+        assert "'a'" in repr(BernoulliModel.uniform("ab"))
+
+    @given(models())
+    def test_random_models_valid(self, model):
+        assert math.isclose(sum(model.probabilities), 1.0, abs_tol=1e-12)
+        assert all(0 < p < 1 for p in model.probabilities)
+        assert model.k == len(model.alphabet)

@@ -1,0 +1,135 @@
+"""Tests for Algorithm 1 (find_mss): exactness, edge cases, instrumentation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.trivial import find_mss_trivial, trivial_iterations
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.generators import PlantedSegment, generate_with_planted
+from tests.conftest import model_and_text
+
+
+class TestExactness:
+    @given(model_and_text(min_length=1, max_length=40))
+    @settings(max_examples=120)
+    def test_matches_trivial_value(self, model_text):
+        model, text = model_text
+        ours = find_mss(text, model)
+        oracle = find_mss_trivial(text, model)
+        assert ours.best.chi_square == pytest.approx(
+            oracle.best.chi_square, abs=1e-8
+        )
+
+    @given(model_and_text(min_length=1, max_length=30))
+    def test_interval_scores_what_it_claims(self, model_text):
+        model, text = model_text
+        best = find_mss(text, model).best
+        from repro.core.chisquare import chi_square
+
+        assert best.chi_square == pytest.approx(
+            chi_square(text[best.start : best.end], model), abs=1e-9
+        )
+        assert best.counts == model.count_vector(text[best.start : best.end])
+
+    def test_binary_and_generic_paths_agree(self):
+        """k=2 takes the specialised loop; force the generic one via k=3
+        with a never-used third character and compare."""
+        text = "abbbababbbbabab" * 3
+        binary = find_mss(text, BernoulliModel.uniform("ab"))
+        # Same text, k=3 model with tiny third probability: the scores
+        # differ (different model) but the generic loop must agree with
+        # its own trivial oracle.
+        model3 = BernoulliModel("abc", [0.45, 0.45, 0.1])
+        generic = find_mss(text, model3)
+        oracle3 = find_mss_trivial(text, model3)
+        assert generic.best.chi_square == pytest.approx(
+            oracle3.best.chi_square, abs=1e-9
+        )
+        assert binary.best.chi_square > 0
+
+
+class TestEdgeCases:
+    def test_empty_string_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="empty"):
+            find_mss("", fair_model)
+
+    def test_single_character(self, fair_model):
+        result = find_mss("a", fair_model)
+        assert (result.best.start, result.best.end) == (0, 1)
+        assert result.best.chi_square == pytest.approx(1.0)  # (1/p - 1) = 1
+
+    def test_unknown_symbol_rejected(self, fair_model):
+        with pytest.raises(KeyError, match="not in the alphabet"):
+            find_mss("abz", fair_model)
+
+    def test_homogeneous_string(self, fair_model):
+        result = find_mss("aaaa", fair_model)
+        # All-a string: MSS is the whole string, X² = L(1-p)/p = 4.
+        assert result.best.chi_square == pytest.approx(4.0)
+        assert (result.best.start, result.best.end) == (0, 4)
+
+    def test_skewed_model_prefers_rare_run(self):
+        model = BernoulliModel("ab", [0.9, 0.1])
+        text = "aaaa" + "bbbb" + "aaaa"
+        best = find_mss(text, model).best
+        assert text[best.start : best.end] == "bbbb"
+
+    def test_planted_anomaly_recovered(self):
+        model = BernoulliModel.uniform("ab")
+        segment = PlantedSegment(start=500, length=80, probabilities=(0.95, 0.05))
+        codes = generate_with_planted(model, 1500, [segment], seed=3)
+        text = model.decode_to_string(codes)
+        best = find_mss(text, model).best
+        overlap = min(best.end, 580) - max(best.start, 500)
+        assert overlap > 40  # recovers the bulk of the plant
+
+
+class TestInstrumentation:
+    def test_accounting_invariant(self, fair_model):
+        """evaluated + skipped == the trivial scan's n(n+1)/2."""
+        text = "abbaabababbbaaabab" * 4
+        result = find_mss(text, fair_model)
+        assert result.stats.total_positions == trivial_iterations(len(text))
+
+    def test_accounting_invariant_k3(self, skewed_model):
+        text = "abcabccabcbacbbcaa" * 3
+        result = find_mss(text, skewed_model)
+        assert result.stats.total_positions == trivial_iterations(len(text))
+
+    def test_prunes_meaningfully(self, fair_model):
+        from repro.generators import generate_null_string
+
+        text = generate_null_string(fair_model, 2000, seed=5)
+        result = find_mss(text, fair_model)
+        assert result.stats.substrings_evaluated < trivial_iterations(2000) / 4
+
+    def test_stats_fields(self, fair_model):
+        result = find_mss("abab", fair_model)
+        stats = result.stats
+        assert stats.n == 4
+        assert stats.start_positions == 4
+        assert stats.elapsed_seconds >= 0.0
+        assert 0.0 <= stats.fraction_skipped <= 1.0
+
+    def test_chi_square_shortcut(self, fair_model):
+        result = find_mss("aab", fair_model)
+        assert result.chi_square == result.best.chi_square
+
+
+class TestSubquadraticGrowth:
+    def test_iterations_grow_subquadratically(self, fair_model):
+        """The headline claim: iterations ~ n^1.5, not n²."""
+        from math import log
+
+        from repro.generators import generate_null_string
+
+        n_small, n_large = 1000, 4000
+        small = find_mss(
+            generate_null_string(fair_model, n_small, seed=1), fair_model
+        ).stats.substrings_evaluated
+        large = find_mss(
+            generate_null_string(fair_model, n_large, seed=1), fair_model
+        ).stats.substrings_evaluated
+        slope = log(large / small) / log(n_large / n_small)
+        assert slope < 1.8, f"iteration growth slope {slope:.2f} looks quadratic"

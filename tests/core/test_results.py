@@ -1,0 +1,136 @@
+"""Tests for result types and the postprocess utilities."""
+
+import pytest
+
+from repro.core.postprocess import find_top_t_distinct, select_non_overlapping
+from repro.core.results import (
+    ScanStats,
+    SignificantSubstring,
+    ThresholdResult,
+    TopTResult,
+)
+
+
+def sub(start, end, x2, k=2):
+    return SignificantSubstring(
+        start=start, end=end, chi_square=x2, counts=(end - start, 0), alphabet_size=k
+    )
+
+
+class TestSignificantSubstring:
+    def test_length(self):
+        assert sub(3, 10, 1.0).length == 7
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            sub(5, 5, 1.0)
+        with pytest.raises(ValueError):
+            sub(-1, 3, 1.0)
+
+    def test_p_value_matches_chi2_sf(self):
+        from repro.stats.chi2dist import chi2_sf
+
+        s = sub(0, 4, 6.5, k=3)
+        assert s.p_value == pytest.approx(chi2_sf(6.5, 2))
+
+    def test_slice(self):
+        assert sub(2, 5, 1.0).slice("abcdefg") == "cde"
+
+    def test_one_based_conversion(self):
+        # paper's S[3..5] (1-based inclusive) == our [2, 5).
+        assert sub(2, 5, 1.0).as_one_based() == (3, 5)
+
+    def test_ordering_by_chi_square(self):
+        assert sub(0, 2, 1.0) < sub(0, 2, 2.0)
+        assert max([sub(0, 2, 1.0), sub(5, 9, 3.0)]).chi_square == 3.0
+
+    def test_repr(self):
+        assert "X2=1.5000" in repr(sub(0, 2, 1.5))
+
+
+class TestScanStats:
+    def test_totals(self):
+        stats = ScanStats(n=10, substrings_evaluated=30, positions_skipped=25)
+        assert stats.total_positions == 55
+        assert stats.fraction_skipped == pytest.approx(25 / 55)
+
+    def test_empty_fraction(self):
+        assert ScanStats().fraction_skipped == 0.0
+
+    def test_repr(self):
+        assert "evaluated=3" in repr(ScanStats(n=2, substrings_evaluated=3))
+
+
+class TestContainers:
+    def test_topt_values(self):
+        result = TopTResult(substrings=[sub(0, 2, 3.0), sub(4, 6, 1.0)], stats=ScanStats())
+        assert result.values == [3.0, 1.0]
+        assert len(result) == 2
+
+    def test_threshold_intervals(self):
+        result = ThresholdResult(
+            substrings=[sub(0, 2, 3.0), sub(4, 6, 1.0)], stats=ScanStats(), threshold=0.5
+        )
+        assert result.intervals() == {(0, 2), (4, 6)}
+
+
+class TestSelectNonOverlapping:
+    def test_keeps_best_of_overlap(self):
+        kept = select_non_overlapping([sub(0, 10, 5.0), sub(5, 15, 9.0)])
+        assert [(s.start, s.end) for s in kept] == [(5, 15)]
+
+    def test_disjoint_all_kept(self):
+        kept = select_non_overlapping([sub(0, 4, 2.0), sub(4, 8, 1.0)])
+        assert len(kept) == 2
+
+    def test_touching_intervals_not_overlapping(self):
+        kept = select_non_overlapping([sub(0, 5, 3.0), sub(5, 10, 2.0)])
+        assert len(kept) == 2
+
+    def test_limit(self):
+        kept = select_non_overlapping(
+            [sub(0, 2, 3.0), sub(10, 12, 2.0), sub(20, 22, 1.0)], limit=2
+        )
+        assert len(kept) == 2
+        assert kept[0].chi_square == 3.0
+
+    def test_overlap_fraction_relaxation(self):
+        # 2 overlapping positions out of a 10-long shorter interval = 0.2.
+        a, b = sub(0, 10, 5.0), sub(8, 18, 4.0)
+        strict = select_non_overlapping([a, b])
+        relaxed = select_non_overlapping([a, b], max_overlap_fraction=0.3)
+        assert len(strict) == 1
+        assert len(relaxed) == 2
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            select_non_overlapping([], max_overlap_fraction=1.0)
+
+    def test_empty_input(self):
+        assert select_non_overlapping([]) == []
+
+
+class TestFindTopTDistinct:
+    def test_two_planted_runs(self, fair_model):
+        text = "ab" * 10 + "a" * 8 + "ab" * 10 + "b" * 8 + "ab" * 10
+        eras = find_top_t_distinct(text, fair_model, 2, floor=4.0)
+        assert len(eras) == 2
+        starts = sorted(s.start for s in eras)
+        assert starts[0] < 30 < starts[1]
+
+    def test_floor_limits_depth(self, fair_model):
+        text = "ab" * 10 + "aaaa" + "ab" * 10
+        shallow = find_top_t_distinct(text, fair_model, 5, floor=3.9)
+        deep = find_top_t_distinct(text, fair_model, 5, floor=0.5)
+        assert len(shallow) <= len(deep)
+
+    def test_invalid_t(self, fair_model):
+        with pytest.raises(ValueError):
+            find_top_t_distinct("abab", fair_model, 0)
+
+    def test_results_disjoint(self, fair_model):
+        text = "aabbbaaabababbbaabbbabaab" * 3
+        eras = find_top_t_distinct(text, fair_model, 4, floor=0.5)
+        eras.sort(key=lambda s: s.start)
+        for first, second in zip(eras, eras[1:]):
+            assert first.end <= second.start

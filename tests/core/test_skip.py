@@ -1,0 +1,122 @@
+"""Tests for the chain-cover skip bound -- the heart of the contribution.
+
+The decisive property: if :func:`max_safe_skip` returns ``x`` for a
+substring, then *every* extension of that substring inside the scanned
+string by ``1..x`` characters has X² at most the bound.  We check it
+exhaustively on random inputs.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.chisquare import chi_square_from_counts
+from repro.core.model import BernoulliModel
+from repro.core.skip import chain_cover_chi_square, max_safe_skip
+from tests.conftest import model_and_text
+
+
+class TestChainCoverScore:
+    def test_matches_direct_formula(self):
+        probs = (0.5, 0.5)
+        counts = [3, 1]
+        value = chain_cover_chi_square(counts, probs, 0, 2)
+        assert value == pytest.approx(chi_square_from_counts([5, 1], probs))
+
+    def test_zero_extension_is_plain_score(self):
+        probs = (0.3, 0.7)
+        counts = [4, 2]
+        assert chain_cover_chi_square(counts, probs, 1, 0) == pytest.approx(
+            chi_square_from_counts(counts, probs)
+        )
+
+
+class TestMaxSafeSkip:
+    def test_no_skip_when_above_bound(self):
+        assert max_safe_skip([10, 0], 10, [0.5, 0.5], 10.0, 5.0) == 0
+
+    def test_skip_positive_with_large_bound(self):
+        assert max_safe_skip([50, 50], 100, [0.5, 0.5], 0.0, 25.0) > 0
+
+    def test_skip_grows_with_bound(self):
+        counts, length, probs = [50, 50], 100, [0.5, 0.5]
+        small = max_safe_skip(counts, length, probs, 0.0, 5.0)
+        large = max_safe_skip(counts, length, probs, 0.0, 50.0)
+        assert large > small
+
+    def test_skipped_extensions_never_beat_bound_exhaustive(self):
+        """Brute-force check of Theorem 1's guarantee on a fixed case."""
+        probs = (0.4, 0.6)
+        counts = [6, 4]
+        length = 10
+        x2 = chi_square_from_counts(counts, probs)
+        bound = x2 + 3.0
+        skip = max_safe_skip(counts, length, probs, x2, bound)
+        assert skip > 0
+        # every possible extension content of length <= skip:
+        for extension in range(1, skip + 1):
+            for ones in range(extension + 1):
+                extended = [counts[0] + extension - ones, counts[1] + ones]
+                assert chi_square_from_counts(extended, probs) <= bound + 1e-9
+
+    @given(model_and_text(min_length=2, max_length=30), st.data())
+    def test_skip_safety_within_string(self, model_text, data):
+        """Every skipped end position in a real string obeys the bound."""
+        model, text = model_text
+        n = len(text)
+        start = data.draw(st.integers(0, n - 2))
+        end = data.draw(st.integers(start + 1, n - 1))
+        counts = list(model.count_vector(text[start:end]))
+        length = end - start
+        x2 = chi_square_from_counts(counts, model.probabilities)
+        bound = x2 + data.draw(st.floats(0.0, 10.0))
+        skip = max_safe_skip(counts, length, model.probabilities, x2, bound)
+        for extra in range(1, min(skip, n - end) + 1):
+            extended = model.count_vector(text[start : end + extra])
+            assert (
+                chi_square_from_counts(extended, model.probabilities)
+                <= bound + 1e-7
+            )
+
+    @given(model_and_text(min_length=1, max_length=25), st.data())
+    def test_chain_cover_dominates_all_extensions(self, model_text, data):
+        """Theorem 1 itself: lambda over the best char bounds any extension."""
+        model, text = model_text
+        counts = list(model.count_vector(text))
+        extension = data.draw(st.integers(1, 10))
+        # The theorem's character: argmax (2 Y_j + l1) / p_j.
+        best_char = max(
+            range(model.k),
+            key=lambda j: (2 * counts[j] + extension) / model.probabilities[j],
+        )
+        bound = chain_cover_chi_square(
+            counts, model.probabilities, best_char, extension
+        )
+        # Try a handful of adversarial extension contents.
+        for trial in range(model.k):
+            extended = counts[:]
+            extended[trial] += extension
+            assert (
+                chi_square_from_counts(extended, model.probabilities)
+                <= bound + 1e-9
+            )
+        # And several mixed ones.
+        for split in range(extension + 1):
+            extended = counts[:]
+            extended[0] += split
+            extended[-1] += extension - split
+            assert (
+                chi_square_from_counts(extended, model.probabilities)
+                <= bound + 1e-9
+            )
+
+    @given(model_and_text(min_length=1, max_length=20))
+    def test_skip_zero_when_bound_equals_score(self, model_text):
+        """With bound == current score, only provably-flat extensions skip."""
+        model, text = model_text
+        counts = list(model.count_vector(text))
+        x2 = chi_square_from_counts(counts, model.probabilities)
+        skip = max_safe_skip(counts, len(text), model.probabilities, x2, x2)
+        # Lemma 2 says some character always increases X², so nothing can
+        # be skipped when the bound equals the current score.
+        assert skip == 0

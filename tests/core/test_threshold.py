@@ -1,0 +1,86 @@
+"""Tests for Algorithm 3 (find_above_threshold)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.trivial import find_above_threshold_trivial
+from repro.core.threshold import find_above_threshold
+from tests.conftest import model_and_text
+
+
+class TestExactness:
+    @given(model_and_text(min_length=1, max_length=30), st.floats(0.0, 12.0))
+    @settings(max_examples=100)
+    def test_interval_set_matches_trivial(self, model_text, alpha0):
+        model, text = model_text
+        ours = find_above_threshold(text, model, alpha0).intervals()
+        oracle = find_above_threshold_trivial(text, model, alpha0).intervals()
+        assert ours == oracle
+
+    @given(model_and_text(min_length=1, max_length=25), st.floats(0.0, 10.0))
+    def test_all_results_strictly_above(self, model_text, alpha0):
+        model, text = model_text
+        for s in find_above_threshold(text, model, alpha0):
+            assert s.chi_square > alpha0
+
+    def test_sorted_descending(self, fair_model):
+        result = find_above_threshold("aaabbabaa", fair_model, 0.5)
+        values = [s.chi_square for s in result]
+        assert values == sorted(values, reverse=True)
+
+    def test_zero_threshold_returns_everything_positive(self, fair_model):
+        text = "aab"
+        result = find_above_threshold(text, fair_model, 0.0)
+        oracle = find_above_threshold_trivial(text, fair_model, 0.0)
+        assert result.intervals() == oracle.intervals()
+
+    def test_huge_threshold_returns_nothing(self, fair_model):
+        result = find_above_threshold("abababab", fair_model, 1e6)
+        assert len(result) == 0
+        assert not result.truncated
+
+
+class TestLimit:
+    def test_truncation_flag(self, fair_model):
+        result = find_above_threshold("aaaaaaaaaa", fair_model, 0.5, limit=3)
+        assert result.truncated
+        assert len(result) == 3
+
+    def test_no_truncation_when_under_limit(self, fair_model):
+        result = find_above_threshold("abab", fair_model, 0.5, limit=1000)
+        assert not result.truncated
+
+    def test_invalid_limit(self, fair_model):
+        with pytest.raises(ValueError, match="limit"):
+            find_above_threshold("abab", fair_model, 1.0, limit=0)
+
+
+class TestValidation:
+    def test_negative_threshold_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="alpha0"):
+            find_above_threshold("abab", fair_model, -1.0)
+
+    def test_nan_threshold_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="finite"):
+            find_above_threshold("abab", fair_model, float("nan"))
+
+    def test_empty_string_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="empty"):
+            find_above_threshold("", fair_model, 1.0)
+
+
+class TestWorkScaling:
+    def test_high_threshold_prunes_more(self, fair_model):
+        """§6.2: iterations drop sharply as alpha0 grows."""
+        from repro.generators import generate_null_string
+
+        text = generate_null_string(fair_model, 2000, seed=9)
+        low = find_above_threshold(text, fair_model, 1.0).stats
+        high = find_above_threshold(text, fair_model, 40.0).stats
+        assert high.substrings_evaluated < low.substrings_evaluated / 3
+
+    def test_threshold_result_metadata(self, fair_model):
+        result = find_above_threshold("abba", fair_model, 1.5)
+        assert result.threshold == 1.5
+        assert "threshold=1.5" in repr(result)

@@ -1,0 +1,106 @@
+"""Tests for Algorithm 2 (find_top_t)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.trivial import find_top_t_trivial
+from repro.core.topt import find_top_t
+from tests.conftest import model_and_text
+
+
+def _positive_values(result):
+    return sorted((s.chi_square for s in result.substrings if s.chi_square > 0))
+
+
+class TestExactness:
+    @given(model_and_text(min_length=2, max_length=30), st.data())
+    @settings(max_examples=100)
+    def test_value_multiset_matches_trivial(self, model_text, data):
+        model, text = model_text
+        n = len(text)
+        t = data.draw(st.integers(1, min(10, n * (n + 1) // 2)))
+        ours = _positive_values(find_top_t(text, model, t))
+        oracle = [
+            v for v in sorted(s.chi_square for s in find_top_t_trivial(text, model, t).substrings)
+            if v > 0
+        ]
+        # The paper's zero-seeded heap drops zero-score substrings; the
+        # trivial oracle keeps them, so compare the positive tails.
+        assert len(ours) <= len(oracle) + 1e-9
+        for a, b in zip(reversed(ours), reversed(oracle)):
+            assert a == pytest.approx(b, abs=1e-8)
+
+    @given(model_and_text(min_length=2, max_length=25))
+    def test_t1_equals_mss(self, model_text):
+        from repro.core.mss import find_mss
+
+        model, text = model_text
+        top1 = find_top_t(text, model, 1)
+        mss = find_mss(text, model)
+        assert top1.substrings[0].chi_square == pytest.approx(
+            mss.best.chi_square, abs=1e-9
+        )
+
+    def test_results_sorted_descending(self, fair_model):
+        result = find_top_t("aabbababab", fair_model, 6)
+        values = result.values
+        assert values == sorted(values, reverse=True)
+
+    def test_intervals_are_distinct(self, fair_model):
+        result = find_top_t("abbaababa", fair_model, 8)
+        intervals = [(s.start, s.end) for s in result.substrings]
+        assert len(intervals) == len(set(intervals))
+
+    def test_substrings_score_what_they_claim(self, fair_model):
+        from repro.core.chisquare import chi_square
+
+        text = "aababbbabb"
+        for s in find_top_t(text, fair_model, 5):
+            assert s.chi_square == pytest.approx(
+                chi_square(text[s.start : s.end], fair_model), abs=1e-9
+            )
+
+
+class TestValidation:
+    def test_t_zero_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="t must be"):
+            find_top_t("abab", fair_model, 0)
+
+    def test_t_too_large_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="t must be"):
+            find_top_t("ab", fair_model, 4)
+
+    def test_t_not_int_rejected(self, fair_model):
+        with pytest.raises(TypeError):
+            find_top_t("abab", fair_model, 2.5)
+        with pytest.raises(TypeError):
+            find_top_t("abab", fair_model, True)
+
+    def test_empty_string_rejected(self, fair_model):
+        with pytest.raises(ValueError, match="empty"):
+            find_top_t("", fair_model, 1)
+
+
+class TestBehaviour:
+    def test_result_protocol(self, fair_model):
+        result = find_top_t("abababba", fair_model, 3)
+        assert len(result) == 3
+        assert list(iter(result)) == result.substrings
+        assert "t=3" in repr(result)
+
+    def test_prunes_less_than_mss(self, fair_model):
+        """A larger t weakens the heap bound, so more work is done."""
+        from repro.generators import generate_null_string
+
+        text = generate_null_string(fair_model, 1500, seed=2)
+        small = find_top_t(text, fair_model, 1).stats.substrings_evaluated
+        large = find_top_t(text, fair_model, 200).stats.substrings_evaluated
+        assert large >= small
+
+    def test_accounting_invariant(self, fair_model):
+        from repro.baselines.trivial import trivial_iterations
+
+        text = "abbaababbaba" * 5
+        result = find_top_t(text, fair_model, 4)
+        assert result.stats.total_positions == trivial_iterations(len(text))

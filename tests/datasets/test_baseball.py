@@ -1,0 +1,121 @@
+"""Tests for the synthetic rivalry dataset (§7.5.1 substitute)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.chisquare import chi_square
+from repro.datasets.baseball import (
+    TABLE3_WINDOWS,
+    TEAM_A_WINS,
+    TOTAL_GAMES,
+    GameRecord,
+    RivalrySimulator,
+    games_to_binary,
+    load_game_log_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return RivalrySimulator(seed=7)
+
+
+class TestGlobalStructure:
+    def test_totals_match_paper(self, sim):
+        assert len(sim.games) == TOTAL_GAMES == 2086
+        assert sum(g.team_a_win for g in sim.games) == TEAM_A_WINS == 1132
+
+    def test_win_ratio_matches_paper(self, sim):
+        model = sim.model()
+        assert model.probability_of("W") == pytest.approx(0.5427, abs=1e-3)
+
+    def test_games_chronological(self, sim):
+        dates = [g.date for g in sim.games]
+        assert dates == sorted(dates)
+
+    def test_binary_string_consistent(self, sim):
+        text = sim.binary_string()
+        assert len(text) == TOTAL_GAMES
+        assert text.count("W") == TEAM_A_WINS
+
+    def test_deterministic_given_seed(self):
+        a = RivalrySimulator(seed=3).binary_string()
+        b = RivalrySimulator(seed=3).binary_string()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RivalrySimulator(seed=3).binary_string()
+        b = RivalrySimulator(seed=4).binary_string()
+        assert a != b
+
+
+class TestPlantedWindows:
+    def test_window_count(self, sim):
+        assert len(sim.planted_windows) == len(TABLE3_WINDOWS) == 5
+
+    def test_exact_counts_planted(self, sim):
+        text = sim.binary_string()
+        planted = {(w.games, w.wins) for w in sim.planted_windows}
+        expected = {(games, wins) for _, games, wins in TABLE3_WINDOWS}
+        assert planted == expected
+        for window in sim.planted_windows:
+            segment = text[window.start_index : window.end_index]
+            assert segment.count("W") == window.wins
+
+    def test_windows_disjoint(self, sim):
+        ordered = sim.planted_windows
+        for first, second in zip(ordered, ordered[1:]):
+            assert first.end_index <= second.start_index
+
+    def test_headline_window_x2_matches_paper(self, sim):
+        """The 204-game Yankees era should score ~38.76 (Table 3)."""
+        text = sim.binary_string()
+        model = sim.model()
+        window = max(sim.planted_windows, key=lambda w: w.games)
+        segment = text[window.start_index : window.end_index]
+        assert chi_square(segment, model) == pytest.approx(38.76, abs=1.0)
+
+    def test_window_dates_near_paper(self, sim):
+        window = max(sim.planted_windows, key=lambda w: w.games)
+        start, _end = sim.date_range(window.start_index, window.end_index)
+        assert abs((start - dt.date(1924, 4, 17)).days) < 40
+
+    def test_win_ratio_property(self, sim):
+        for window in sim.planted_windows:
+            assert window.win_ratio == window.wins / window.games
+
+
+class TestSummaries:
+    def test_window_summary_fields(self, sim):
+        row = sim.window_summary(0, 10)
+        assert set(row) == {"start", "end", "games", "wins", "win_pct"}
+        assert row["games"] == 10
+
+    def test_date_range_validation(self, sim):
+        with pytest.raises(IndexError):
+            sim.date_range(5, 5)
+        with pytest.raises(IndexError):
+            sim.date_range(0, 10_000)
+
+
+class TestCsvLoader:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "games.csv"
+        path.write_text(
+            "date,winner\n2001-05-02,NYY\n2001-05-01,BOS\n2001-05-03,NYY\n"
+        )
+        records = load_game_log_csv(path)
+        assert [r.team_a_win for r in records] == [False, True, True]
+        assert records[0].date == dt.date(2001, 5, 1)
+        assert games_to_binary(records) == "LWW"
+
+    def test_custom_team(self, tmp_path):
+        path = tmp_path / "games.csv"
+        path.write_text("date,winner\n2001-05-01,BOS\n")
+        records = load_game_log_csv(path, team_a="BOS")
+        assert records[0].team_a_win
+
+    def test_game_record(self):
+        record = GameRecord(date=dt.date(2000, 1, 1), team_a_win=True)
+        assert record.team_a_win

@@ -1,0 +1,165 @@
+"""Tests for the synthetic securities dataset (§7.5.2 substitute)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.chisquare import chi_square
+from repro.datasets.finance import (
+    Regime,
+    SecuritySpec,
+    SyntheticSecurity,
+    dow_jones_spec,
+    ibm_spec,
+    load_prices_csv,
+    prices_to_binary,
+    sp500_spec,
+    trading_calendar,
+)
+
+
+@pytest.fixture(scope="module")
+def dow():
+    return SyntheticSecurity(dow_jones_spec(), seed=11)
+
+
+class TestCalendar:
+    def test_weekdays_only(self):
+        days = trading_calendar(dt.date(2020, 1, 1), 50)
+        assert all(d.weekday() < 5 for d in days)
+        assert len(days) == 50
+
+    def test_strictly_increasing(self):
+        days = trading_calendar(dt.date(2020, 1, 1), 30)
+        assert all(a < b for a, b in zip(days, days[1:]))
+
+
+class TestSpecs:
+    def test_paper_sizes(self):
+        assert dow_jones_spec().n_days == 20906
+        assert sp500_spec().n_days == 15600
+        assert ibm_spec().n_days == 12517
+
+    def test_regime_validation(self):
+        with pytest.raises(ValueError):
+            Regime(dt.date(2000, 1, 2), dt.date(2000, 1, 1), 10.0, 5.0)
+        with pytest.raises(ValueError):
+            Regime(dt.date(2000, 1, 1), dt.date(2000, 2, 1), -1.0, 5.0)
+        with pytest.raises(ValueError):
+            Regime(dt.date(2000, 1, 1), dt.date(2000, 2, 1), 10.0, 0.0)
+        with pytest.raises(ValueError):
+            Regime(dt.date(2000, 1, 1), dt.date(2000, 2, 1), 10.0, -100.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SecuritySpec("x", dt.date(2000, 1, 1), 1, 0.01)
+        with pytest.raises(ValueError):
+            SecuritySpec("x", dt.date(2000, 1, 1), 100, 0.5)
+
+    def test_unreachable_target_rejected(self):
+        spec = SecuritySpec(
+            "x",
+            dt.date(2000, 1, 1),
+            100,
+            0.01,
+            regimes=(
+                Regime(dt.date(2000, 1, 3), dt.date(2000, 1, 7), 1000.0, 5.0),
+            ),
+        )
+        with pytest.raises(ValueError, match="unreachable"):
+            SyntheticSecurity(spec, seed=0)
+
+    def test_regime_outside_calendar_rejected(self):
+        spec = SecuritySpec(
+            "x",
+            dt.date(2000, 1, 1),
+            100,
+            0.01,
+            regimes=(
+                Regime(dt.date(2050, 1, 3), dt.date(2050, 2, 7), 5.0, 5.0),
+            ),
+        )
+        with pytest.raises(ValueError, match="outside"):
+            SyntheticSecurity(spec, seed=0)
+
+
+class TestGeneratedSeries:
+    def test_lengths(self, dow):
+        assert len(dow.prices) == 20906
+        assert len(dow.binary_string()) == 20905
+        assert len(dow.dates) == 20906
+
+    def test_prices_positive(self, dow):
+        assert (dow.prices > 0).all()
+
+    def test_binary_matches_prices(self, dow):
+        text = dow.binary_string()
+        assert prices_to_binary(dow.prices) == text
+
+    def test_up_probability_near_half(self, dow):
+        model = dow.model()
+        assert model.probability_of("U") == pytest.approx(0.5, abs=0.02)
+
+    def test_planted_window_x2_near_target(self, dow):
+        """Each regime window should score close to its target X²."""
+        text = dow.binary_string()
+        model = dow.model()
+        for lo, hi, regime in dow.planted_windows:
+            scored = chi_square(text[lo:hi], model)
+            assert scored == pytest.approx(regime.target_x2, rel=0.35), regime.label
+
+    def test_planted_window_change_near_target(self, dow):
+        for lo, hi, regime in dow.planted_windows:
+            change = dow.percent_change(lo, hi)
+            assert change == pytest.approx(
+                regime.target_change_pct, rel=0.20, abs=3.0
+            ), regime.label
+
+    def test_all_specs_generate(self):
+        for factory in (dow_jones_spec, sp500_spec, ibm_spec):
+            security = SyntheticSecurity(factory(), seed=1)
+            assert len(security.binary_string()) == factory().n_days - 1
+
+    def test_deterministic(self):
+        a = SyntheticSecurity(sp500_spec(), seed=5).binary_string()
+        b = SyntheticSecurity(sp500_spec(), seed=5).binary_string()
+        assert a == b
+
+    def test_period_summary(self, dow):
+        row = dow.period_summary(100, 200)
+        assert row["security"] == "Dow Jones"
+        assert row["change_pct"] == pytest.approx(dow.percent_change(100, 200))
+
+    def test_range_validation(self, dow):
+        with pytest.raises(IndexError):
+            dow.date_range(10, 10)
+        with pytest.raises(IndexError):
+            dow.percent_change(0, 10**9)
+
+
+class TestHelpers:
+    def test_prices_to_binary(self):
+        assert prices_to_binary([1.0, 2.0, 1.5, 3.0]) == "UDU"
+
+    def test_prices_to_binary_flat_is_down(self):
+        # A flat close counts as 'not up', like the paper's encoding.
+        assert prices_to_binary([1.0, 1.0]) == "D"
+
+    def test_prices_to_binary_validation(self):
+        with pytest.raises(ValueError):
+            prices_to_binary([1.0])
+        with pytest.raises(ValueError):
+            prices_to_binary([1.0, float("nan")])
+        with pytest.raises(ValueError):
+            prices_to_binary([-1.0, 2.0])
+
+    def test_load_prices_csv(self, tmp_path):
+        path = tmp_path / "prices.csv"
+        path.write_text(
+            "Date,Close\n2020-01-03,101.0\n2020-01-02,100.0\n2020-01-06,99.0\n"
+        )
+        dates, closes = load_prices_csv(path)
+        assert dates[0] == dt.date(2020, 1, 2)
+        assert np.allclose(closes, [100.0, 101.0, 99.0])
+        assert prices_to_binary(closes) == "UD"

@@ -1,0 +1,85 @@
+"""Tests for the planting helpers shared by the synthetic datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets._plant import spread_positions, stratified_fill
+
+
+class TestSpreadPositions:
+    def test_even_lattice(self):
+        assert spread_positions(10, 5, 0.0).tolist() == [0, 2, 4, 6, 8]
+
+    def test_empty(self):
+        assert spread_positions(10, 0, 0.0).tolist() == []
+
+    def test_full(self):
+        assert spread_positions(5, 5, 0.0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            spread_positions(3, 4, 0.0)
+
+    @given(st.integers(1, 200), st.data())
+    def test_positions_distinct_and_in_range(self, slots, data):
+        count = data.draw(st.integers(0, slots))
+        offset = data.draw(st.floats(0.0, 0.999))
+        positions = spread_positions(slots, count, offset)
+        assert len(positions) == count
+        assert len(set(positions.tolist())) == count
+        if count:
+            assert positions.min() >= 0 and positions.max() < slots
+
+    @given(st.integers(10, 200), st.data())
+    def test_gaps_are_even(self, slots, data):
+        count = data.draw(st.integers(2, slots // 2))
+        positions = spread_positions(slots, count, 0.5)
+        gaps = np.diff(positions)
+        ideal = slots / count
+        assert gaps.max() - gaps.min() <= np.ceil(ideal) - np.floor(ideal) + 1
+
+
+class TestStratifiedFill:
+    def test_exact_total(self):
+        rng = np.random.default_rng(0)
+        filled = stratified_fill(1000, 437, rng, block=25)
+        assert int(filled.sum()) == 437
+
+    def test_block_balance(self):
+        rng = np.random.default_rng(1)
+        filled = stratified_fill(1000, 500, rng, block=20)
+        for start in range(0, 1000, 20):
+            block_sum = int(filled[start : start + 20].sum())
+            assert 8 <= block_sum <= 12  # within +-2 of the 10 expected
+
+    def test_bounded_drift(self):
+        """The whole point: cumulative drift stays within ~one block."""
+        rng = np.random.default_rng(2)
+        filled = stratified_fill(5000, 2500, rng, block=25)
+        drift = np.cumsum(filled - 0.5)
+        assert np.abs(drift).max() < 30
+
+    def test_extremes(self):
+        rng = np.random.default_rng(3)
+        assert stratified_fill(50, 0, rng).sum() == 0
+        assert stratified_fill(50, 50, rng).sum() == 50
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            stratified_fill(10, 11, rng)
+        with pytest.raises(ValueError):
+            stratified_fill(10, -1, rng)
+        with pytest.raises(ValueError):
+            stratified_fill(10, 5, rng, block=0)
+
+    @given(st.integers(1, 300), st.data())
+    def test_total_always_exact(self, length, data):
+        successes = data.draw(st.integers(0, length))
+        block = data.draw(st.integers(1, 50))
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        filled = stratified_fill(length, successes, rng, block=block)
+        assert int(filled.sum()) == successes
+        assert len(filled) == length

@@ -1,0 +1,114 @@
+"""Tests for the two-sequence correlation extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import BernoulliModel
+from repro.extensions.correlation import (
+    find_most_dependent_window,
+    pair_encode,
+    pair_model,
+    window_association,
+)
+
+
+class TestPairModel:
+    def test_product_probabilities(self):
+        a = BernoulliModel("xy", [0.3, 0.7])
+        b = BernoulliModel("XY", [0.4, 0.6])
+        joint = pair_model(a, b)
+        assert joint.k == 4
+        assert joint.probability_of(("x", "X")) == pytest.approx(0.12)
+        assert joint.probability_of(("y", "Y")) == pytest.approx(0.42)
+        assert sum(joint.probabilities) == pytest.approx(1.0)
+
+    def test_symbol_order_row_major(self):
+        a = BernoulliModel.uniform("ab")
+        b = BernoulliModel.uniform("cd")
+        joint = pair_model(a, b)
+        assert joint.alphabet == (("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"))
+
+
+class TestPairEncode:
+    def test_basic(self):
+        assert pair_encode("ab", "cd") == [("a", "c"), ("b", "d")]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="aligned"):
+            pair_encode("abc", "ab")
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            pair_encode("", "")
+
+
+class TestFindMostDependentWindow:
+    def test_coupled_tail_found(self):
+        rng = np.random.default_rng(0)
+        a = "".join(rng.choice(list("ud"), 600))
+        b = "".join(rng.choice(list("ud"), 400)) + a[400:]  # copy-coupled tail
+        result = find_most_dependent_window(a, b)
+        assert result.best.start >= 350
+        assert result.best.end >= 550
+        assert result.best.p_value < 1e-6
+
+    def test_anti_coupling_found_too(self):
+        rng = np.random.default_rng(1)
+        a = "".join(rng.choice(list("ud"), 500))
+        flipped = {"u": "d", "d": "u"}
+        b = "".join(rng.choice(list("ud"), 300)) + "".join(
+            flipped[c] for c in a[300:]
+        )
+        result = find_most_dependent_window(a, b)
+        assert result.best.start >= 260
+
+    def test_independent_sequences_low_score(self):
+        rng = np.random.default_rng(2)
+        a = "".join(rng.choice(list("ud"), 800))
+        b = "".join(rng.choice(list("ud"), 800))
+        result = find_most_dependent_window(a, b)
+        # null-level maximum for pair alphabet: comfortably below a
+        # planted-coupling score (the coupled test above yields > 100)
+        assert result.best.chi_square < 50
+
+    def test_explicit_models_respected(self):
+        a_model = BernoulliModel("ud", [0.5, 0.5])
+        b_model = BernoulliModel("ud", [0.5, 0.5])
+        result = find_most_dependent_window(
+            "uudd", "uudd", model_a=a_model, model_b=b_model
+        )
+        assert result.best.chi_square > 0
+
+
+class TestWindowAssociation:
+    def test_pure_coupling_is_interaction(self):
+        a = BernoulliModel.uniform("ud")
+        b = BernoulliModel.uniform("ud")
+        window = [("u", "u"), ("d", "d")] * 12
+        breakdown = window_association(window, a, b)
+        assert breakdown.marginal_a == pytest.approx(0.0)
+        assert breakdown.marginal_b == pytest.approx(0.0)
+        assert breakdown.interaction == pytest.approx(breakdown.total)
+        assert breakdown.interaction == pytest.approx(24.0)  # L * phi² = L
+
+    def test_pure_marginal_drift_no_interaction(self):
+        a = BernoulliModel.uniform("ud")
+        b = BernoulliModel.uniform("ud")
+        # A drifts all-u; B stays balanced and independent of A.
+        window = [("u", "u"), ("u", "d")] * 10
+        breakdown = window_association(window, a, b)
+        assert breakdown.marginal_a == pytest.approx(20.0)  # all-u run
+        assert breakdown.marginal_b == pytest.approx(0.0)
+        assert breakdown.interaction == pytest.approx(0.0)
+
+    def test_empty_window_rejected(self):
+        a = BernoulliModel.uniform("ud")
+        with pytest.raises(ValueError, match="empty"):
+            window_association([], a, a)
+
+    def test_total_at_least_interaction_for_pure_cases(self):
+        a = BernoulliModel.uniform("ud")
+        window = [("u", "u")] * 5 + [("d", "d")] * 5 + [("u", "d")] * 2
+        breakdown = window_association(window, a, a)
+        assert breakdown.total >= 0
+        assert breakdown.interaction >= 0

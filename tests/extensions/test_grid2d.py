@@ -1,0 +1,112 @@
+"""Tests for the 2-D sub-rectangle extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import BernoulliModel
+from repro.extensions.grid2d import (
+    chi_square_rectangle,
+    find_ms_rectangle,
+    find_ms_rectangle_trivial,
+)
+
+
+@st.composite
+def grids(draw):
+    k = draw(st.integers(2, 3))
+    alphabet = "abc"[:k]
+    rows = draw(st.integers(1, 6))
+    columns = draw(st.integers(1, 6))
+    grid = [
+        "".join(draw(st.sampled_from(alphabet)) for _ in range(columns))
+        for _ in range(rows)
+    ]
+    weights = draw(st.lists(st.floats(0.1, 1.0), min_size=k, max_size=k))
+    total = sum(weights)
+    model = BernoulliModel(alphabet, [w / total for w in weights])
+    return grid, model
+
+
+class TestChiSquareRectangle:
+    def test_single_cell(self):
+        model = BernoulliModel.uniform("ab")
+        assert chi_square_rectangle(["ab"], model, 0, 1, 0, 1) == pytest.approx(1.0)
+
+    def test_balanced_rectangle_zero(self):
+        model = BernoulliModel.uniform("ab")
+        assert chi_square_rectangle(["ab", "ba"], model, 0, 2, 0, 2) == pytest.approx(0.0)
+
+    def test_invalid_rectangle(self):
+        model = BernoulliModel.uniform("ab")
+        with pytest.raises(IndexError):
+            chi_square_rectangle(["ab"], model, 0, 2, 0, 1)
+        with pytest.raises(IndexError):
+            chi_square_rectangle(["ab"], model, 0, 1, 1, 1)
+
+    def test_ragged_grid_rejected(self):
+        model = BernoulliModel.uniform("ab")
+        with pytest.raises(ValueError, match="ragged"):
+            chi_square_rectangle(["ab", "a"], model, 0, 1, 0, 1)
+
+    def test_empty_grid_rejected(self):
+        model = BernoulliModel.uniform("ab")
+        with pytest.raises(ValueError):
+            find_ms_rectangle([], model)
+
+
+class TestPrunedMatchesTrivial:
+    @given(grids())
+    @settings(max_examples=80)
+    def test_same_optimum(self, grid_model):
+        grid, model = grid_model
+        pruned = find_ms_rectangle(grid, model)
+        trivial = find_ms_rectangle_trivial(grid, model)
+        assert pruned.chi_square == pytest.approx(trivial.chi_square, abs=1e-8)
+
+    @given(grids())
+    @settings(max_examples=40)
+    def test_never_more_work(self, grid_model):
+        grid, model = grid_model
+        pruned = find_ms_rectangle(grid, model)
+        trivial = find_ms_rectangle_trivial(grid, model)
+        assert pruned.cells_evaluated <= trivial.cells_evaluated
+
+    def test_result_scores_its_rectangle(self):
+        random.seed(0)
+        model = BernoulliModel.uniform("ab")
+        grid = ["".join(random.choice("ab") for _ in range(8)) for _ in range(6)]
+        result = find_ms_rectangle(grid, model)
+        direct = chi_square_rectangle(
+            grid, model, result.top, result.bottom, result.left, result.right
+        )
+        assert result.chi_square == pytest.approx(direct, abs=1e-9)
+
+
+class TestDetection:
+    def test_planted_hotspot_recovered(self):
+        random.seed(1)
+        model = BernoulliModel("ab", [0.85, 0.15])
+        grid_chars = [
+            [random.choices("ab", weights=[85, 15])[0] for _ in range(20)]
+            for _ in range(15)
+        ]
+        for r in range(5, 10):
+            for c in range(8, 16):
+                grid_chars[r][c] = "b"
+        grid = ["".join(row) for row in grid_chars]
+        result = find_ms_rectangle(grid, model)
+        # the found rectangle must substantially overlap the plant
+        row_overlap = min(result.bottom, 10) - max(result.top, 5)
+        col_overlap = min(result.right, 16) - max(result.left, 8)
+        assert row_overlap >= 3 and col_overlap >= 5
+        assert result.p_value < 1e-6
+
+    def test_area_property(self):
+        model = BernoulliModel.uniform("ab")
+        result = find_ms_rectangle(["ab", "ab"], model)
+        assert result.area == (result.bottom - result.top) * (
+            result.right - result.left
+        )

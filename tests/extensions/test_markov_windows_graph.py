@@ -1,0 +1,197 @@
+"""Tests for the Markov-null, fixed-window, and graph extensions."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.model import BernoulliModel
+from repro.extensions.graph import find_significant_subgraph
+from repro.extensions.markov_null import (
+    MarkovNullModel,
+    find_mss_markov,
+    transition_chi_square,
+)
+from repro.extensions.windows import scan_windows, top_windows
+
+
+class TestMarkovNullModel:
+    def test_construction(self):
+        null = MarkovNullModel("ab", [[0.7, 0.3], [0.4, 0.6]])
+        assert null.k == 2
+        assert null.dof == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovNullModel("a", [[1.0]])
+        with pytest.raises(ValueError):
+            MarkovNullModel("ab", [[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            MarkovNullModel("ab", [[0.5, 0.6], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            MarkovNullModel("ab", [[1.0, 0.0], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            MarkovNullModel("aa", [[0.5, 0.5], [0.5, 0.5]])
+
+    def test_encode_unknown(self):
+        null = MarkovNullModel("ab", [[0.5, 0.5], [0.5, 0.5]])
+        with pytest.raises(KeyError):
+            null.encode("abz")
+
+    def test_from_bernoulli(self):
+        model = BernoulliModel("ab", [0.3, 0.7])
+        null = MarkovNullModel.from_bernoulli(model)
+        assert np.allclose(null.transition, [[0.3, 0.7], [0.3, 0.7]])
+
+
+class TestTransitionChiSquare:
+    def test_perfect_match_scores_low(self):
+        null = MarkovNullModel("ab", [[0.5, 0.5], [0.5, 0.5]])
+        # alternating string: transitions ab, ba in equal counts
+        value = transition_chi_square("abababab", null)
+        # each origin has all mass on one cell: X² = count per row
+        assert value > 0
+
+    def test_matching_sticky_string_scores_lower(self):
+        sticky_null = MarkovNullModel("ab", [[0.9, 0.1], [0.1, 0.9]])
+        fair_null = MarkovNullModel("ab", [[0.5, 0.5], [0.5, 0.5]])
+        text = "aaaaabbbbbaaaaabbbbb"
+        assert transition_chi_square(text, sticky_null) < transition_chi_square(
+            text, fair_null
+        )
+
+    def test_too_short_rejected(self):
+        null = MarkovNullModel("ab", [[0.5, 0.5], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            transition_chi_square("a", null)
+
+
+class TestFindMssMarkov:
+    def test_finds_sticky_run_under_fair_null(self):
+        null = MarkovNullModel("ab", [[0.5, 0.5], [0.5, 0.5]])
+        rng = np.random.default_rng(8)
+        flank1 = "".join("ab"[b] for b in rng.integers(0, 2, 40))
+        flank2 = "".join("ab"[b] for b in rng.integers(0, 2, 40))
+        text = flank1 + "a" * 16 + flank2
+        result = find_mss_markov(text, null)
+        # the found window must substantially overlap the sticky run
+        overlap = min(result.end, 56) - max(result.start, 40)
+        assert overlap >= 10
+        assert result.p_value < 0.05
+
+    def test_respects_min_transitions(self):
+        null = MarkovNullModel("ab", [[0.5, 0.5], [0.5, 0.5]])
+        result = find_mss_markov("abababab", null, min_transitions=4)
+        assert result.end - result.start >= 5
+
+    def test_validation(self):
+        null = MarkovNullModel("ab", [[0.5, 0.5], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            find_mss_markov("ab", null, min_transitions=0)
+        with pytest.raises(ValueError):
+            find_mss_markov("ab", null, min_transitions=5)
+
+
+class TestWindows:
+    def test_scan_counts(self, fair_model):
+        scores, stats = scan_windows("abababab", fair_model, 3)
+        assert len(scores) == 6
+        assert stats.substrings_evaluated == 6
+
+    def test_sliding_matches_direct(self, fair_model):
+        from repro.core.chisquare import chi_square
+
+        text = "aababbbaab"
+        w = 4
+        scores, _ = scan_windows(text, fair_model, w)
+        for score in scores:
+            assert score.chi_square == pytest.approx(
+                chi_square(text[score.start : score.start + w], fair_model)
+            )
+
+    def test_window_size_validation(self, fair_model):
+        with pytest.raises(ValueError):
+            scan_windows("ab", fair_model, 0)
+        with pytest.raises(ValueError):
+            scan_windows("ab", fair_model, 3)
+
+    def test_top_windows_non_overlapping(self, fair_model):
+        text = "ab" * 10 + "aaaa" + "ab" * 10
+        best = top_windows(text, fair_model, 4, 3)
+        best.sort(key=lambda s: s.start)
+        for first, second in zip(best, best[1:]):
+            assert first.end <= second.start
+
+    def test_top_windows_overlapping_mode(self, fair_model):
+        text = "ab" * 6 + "aaaa" + "ab" * 6
+        overlapping = top_windows(text, fair_model, 4, 3, allow_overlap=True)
+        assert len(overlapping) == 3
+        values = [s.chi_square for s in overlapping]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_windows_validation(self, fair_model):
+        with pytest.raises(ValueError):
+            top_windows("abab", fair_model, 2, 0)
+
+
+class TestGraph:
+    def test_path_graph_block_recovered(self):
+        graph = nx.path_graph(9)
+        labels = {i: ("b" if 3 <= i <= 5 else "a") for i in graph}
+        model = BernoulliModel("ab", [0.8, 0.2])
+        result = find_significant_subgraph(graph, labels, model)
+        assert sorted(result.nodes) == [3, 4, 5]
+
+    def test_region_is_connected(self):
+        rng = np.random.default_rng(0)
+        graph = nx.gnp_random_graph(30, 0.15, seed=1)
+        graph.add_edges_from((i, i + 1) for i in range(29))  # ensure connectivity
+        labels = {i: ("b" if rng.random() < 0.2 else "a") for i in graph}
+        model = BernoulliModel("ab", [0.8, 0.2])
+        result = find_significant_subgraph(graph, labels, model)
+        assert nx.is_connected(graph.subgraph(result.nodes))
+
+    def test_matches_brute_force_on_tiny_path(self):
+        """On a tiny path every connected set is an interval -- brute-forceable."""
+        from repro.core.chisquare import chi_square_from_counts
+
+        graph = nx.path_graph(7)
+        labels = {i: "ab"[i in (2, 3)] for i in graph}
+        model = BernoulliModel("ab", [0.7, 0.3])
+        best = -1.0
+        for start in range(7):
+            for end in range(start + 1, 8):
+                counts = [0, 0]
+                for node in range(start, end):
+                    counts[model.code_of(labels[node])] += 1
+                best = max(best, chi_square_from_counts(counts, model.probabilities))
+        result = find_significant_subgraph(graph, labels, model)
+        assert result.chi_square == pytest.approx(best, abs=1e-9)
+
+    def test_max_size_respected(self):
+        graph = nx.complete_graph(10)
+        labels = {i: "ab"[i % 2] for i in graph}
+        model = BernoulliModel.uniform("ab")
+        result = find_significant_subgraph(graph, labels, model, max_size=3)
+        assert result.size <= 3
+
+    def test_validation(self):
+        model = BernoulliModel.uniform("ab")
+        with pytest.raises(ValueError, match="no nodes"):
+            find_significant_subgraph(nx.Graph(), {}, model)
+        graph = nx.path_graph(3)
+        with pytest.raises(ValueError, match="missing labels"):
+            find_significant_subgraph(graph, {0: "a"}, model)
+        labels = {i: "a" for i in graph}
+        with pytest.raises(ValueError, match="seed"):
+            find_significant_subgraph(graph, labels, model, seeds=[99])
+        with pytest.raises(ValueError, match="no seed"):
+            find_significant_subgraph(graph, labels, model, seeds=[])
+        with pytest.raises(ValueError, match="max_size"):
+            find_significant_subgraph(graph, labels, model, max_size=0)
+
+    def test_p_value_present(self):
+        graph = nx.path_graph(4)
+        labels = {i: "a" for i in graph}
+        model = BernoulliModel("ab", [0.5, 0.5])
+        result = find_significant_subgraph(graph, labels, model)
+        assert 0.0 <= result.p_value <= 1.0

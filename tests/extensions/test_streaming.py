@@ -1,0 +1,132 @@
+"""Tests for the streaming MSS extension."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.extensions.streaming import StreamingMSS
+from repro.generators import PlantedSegment, generate_with_planted
+
+
+@pytest.fixture
+def model():
+    return BernoulliModel.uniform("ab")
+
+
+class TestValidation:
+    def test_overlap_must_be_smaller_than_chunk(self, model):
+        with pytest.raises(ValueError, match="overlap"):
+            StreamingMSS(model, chunk=100, overlap=100)
+
+    def test_positive_parameters(self, model):
+        with pytest.raises(ValueError):
+            StreamingMSS(model, chunk=0, overlap=0)
+
+    def test_unknown_symbol_rejected_at_feed(self, model):
+        miner = StreamingMSS(model, chunk=10, overlap=2)
+        with pytest.raises(KeyError, match="not in the alphabet"):
+            miner.feed("abz")
+
+    def test_finish_without_symbols(self, model):
+        miner = StreamingMSS(model, chunk=10, overlap=2)
+        with pytest.raises(ValueError, match="no symbols"):
+            miner.finish()
+
+
+class TestExactness:
+    def test_exact_when_stream_fits_one_buffer(self, model):
+        text = "ab" * 30 + "aaaa" + "ba" * 30
+        miner = StreamingMSS(model, chunk=1000, overlap=100)
+        miner.feed(text)
+        best = miner.finish()
+        offline = find_mss(text, model).best
+        assert best.chi_square == pytest.approx(offline.chi_square)
+        assert (best.start, best.end) == (offline.start, offline.end)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(
+        max_examples=15,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_guarantee_up_to_overlap_length(self, model, seed):
+        """Any substring of length <= overlap scores no better than the
+        streaming result: the documented guarantee."""
+        from repro.core.minlength import find_mss_min_length
+        from repro.generators import generate_null_string
+
+        text = generate_null_string(model, 900, seed=seed)
+        overlap = 120
+        miner = StreamingMSS(model, chunk=300, overlap=overlap)
+        miner.feed(text)
+        streamed = miner.finish()
+        # every substring of length <= overlap is contained in a scanned
+        # buffer, so none of them can beat the streaming result
+        trivial_short = _best_bounded_length(text, model, overlap)
+        assert streamed.chi_square >= trivial_short - 1e-9
+
+    def test_burst_found_across_chunk_boundary(self, model):
+        """A burst straddling a flush cut is caught via the overlap."""
+        burst_start = 495  # straddles the chunk=500 cut
+        text = (
+            "ab" * (burst_start // 2)
+            + "a" * 40
+            + "ba" * 300
+        )
+        miner = StreamingMSS(model, chunk=500, overlap=100)
+        miner.feed(text)
+        best = miner.finish()
+        assert best.start >= burst_start - 10
+        assert best.end <= burst_start + 50
+        assert best.chi_square >= 30.0
+
+
+def _best_bounded_length(text, model, max_length):
+    from repro.core.chisquare import ChiSquareScorer
+
+    scorer = ChiSquareScorer(text, model)
+    best = 0.0
+    n = len(text)
+    for start in range(n):
+        for end in range(start + 1, min(start + max_length, n) + 1):
+            value = scorer.score(start, end)
+            if value > best:
+                best = value
+    return best
+
+
+class TestBookkeeping:
+    def test_counters(self, model):
+        miner = StreamingMSS(model, chunk=100, overlap=20)
+        miner.feed("ab" * 200)
+        assert miner.symbols_seen == 400
+        assert miner.flushes >= 2
+        assert miner.exact_length_limit == 20
+
+    def test_global_offsets(self, model):
+        """Reported intervals are in global stream coordinates."""
+        segment = PlantedSegment(1500, 80, (0.95, 0.05))
+        codes = generate_with_planted(model, 2500, [segment], seed=9)
+        text = model.decode_to_string(codes)
+        miner = StreamingMSS(model, chunk=400, overlap=150)
+        miner.feed(text)
+        best = miner.finish()
+        overlap = min(best.end, 1580) - max(best.start, 1500)
+        assert overlap > 40
+
+    def test_current_best_updates_after_flush(self, model):
+        miner = StreamingMSS(model, chunk=50, overlap=10)
+        assert miner.current_best is None
+        miner.feed("a" * 100)
+        assert miner.current_best is not None
+
+    def test_finish_is_idempotent_and_resumable(self, model):
+        miner = StreamingMSS(model, chunk=100, overlap=20)
+        miner.feed("ab" * 100)
+        first = miner.finish()
+        second = miner.finish()
+        assert first.chi_square == second.chi_square
+        miner.feed("a" * 50)  # still usable
+        third = miner.finish()
+        assert third.chi_square >= first.chi_square

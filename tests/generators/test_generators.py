@@ -1,0 +1,185 @@
+"""Tests for the workload generators (§7.1-7.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import BernoulliModel
+from repro.generators import (
+    MarkovChain,
+    PlantedSegment,
+    generate_correlated_binary,
+    generate_null,
+    generate_null_string,
+    generate_with_planted,
+    paper_markov_chain,
+    resolve_rng,
+)
+
+
+class TestResolveRng:
+    def test_seed_determinism(self):
+        a = resolve_rng(42).random(5)
+        b = resolve_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert resolve_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+
+class TestNull:
+    def test_length_and_codes(self):
+        model = BernoulliModel.uniform("abc")
+        codes = generate_null(model, 500, seed=0)
+        assert len(codes) == 500
+        assert set(np.unique(codes)) <= {0, 1, 2}
+
+    def test_frequencies_match_model(self):
+        model = BernoulliModel("ab", [0.2, 0.8])
+        codes = generate_null(model, 20_000, seed=1)
+        ratio = codes.mean()
+        assert ratio == pytest.approx(0.8, abs=0.02)
+
+    def test_string_variant(self):
+        model = BernoulliModel.uniform("ab")
+        text = generate_null_string(model, 64, seed=2)
+        assert len(text) == 64 and set(text) <= {"a", "b"}
+
+    def test_determinism(self):
+        model = BernoulliModel.uniform("ab")
+        assert generate_null_string(model, 50, seed=7) == generate_null_string(
+            model, 50, seed=7
+        )
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            generate_null(BernoulliModel.uniform("ab"), 0)
+
+
+class TestMarkov:
+    def test_paper_kernel_shape(self):
+        chain = paper_markov_chain(4)
+        assert chain.transition.shape == (4, 4)
+        assert np.allclose(chain.transition.sum(axis=1), 1.0)
+
+    def test_paper_kernel_weights(self):
+        """Pr[a_j | a_i] proportional to 1/2^{(i-j) mod k}."""
+        chain = paper_markov_chain(3)
+        row = chain.transition[1]
+        # (1-j) mod 3 for j=0,1,2 -> 1, 0, 2 -> weights 1/2, 1, 1/4
+        expected = np.array([0.5, 1.0, 0.25])
+        assert np.allclose(row, expected / expected.sum())
+
+    def test_stationary_is_fixed_point(self):
+        chain = paper_markov_chain(5)
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi @ chain.transition, pi, atol=1e-10)
+
+    def test_generation_statistics(self):
+        chain = paper_markov_chain(2)
+        codes = chain.generate(30_000, seed=3)
+        pi = chain.stationary_distribution()
+        empirical = np.bincount(codes, minlength=2) / len(codes)
+        assert np.allclose(empirical, pi, atol=0.02)
+
+    def test_transition_statistics(self):
+        chain = MarkovChain(np.array([[0.9, 0.1], [0.5, 0.5]]))
+        codes = chain.generate(30_000, seed=4)
+        stay = np.mean(codes[1:][codes[:-1] == 0] == 0)
+        assert stay == pytest.approx(0.9, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            MarkovChain(np.array([[0.5, 0.6], [0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            MarkovChain(np.array([[-0.1, 1.1], [0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            MarkovChain(np.eye(2), initial=np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            paper_markov_chain(1)
+
+    def test_initial_distribution_respected(self):
+        chain = MarkovChain(
+            np.array([[0.5, 0.5], [0.5, 0.5]]), initial=np.array([1.0, 0.0])
+        )
+        starts = {int(chain.generate(3, seed=s)[0]) for s in range(10)}
+        assert starts == {0}
+
+
+class TestCorrelated:
+    def test_p_one_constant_string(self):
+        bits = generate_correlated_binary(100, 1.0, seed=0)
+        assert len(set(bits.tolist())) == 1
+
+    def test_p_zero_alternates(self):
+        bits = generate_correlated_binary(100, 0.0, seed=0)
+        assert all(a != b for a, b in zip(bits, bits[1:]))
+
+    def test_p_half_is_fair(self):
+        bits = generate_correlated_binary(20_000, 0.5, seed=1)
+        flips = (bits[1:] != bits[:-1]).mean()
+        assert flips == pytest.approx(0.5, abs=0.02)
+
+    def test_stickiness_measured(self):
+        bits = generate_correlated_binary(20_000, 0.8, seed=2)
+        same = (bits[1:] == bits[:-1]).mean()
+        assert same == pytest.approx(0.8, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_correlated_binary(0, 0.5)
+        with pytest.raises(ValueError):
+            generate_correlated_binary(10, 1.5)
+
+
+class TestPlanted:
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            PlantedSegment(start=-1, length=5, probabilities=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            PlantedSegment(start=0, length=0, probabilities=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            PlantedSegment(start=0, length=5, probabilities=(0.5, 0.6))
+
+    def test_overlap_detection(self):
+        model = BernoulliModel.uniform("ab")
+        segments = [
+            PlantedSegment(0, 10, (0.9, 0.1)),
+            PlantedSegment(5, 10, (0.9, 0.1)),
+        ]
+        with pytest.raises(ValueError, match="overlap"):
+            generate_with_planted(model, 100, segments, seed=0)
+
+    def test_out_of_bounds_segment(self):
+        model = BernoulliModel.uniform("ab")
+        with pytest.raises(ValueError, match="past the string"):
+            generate_with_planted(
+                model, 20, [PlantedSegment(15, 10, (0.9, 0.1))], seed=0
+            )
+
+    def test_alphabet_size_mismatch(self):
+        model = BernoulliModel.uniform("abc")
+        with pytest.raises(ValueError, match="probabilities"):
+            generate_with_planted(
+                model, 50, [PlantedSegment(0, 10, (0.9, 0.1))], seed=0
+            )
+
+    def test_planted_window_is_skewed(self):
+        model = BernoulliModel.uniform("ab")
+        segment = PlantedSegment(100, 200, (0.95, 0.05))
+        codes = generate_with_planted(model, 600, [segment], seed=5)
+        window_ratio = codes[100:300].mean()  # fraction of 'b'
+        outside_ratio = np.concatenate([codes[:100], codes[300:]]).mean()
+        assert window_ratio < 0.15
+        assert 0.35 < outside_ratio < 0.65
+
+    def test_segment_properties(self):
+        segment = PlantedSegment(10, 5, (0.5, 0.5))
+        assert segment.end == 15
+        assert segment.overlaps(PlantedSegment(14, 2, (0.5, 0.5)))
+        assert not segment.overlaps(PlantedSegment(15, 2, (0.5, 0.5)))

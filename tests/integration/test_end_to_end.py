@@ -1,0 +1,150 @@
+"""Integration tests: full pipelines across subsystem boundaries."""
+
+import math
+
+import pytest
+
+from repro import (
+    BernoulliModel,
+    chi2_critical_value,
+    find_above_threshold,
+    find_mss,
+    find_top_t,
+)
+from repro.baselines import (
+    find_mss_agmm,
+    find_mss_arlm,
+    find_mss_trivial_numpy,
+)
+from repro.core.postprocess import find_top_t_distinct
+from repro.datasets import (
+    RivalrySimulator,
+    SyntheticSecurity,
+    dow_jones_spec,
+    sp500_spec,
+)
+from repro.generators import (
+    PlantedSegment,
+    generate_correlated_binary,
+    generate_with_planted,
+)
+
+
+class TestSportsPipeline:
+    """The paper's §7.5.1 experiment, end to end."""
+
+    @pytest.fixture(scope="class")
+    def rivalry(self):
+        sim = RivalrySimulator(seed=7)
+        return sim, sim.binary_string(), sim.model()
+
+    def test_mss_is_the_yankees_era(self, rivalry):
+        sim, text, model = rivalry
+        best = find_mss(text, model).best
+        headline = max(sim.planted_windows, key=lambda w: w.games)
+        overlap = min(best.end, headline.end_index) - max(
+            best.start, headline.start_index
+        )
+        assert overlap > headline.games * 0.7
+
+    def test_x2_near_paper_value(self, rivalry):
+        _sim, text, model = rivalry
+        best = find_mss(text, model).best
+        assert best.chi_square == pytest.approx(38.76, rel=0.20)
+
+    def test_all_five_eras_surface(self, rivalry):
+        sim, text, model = rivalry
+        eras = find_top_t_distinct(text, model, 5, floor=8.0)
+        assert len(eras) == 5
+        recovered = 0
+        for window in sim.planted_windows:
+            for era in eras:
+                overlap = min(era.end, window.end_index) - max(
+                    era.start, window.start_index
+                )
+                if overlap > window.games * 0.5:
+                    recovered += 1
+                    break
+        assert recovered >= 4
+
+    def test_exact_baselines_agree_on_sports_string(self, rivalry):
+        _sim, text, model = rivalry
+        ours = find_mss(text, model).best.chi_square
+        trivial = find_mss_trivial_numpy(text, model).best.chi_square
+        arlm = find_mss_arlm(text, model).best.chi_square
+        assert ours == pytest.approx(trivial, abs=1e-7)
+        assert arlm == pytest.approx(trivial, abs=1e-7)
+
+    def test_agmm_at_most_optimal(self, rivalry):
+        _sim, text, model = rivalry
+        agmm = find_mss_agmm(text, model).best.chi_square
+        optimal = find_mss(text, model).best.chi_square
+        assert agmm <= optimal + 1e-9
+
+
+class TestStocksPipeline:
+    """The paper's §7.5.2 experiment, end to end (Dow + S&P)."""
+
+    def test_dow_optimum_is_planted_boom(self):
+        security = SyntheticSecurity(dow_jones_spec(), seed=11)
+        best = find_mss(security.binary_string(), security.model()).best
+        start_date, end_date = security.date_range(best.start, best.end)
+        assert 1953 <= start_date.year <= 1955
+        assert 1955 <= end_date.year <= 1956
+        assert best.chi_square == pytest.approx(25.22, rel=0.25)
+
+    def test_sp_optimum_is_planted_bear(self):
+        security = SyntheticSecurity(sp500_spec(), seed=11)
+        best = find_mss(security.binary_string(), security.model()).best
+        start_date, _ = security.date_range(best.start, best.end)
+        assert 1973 <= start_date.year <= 1974
+        change = security.percent_change(best.start, best.end)
+        assert change < -25.0
+
+
+class TestCryptologyPipeline:
+    """§7.4: X²max as a randomness audit statistic."""
+
+    def test_sticky_generator_flagged(self):
+        model = BernoulliModel.uniform("01")
+        n = 5000
+        fair_bits = generate_correlated_binary(n, 0.5, seed=1)
+        sticky_bits = generate_correlated_binary(n, 0.7, seed=1)
+        fair_score = find_mss(
+            "".join("01"[b] for b in fair_bits), model
+        ).best.chi_square
+        sticky_score = find_mss(
+            "".join("01"[b] for b in sticky_bits), model
+        ).best.chi_square
+        benchmark = 2 * math.log(n)
+        assert fair_score < benchmark * 1.8
+        assert sticky_score > fair_score
+
+    def test_threshold_at_significance_level(self):
+        """chi2 critical value -> threshold variant -> verified p-values."""
+        model = BernoulliModel.uniform("01")
+        segment = PlantedSegment(1000, 150, (0.9, 0.1))
+        codes = generate_with_planted(model, 3000, [segment], seed=2)
+        text = model.decode_to_string(codes)
+        alpha0 = chi2_critical_value(1e-6, model.k - 1)
+        hits = find_above_threshold(text, model, alpha0, limit=100_000)
+        assert len(hits) > 0
+        assert all(s.p_value < 1e-6 for s in hits)
+
+
+class TestConsistencyAcrossVariants:
+    def test_variants_tell_one_story(self):
+        model = BernoulliModel.uniform("ab")
+        segment = PlantedSegment(400, 90, (0.9, 0.1))
+        codes = generate_with_planted(model, 1200, [segment], seed=4)
+        text = model.decode_to_string(codes)
+
+        mss = find_mss(text, model).best
+        top = find_top_t(text, model, 10)
+        hits = find_above_threshold(text, model, mss.chi_square - 1e-9)
+
+        # top-1 equals MSS; threshold at MSS-epsilon returns exactly it.
+        assert top.substrings[0].chi_square == pytest.approx(mss.chi_square)
+        assert len(hits) == 1
+        assert hits.substrings[0].start == mss.start
+        assert hits.substrings[0].end == mss.end

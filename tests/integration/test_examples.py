@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion.
+
+The heavyweight examples are exercised at full size by the benchmark
+suite; here we only assert that each script executes and prints what it
+promises.  Scripts are run in-process (runpy) so coverage tools see them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sports_rivalry.py",
+    "grid_hotspot.py",
+]
+
+SLOW_EXAMPLES = [
+    "randomness_audit.py",
+    "dna_motif.py",
+    "intrusion_detection.py",
+    "stock_returns.py",
+    "telecom_monitoring.py",
+    "significance_calibration.py",
+    "market_coupling.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_fast_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "X2" in out or "X2=" in out or "chi" in out.lower()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", SLOW_EXAMPLES)
+def test_slow_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100
+
+
+def test_examples_directory_complete():
+    """The deliverable: at least a quickstart plus two domain scenarios."""
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3

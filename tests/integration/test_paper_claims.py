@@ -1,0 +1,127 @@
+"""The paper's headline claims, as a test ledger.
+
+One test per claim, at a scale pytest can afford.  The benchmark suite
+re-measures the same claims at larger sizes; these tests pin them down
+as part of the correctness gate.
+"""
+
+import math
+
+import pytest
+
+from repro import BernoulliModel, find_above_threshold, find_mss, find_top_t
+from repro.baselines import find_mss_trivial, trivial_iterations
+from repro.generators import generate_null_string
+
+
+class TestClaimSubquadratic:
+    """§5: 'the running time of our algorithm is O(n^{3/2})'."""
+
+    def test_iteration_law(self, fair_model):
+        sizes = (1000, 4000)
+        counts = []
+        for n in sizes:
+            text = generate_null_string(fair_model, n, seed=n)
+            counts.append(find_mss(text, fair_model).stats.substrings_evaluated)
+        slope = math.log(counts[1] / counts[0]) / math.log(sizes[1] / sizes[0])
+        assert slope < 1.8
+        # and far below trivial in absolute terms
+        assert counts[1] < trivial_iterations(sizes[1]) / 20
+
+
+class TestClaimExactness:
+    """§1/§4: the algorithm finds THE most significant substring
+    (not an approximation), unlike AGMM."""
+
+    def test_exact_on_sample_of_inputs(self, fair_model):
+        for seed in range(5):
+            text = generate_null_string(fair_model, 300, seed=seed)
+            ours = find_mss(text, fair_model).best.chi_square
+            oracle = find_mss_trivial(text, fair_model).best.chi_square
+            assert ours == pytest.approx(oracle, abs=1e-9)
+
+
+class TestClaimX2MaxGrowth:
+    """Conclusion: 'the chi-square value of the most significant
+    substring increases asymptotically as (2 ln n)'."""
+
+    def test_growth_band(self, fair_model):
+        for n in (2000, 8000):
+            values = [
+                find_mss(
+                    generate_null_string(fair_model, n, seed=s), fair_model
+                ).best.chi_square
+                for s in range(3)
+            ]
+            mean = sum(values) / len(values)
+            assert 0.5 * 2 * math.log(n) < mean < 2.0 * 2 * math.log(n)
+
+
+class TestClaimVariantsScale:
+    """§6: all variants run in O(n^{3/2}) (top-t for t < omega(n));
+    the threshold variant collapses once alpha0 clears X2max."""
+
+    def test_topt_tracks_mss_work(self, fair_model):
+        text = generate_null_string(fair_model, 2000, seed=3)
+        mss_work = find_mss(text, fair_model).stats.substrings_evaluated
+        topt_work = find_top_t(text, fair_model, 10).stats.substrings_evaluated
+        assert topt_work < mss_work * 3
+
+    def test_threshold_collapse(self, fair_model):
+        text = generate_null_string(fair_model, 2000, seed=4)
+        x2max = find_mss(text, fair_model).best.chi_square
+        below = find_above_threshold(
+            text, fair_model, x2max / 4, count_only=True
+        ).stats.substrings_evaluated
+        above = find_above_threshold(
+            text, fair_model, x2max * 2, count_only=True
+        ).stats.substrings_evaluated
+        assert above < below / 2
+
+
+class TestClaimChiSquareVsLR:
+    """§1: X² converges to chi-square from below, -2 ln LR from above
+    (for extreme outcomes) -- the type-I-error argument for X²."""
+
+    def test_statistics_bracket_for_skewed_counts(self):
+        from repro.core.chisquare import chi_square_from_counts
+        from repro.stats.likelihood import likelihood_ratio_from_counts
+
+        # moderately skewed large-sample counts: LR > X² is typical
+        counts, probs = [640, 360], [0.5, 0.5]
+        x2 = chi_square_from_counts(counts, probs)
+        lr = likelihood_ratio_from_counts(counts, probs)
+        assert lr > x2 > 0
+
+    def test_both_agree_near_null(self):
+        from repro.core.chisquare import chi_square_from_counts
+        from repro.stats.likelihood import likelihood_ratio_from_counts
+
+        counts, probs = [5050, 4950], [0.5, 0.5]
+        x2 = chi_square_from_counts(counts, probs)
+        lr = likelihood_ratio_from_counts(counts, probs)
+        assert lr == pytest.approx(x2, rel=0.02)
+
+
+class TestClaimOrderIrrelevance:
+    """§2: computing X² needs only counts, not traversal -- any
+    permutation of a substring scores identically."""
+
+    def test_permutation_invariance(self, fair_model):
+        from repro.core.chisquare import chi_square
+
+        text = "aababbab"
+        scrambled = "bbaaabba"  # same multiset
+        assert chi_square(text, fair_model) == pytest.approx(
+            chi_square(scrambled, fair_model)
+        )
+
+
+class TestClaimPracticality:
+    """§7.3: 'for real life scenarios, the algorithm is practical' --
+    a 20000-symbol string mines in seconds."""
+
+    def test_20k_under_ten_seconds(self, fair_model):
+        text = generate_null_string(fair_model, 20_000, seed=9)
+        result = find_mss(text, fair_model)
+        assert result.stats.elapsed_seconds < 10.0

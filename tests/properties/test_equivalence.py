@@ -1,0 +1,123 @@
+"""Cross-variant equivalences: the four problems tell one consistent story.
+
+These invariants connect the miners to each other, so a bug in any one
+scanner breaks a relation rather than just a number.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minlength import find_mss_min_length
+from repro.core.mss import find_mss
+from repro.core.threshold import find_above_threshold
+from repro.core.topt import find_top_t
+from repro.extensions.windows import scan_windows
+from tests.conftest import model_and_text
+
+
+class TestMssIsTheApex:
+    @given(model_and_text(min_length=2, max_length=25))
+    @settings(max_examples=60)
+    def test_mss_equals_max_over_window_scans(self, model_text):
+        """The MSS value is the max over every fixed-window scan."""
+        model, text = model_text
+        mss = find_mss(text, model).best.chi_square
+        window_max = max(
+            score.chi_square
+            for w in range(1, len(text) + 1)
+            for score in scan_windows(text, model, w)[0]
+        )
+        assert mss == pytest.approx(window_max, abs=1e-8)
+
+    @given(model_and_text(min_length=2, max_length=25))
+    @settings(max_examples=60)
+    def test_minlength_envelope_is_decreasing(self, model_text):
+        """Raising the length floor can only lower the best score."""
+        model, text = model_text
+        values = [
+            find_mss_min_length(text, model, floor).best.chi_square
+            for floor in range(1, len(text) + 1)
+        ]
+        for earlier, later in zip(values, values[1:]):
+            assert later <= earlier + 1e-9
+
+    @given(model_and_text(min_length=2, max_length=25))
+    @settings(max_examples=60)
+    def test_minlength_one_is_mss(self, model_text):
+        model, text = model_text
+        assert find_mss_min_length(text, model, 1).best.chi_square == pytest.approx(
+            find_mss(text, model).best.chi_square, abs=1e-9
+        )
+
+
+class TestThresholdConsistency:
+    @given(model_and_text(min_length=2, max_length=20))
+    @settings(max_examples=60)
+    def test_threshold_just_below_mss_returns_exactly_it(self, model_text):
+        model, text = model_text
+        mss = find_mss(text, model).best
+        hits = find_above_threshold(text, model, mss.chi_square * (1 - 1e-9))
+        assert len(hits) >= 1
+        assert hits.substrings[0].chi_square == pytest.approx(
+            mss.chi_square, abs=1e-9
+        )
+
+    @given(model_and_text(min_length=2, max_length=18), st.floats(0.0, 8.0))
+    @settings(max_examples=60)
+    def test_threshold_counts_match_topt_values(self, model_text, alpha0):
+        """#substrings above alpha0 == #top-t values above alpha0 for big t."""
+        model, text = model_text
+        n = len(text)
+        t = n * (n + 1) // 2
+        all_values = find_top_t(text, model, t)
+        above_via_topt = sum(1 for v in all_values.values if v > alpha0)
+        above_via_threshold = find_above_threshold(text, model, alpha0).matches
+        # top-t's zero-seeded heap drops zero-score substrings; they can
+        # only matter at alpha0 == 0, which the strict > excludes anyway.
+        assert above_via_topt == above_via_threshold
+
+    @given(model_and_text(min_length=2, max_length=20))
+    @settings(max_examples=40)
+    def test_threshold_monotone_in_alpha(self, model_text):
+        model, text = model_text
+        counts = [
+            find_above_threshold(text, model, alpha0, count_only=True).matches
+            for alpha0 in (0.5, 1.0, 2.0, 4.0, 8.0)
+        ]
+        for earlier, later in zip(counts, counts[1:]):
+            assert later <= earlier
+
+    @given(model_and_text(min_length=2, max_length=20), st.floats(0.0, 8.0))
+    @settings(max_examples=40)
+    def test_count_only_matches_materialised(self, model_text, alpha0):
+        model, text = model_text
+        materialised = find_above_threshold(text, model, alpha0)
+        counted = find_above_threshold(text, model, alpha0, count_only=True)
+        assert counted.matches == len(materialised)
+        assert counted.stats.substrings_evaluated == (
+            materialised.stats.substrings_evaluated
+        )
+
+
+class TestTopTConsistency:
+    @given(model_and_text(min_length=2, max_length=18), st.data())
+    @settings(max_examples=60)
+    def test_topt_values_nested(self, model_text, data):
+        """top-t values are a prefix of top-(t+1) values."""
+        model, text = model_text
+        n = len(text)
+        limit = n * (n + 1) // 2
+        t = data.draw(st.integers(1, max(1, min(8, limit - 1))))
+        smaller = find_top_t(text, model, t).values
+        larger = find_top_t(text, model, t + 1).values
+        for a, b in zip(smaller, larger):
+            assert a == pytest.approx(b, abs=1e-9)
+
+    @given(model_and_text(min_length=2, max_length=18))
+    @settings(max_examples=60)
+    def test_top1_value_is_mss(self, model_text):
+        model, text = model_text
+        assert find_top_t(text, model, 1).values[0] == pytest.approx(
+            find_mss(text, model).best.chi_square, abs=1e-9
+        )

@@ -1,0 +1,117 @@
+"""Tests for the concentration bounds and recurrence helpers (§5, appendix)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.bounds import (
+    chernoff_binomial_lower_tail,
+    hoeffding_upper_bound,
+    lemma3_probability,
+    lemma5_expected_skip,
+    lemma7_recurrence_bound,
+    solve_skip_recurrence,
+)
+
+
+class TestHoeffding:
+    def test_zero_deviation(self):
+        assert hoeffding_upper_bound(0.0, 100) == 1.0
+
+    def test_decreases_with_deviation(self):
+        assert hoeffding_upper_bound(5.0, 100) > hoeffding_upper_bound(10.0, 100)
+
+    def test_bound_is_valid_empirically(self):
+        """Monte-carlo: the bound really does dominate the tail."""
+        rng = np.random.default_rng(0)
+        n, trials, t = 100, 4000, 10.0
+        sums = rng.random((trials, n)).sum(axis=1)
+        empirical = float((sums - n * 0.5 >= t).mean())
+        assert empirical <= hoeffding_upper_bound(t, n) + 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_upper_bound(1.0, 0)
+        with pytest.raises(ValueError):
+            hoeffding_upper_bound(1.0, 10, range_width=0.0)
+
+
+class TestChernoff:
+    def test_above_mean_returns_one(self):
+        assert chernoff_binomial_lower_tail(100, 0.5, 60) == 1.0
+
+    def test_bound_dominates_empirical_tail(self):
+        rng = np.random.default_rng(1)
+        n, p, t = 200, 0.5, 80
+        draws = rng.binomial(n, p, size=5000)
+        empirical = float((draws < t).mean())
+        assert empirical <= chernoff_binomial_lower_tail(n, p, t) + 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_binomial_lower_tail(0, 0.5, 1)
+        with pytest.raises(ValueError):
+            chernoff_binomial_lower_tail(10, 1.0, 1)
+
+
+class TestLemma3:
+    def test_probability_approaches_one(self):
+        assert lemma3_probability(10) < lemma3_probability(10_000)
+        assert lemma3_probability(10_000) > 0.99
+
+    def test_empirical_max_exceeds_log_m(self):
+        """The lemma's content: max of m chi-squares beats ln(m) w.h.p."""
+        rng = np.random.default_rng(2)
+        m = 2000
+        hits = 0
+        for _ in range(50):
+            z = rng.chisquare(1, size=m).max()
+            hits += z > math.log(m)
+        assert hits >= 45  # should essentially always happen
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma3_probability(0)
+        with pytest.raises(ValueError):
+            lemma3_probability(10, c=0.0)
+
+
+class TestLemma5:
+    def test_skip_is_omega_sqrt_l(self):
+        for length in (100, 10_000, 1_000_000):
+            assert lemma5_expected_skip(length, 0.5) > 0.5 * math.sqrt(length)
+
+    def test_tiny_lengths(self):
+        assert lemma5_expected_skip(1, 0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma5_expected_skip(100, 0.0)
+
+
+class TestLemma7:
+    @given(st.integers(0, 100_000), st.floats(0.5, 4.0))
+    def test_recurrence_obeys_closed_form(self, length, c):
+        assert solve_skip_recurrence(length, c) <= lemma7_recurrence_bound(length, c)
+
+    def test_growth_is_sqrt(self):
+        small = solve_skip_recurrence(10_000, 1.0)
+        large = solve_skip_recurrence(40_000, 1.0)
+        # quadrupling l should roughly double T(l)
+        assert 1.5 < large / small < 2.5
+
+    def test_zero_length(self):
+        assert solve_skip_recurrence(0, 1.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_skip_recurrence(-1, 1.0)
+        with pytest.raises(ValueError):
+            solve_skip_recurrence(10, 0.0)
+        with pytest.raises(ValueError):
+            lemma7_recurrence_bound(-1, 1.0)
+        with pytest.raises(ValueError):
+            lemma7_recurrence_bound(10, -1.0)

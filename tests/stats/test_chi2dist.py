@@ -1,0 +1,122 @@
+"""Cross-checks of the chi-square distribution against scipy.stats."""
+
+import pytest
+import scipy.stats as st_scipy
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.chi2dist import (
+    Chi2Distribution,
+    chi2_cdf,
+    chi2_critical_value,
+    chi2_pdf,
+    chi2_ppf,
+    chi2_sf,
+    p_value,
+)
+
+DOFS = [1, 2, 3, 4, 9, 25, 99]
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("dof", DOFS)
+    @pytest.mark.parametrize("x", [0.01, 0.3, 1.0, 3.0, 10.0, 40.0, 150.0])
+    def test_cdf(self, dof, x):
+        assert chi2_cdf(x, dof) == pytest.approx(
+            st_scipy.chi2.cdf(x, dof), abs=1e-11
+        )
+
+    @pytest.mark.parametrize("dof", DOFS)
+    @pytest.mark.parametrize("x", [0.01, 1.0, 10.0, 60.0, 300.0])
+    def test_sf_with_relative_tail_accuracy(self, dof, x):
+        reference = st_scipy.chi2.sf(x, dof)
+        assert chi2_sf(x, dof) == pytest.approx(reference, rel=1e-8, abs=1e-300)
+
+    @pytest.mark.parametrize("dof", DOFS)
+    @pytest.mark.parametrize("x", [0.1, 1.0, 5.0, 20.0])
+    def test_pdf(self, dof, x):
+        assert chi2_pdf(x, dof) == pytest.approx(
+            st_scipy.chi2.pdf(x, dof), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("dof", DOFS)
+    @pytest.mark.parametrize("q", [0.001, 0.1, 0.5, 0.9, 0.999])
+    def test_ppf(self, dof, q):
+        assert chi2_ppf(q, dof) == pytest.approx(
+            st_scipy.chi2.ppf(q, dof), rel=1e-8, abs=1e-8
+        )
+
+
+class TestDistributionObject:
+    def test_moments(self):
+        dist = Chi2Distribution(7)
+        assert dist.mean == 7.0
+        assert dist.variance == 14.0
+
+    def test_pdf_edge_cases(self):
+        assert Chi2Distribution(2).pdf(0.0) == 0.5
+        assert Chi2Distribution(1).pdf(0.0) == float("inf")
+        assert Chi2Distribution(3).pdf(0.0) == 0.0
+        assert Chi2Distribution(3).pdf(-1.0) == 0.0
+
+    def test_cdf_sf_complementary(self):
+        dist = Chi2Distribution(4)
+        for x in [0.5, 2.0, 9.0]:
+            assert dist.cdf(x) + dist.sf(x) == pytest.approx(1.0, abs=1e-12)
+
+    def test_negative_x(self):
+        dist = Chi2Distribution(3)
+        assert dist.cdf(-1.0) == 0.0
+        assert dist.sf(-1.0) == 1.0
+
+    def test_ppf_roundtrip(self):
+        dist = Chi2Distribution(5)
+        for q in [0.01, 0.5, 0.99]:
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-10)
+
+    def test_ppf_invalid(self):
+        dist = Chi2Distribution(2)
+        with pytest.raises(ValueError):
+            dist.ppf(0.0)
+        with pytest.raises(ValueError):
+            dist.ppf(1.0)
+
+    def test_invalid_dof(self):
+        with pytest.raises(ValueError):
+            Chi2Distribution(0)
+        with pytest.raises(ValueError):
+            chi2_cdf(1.0, -2)
+
+    @given(st.floats(0.01, 0.99), st.integers(1, 40))
+    def test_ppf_cdf_inverse_property(self, q, dof):
+        dist = Chi2Distribution(dof)
+        assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+
+class TestCriticalValues:
+    def test_textbook_value(self):
+        # chi2(1) upper 5% point is 3.841...
+        assert chi2_critical_value(0.05, 1) == pytest.approx(3.8415, abs=1e-3)
+
+    def test_critical_value_inverts_sf(self):
+        z = chi2_critical_value(0.01, 3)
+        assert chi2_sf(z, 3) == pytest.approx(0.01, abs=1e-10)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            chi2_critical_value(0.0, 2)
+        with pytest.raises(ValueError):
+            chi2_critical_value(1.5, 2)
+
+
+class TestPValueHelper:
+    def test_alphabet_size_sets_dof(self):
+        assert p_value(4.0, 2) == pytest.approx(st_scipy.chi2.sf(4.0, 1), rel=1e-9)
+        assert p_value(4.0, 5) == pytest.approx(st_scipy.chi2.sf(4.0, 4), rel=1e-9)
+
+    def test_zero_score(self):
+        assert p_value(0.0, 3) == 1.0
+
+    def test_invalid_alphabet(self):
+        with pytest.raises(ValueError):
+            p_value(1.0, 1)

@@ -1,0 +1,145 @@
+"""Tests for the LR statistic and the exact multinomial p-value."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.chisquare import chi_square_from_counts
+from repro.core.model import BernoulliModel
+from repro.stats.chi2dist import chi2_sf
+from repro.stats.exact import (
+    enumerate_count_vectors,
+    exact_multinomial_p_value,
+    multinomial_pmf,
+)
+from repro.stats.likelihood import (
+    likelihood_ratio_from_counts,
+    likelihood_ratio_statistic,
+)
+
+
+class TestLikelihoodRatio:
+    def test_zero_when_observed_equals_expected(self):
+        assert likelihood_ratio_from_counts([5, 5], [0.5, 0.5]) == 0.0
+
+    def test_known_value(self):
+        # all-heads run of 10: 2 * 10 * ln 2
+        assert likelihood_ratio_from_counts([10, 0], [0.5, 0.5]) == pytest.approx(
+            20 * math.log(2)
+        )
+
+    def test_zero_counts_contribute_nothing(self):
+        value = likelihood_ratio_from_counts([4, 0, 0], [0.6, 0.2, 0.2])
+        assert value == pytest.approx(2 * 4 * math.log(1 / 0.6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            likelihood_ratio_from_counts([1], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            likelihood_ratio_from_counts([0, 0], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            likelihood_ratio_from_counts([-1, 2], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            likelihood_ratio_from_counts([1, 1], [1.0, 0.0])
+
+    def test_string_wrapper(self):
+        model = BernoulliModel.uniform("ab")
+        assert likelihood_ratio_statistic("aabb", model) == pytest.approx(0.0)
+
+    @given(
+        st.lists(st.integers(0, 40), min_size=2, max_size=4).filter(
+            lambda c: sum(c) > 0
+        )
+    )
+    def test_non_negative(self, counts):
+        k = len(counts)
+        assert likelihood_ratio_from_counts(counts, [1.0 / k] * k) >= -1e-10
+
+    def test_close_to_x2_for_large_balanced_samples(self):
+        """Both statistics converge to the same chi-square limit (§1)."""
+        counts = [5100, 4900]
+        probs = [0.5, 0.5]
+        x2 = chi_square_from_counts(counts, probs)
+        lr = likelihood_ratio_from_counts(counts, probs)
+        assert lr == pytest.approx(x2, rel=0.01)
+
+
+class TestMultinomialPmf:
+    def test_binary_exact(self):
+        # P(2 heads in 2 fair flips) = 1/4
+        assert multinomial_pmf([2, 0], [0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_sums_to_one(self):
+        probs = [0.2, 0.3, 0.5]
+        total = sum(
+            multinomial_pmf(v, probs) for v in enumerate_count_vectors(6, 3)
+        )
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multinomial_pmf([0, 0], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            multinomial_pmf([-1, 1], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            multinomial_pmf([1], [0.5, 0.5])
+
+
+class TestEnumeration:
+    def test_small_case(self):
+        assert sorted(enumerate_count_vectors(2, 2)) == [(0, 2), (1, 1), (2, 0)]
+
+    def test_count_matches_stars_and_bars(self):
+        vectors = list(enumerate_count_vectors(5, 3))
+        assert len(vectors) == math.comb(5 + 2, 2)
+        assert all(sum(v) == 5 for v in vectors)
+
+    def test_k_one(self):
+        assert list(enumerate_count_vectors(4, 1)) == [(4,)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(enumerate_count_vectors(3, 0))
+        with pytest.raises(ValueError):
+            list(enumerate_count_vectors(-1, 2))
+
+
+class TestExactPValue:
+    def test_paper_coin_example(self):
+        """19 heads in 20 tosses: two-sided exact p ~ 0.004% (§1)."""
+        p = exact_multinomial_p_value([19, 1], [0.5, 0.5])
+        one_sided = (math.comb(20, 19) + math.comb(20, 20)) / 2**20
+        assert p == pytest.approx(2 * one_sided, rel=1e-9)
+
+    def test_most_likely_outcome_has_large_p(self):
+        assert exact_multinomial_p_value([5, 5], [0.5, 0.5]) > 0.2
+
+    def test_p_at_most_one(self):
+        assert exact_multinomial_p_value([1, 1], [0.5, 0.5]) <= 1.0
+
+    def test_chi2_approximation_close_for_moderate_n(self):
+        """Theorem 3's convergence, checked quantitatively."""
+        counts = [32, 18]
+        probs = [0.5, 0.5]
+        exact = exact_multinomial_p_value(counts, probs)
+        approx = chi2_sf(chi_square_from_counts(counts, probs), 1)
+        assert approx == pytest.approx(exact, rel=0.35)
+
+    def test_explosion_guard(self):
+        with pytest.raises(ValueError, match="enumeration"):
+            exact_multinomial_p_value([500, 500, 500, 500, 500], [0.2] * 5)
+
+    @given(st.integers(1, 12), st.integers(0, 12))
+    def test_monotone_in_extremeness_binary(self, total, heads):
+        """More extreme outcomes never have larger p-values."""
+        heads = min(heads, total)
+        counts = [heads, total - heads]
+        probs = [0.5, 0.5]
+        p_here = exact_multinomial_p_value(counts, probs)
+        more_extreme = [max(heads, total - heads) + 0, 0]
+        more_extreme[1] = total - more_extreme[0]
+        if more_extreme[0] < total:
+            even_more = [total, 0]
+            assert exact_multinomial_p_value(even_more, probs) <= p_here + 1e-12

@@ -1,0 +1,135 @@
+"""Tests for the detection-power module (noncentral chi-square)."""
+
+import numpy as np
+import pytest
+import scipy.stats as st_scipy
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.power import (
+    chi_square_divergence,
+    detection_power,
+    minimum_detectable_length,
+    noncentral_chi2_cdf,
+    noncentral_chi2_sf,
+)
+
+
+class TestDivergence:
+    def test_zero_for_identical(self):
+        assert chi_square_divergence([0.3, 0.7], [0.3, 0.7]) == 0.0
+
+    def test_known_value(self):
+        assert chi_square_divergence([0.8, 0.2], [0.5, 0.5]) == pytest.approx(0.36)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_divergence([0.5], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            chi_square_divergence([0.5, 0.5], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            chi_square_divergence([-0.1, 1.1], [0.5, 0.5])
+
+
+class TestNoncentralChi2:
+    @pytest.mark.parametrize("dof", [1, 2, 5])
+    @pytest.mark.parametrize("noncentrality", [0.5, 3.0, 10.0, 40.0])
+    @pytest.mark.parametrize("x", [0.5, 5.0, 20.0, 80.0])
+    def test_cdf_matches_scipy(self, dof, noncentrality, x):
+        ours = noncentral_chi2_cdf(x, dof, noncentrality)
+        reference = st_scipy.ncx2.cdf(x, dof, noncentrality)
+        assert ours == pytest.approx(reference, abs=1e-9)
+
+    def test_zero_noncentrality_is_central(self):
+        assert noncentral_chi2_cdf(3.0, 2, 0.0) == pytest.approx(
+            st_scipy.chi2.cdf(3.0, 2), abs=1e-12
+        )
+
+    def test_sf_complement(self):
+        assert noncentral_chi2_sf(5.0, 3, 2.0) == pytest.approx(
+            1.0 - noncentral_chi2_cdf(5.0, 3, 2.0)
+        )
+
+    def test_negative_x(self):
+        assert noncentral_chi2_cdf(-1.0, 2, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            noncentral_chi2_cdf(1.0, 0, 1.0)
+        with pytest.raises(ValueError):
+            noncentral_chi2_cdf(1.0, 2, -1.0)
+
+    @given(st.floats(0.1, 50.0), st.floats(0.0, 30.0))
+    @settings(max_examples=40)
+    def test_monotone_in_noncentrality(self, x, noncentrality):
+        """More noncentrality shifts mass right: cdf decreases."""
+        lower = noncentral_chi2_cdf(x, 2, noncentrality)
+        higher = noncentral_chi2_cdf(x, 2, noncentrality + 5.0)
+        assert higher <= lower + 1e-9
+
+
+class TestDetectionPower:
+    def test_power_grows_with_length(self):
+        powers = [
+            detection_power(L, [0.7, 0.3], [0.5, 0.5], 18.0)
+            for L in (10, 50, 200, 800)
+        ]
+        assert powers == sorted(powers)
+        assert powers[0] < 0.2
+        assert powers[-1] > 0.95
+
+    def test_power_grows_with_effect(self):
+        weak = detection_power(100, [0.55, 0.45], [0.5, 0.5], 18.0)
+        strong = detection_power(100, [0.9, 0.1], [0.5, 0.5], 18.0)
+        assert weak < strong
+
+    def test_matches_monte_carlo(self):
+        """The asymptotic power formula tracks simulated reality."""
+        from repro.core.chisquare import chi_square_from_counts
+
+        rng = np.random.default_rng(7)
+        L, q, p, threshold = 120, [0.7, 0.3], [0.5, 0.5], 15.0
+        hits = 0
+        trials = 800
+        for _ in range(trials):
+            ones = rng.binomial(L, q[0])
+            x2 = chi_square_from_counts([ones, L - ones], p)
+            hits += x2 > threshold
+        simulated = hits / trials
+        predicted = detection_power(L, q, p, threshold)
+        assert predicted == pytest.approx(simulated, abs=0.07)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detection_power(0, [0.7, 0.3], [0.5, 0.5], 10.0)
+        with pytest.raises(ValueError):
+            detection_power(10, [0.7, 0.3], [0.5, 0.5], -1.0)
+
+
+class TestMinimumDetectableLength:
+    def test_monotone_in_effect(self):
+        strong = minimum_detectable_length([0.9, 0.1], [0.5, 0.5], 18.0)
+        weak = minimum_detectable_length([0.6, 0.4], [0.5, 0.5], 18.0)
+        assert strong < weak
+
+    def test_achieves_requested_power(self):
+        length = minimum_detectable_length([0.8, 0.2], [0.5, 0.5], 18.0, power=0.9)
+        assert detection_power(length, [0.8, 0.2], [0.5, 0.5], 18.0) >= 0.9
+        if length > 1:
+            assert (
+                detection_power(length - 1, [0.8, 0.2], [0.5, 0.5], 18.0) < 0.9
+            )
+
+    def test_null_anomaly_rejected(self):
+        with pytest.raises(ValueError, match="equals the null"):
+            minimum_detectable_length([0.5, 0.5], [0.5, 0.5], 10.0)
+
+    def test_unreachable_power_rejected(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            minimum_detectable_length(
+                [0.501, 0.499], [0.5, 0.5], 50.0, max_length=100
+            )
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            minimum_detectable_length([0.8, 0.2], [0.5, 0.5], 10.0, power=1.0)

@@ -1,0 +1,106 @@
+"""Cross-checks of the from-scratch special functions against scipy/math."""
+
+import math
+
+import pytest
+import scipy.special as sp
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.special import (
+    erf,
+    erfc,
+    gamma,
+    lgamma,
+    regularized_gamma_p,
+    regularized_gamma_q,
+)
+
+
+class TestLgamma:
+    @given(st.floats(1e-3, 200.0))
+    def test_matches_math_lgamma(self, x):
+        assert lgamma(x) == pytest.approx(math.lgamma(x), rel=1e-11, abs=1e-11)
+
+    def test_integer_factorials(self):
+        for n in range(1, 15):
+            assert lgamma(n + 1) == pytest.approx(math.log(math.factorial(n)))
+
+    def test_half_integer(self):
+        # Gamma(1/2) = sqrt(pi)
+        assert lgamma(0.5) == pytest.approx(math.log(math.sqrt(math.pi)))
+
+    def test_reflection_region(self):
+        assert lgamma(0.25) == pytest.approx(math.lgamma(0.25), rel=1e-10)
+
+    def test_invalid_argument(self):
+        with pytest.raises(ValueError):
+            lgamma(0.0)
+        with pytest.raises(ValueError):
+            lgamma(-1.5)
+
+    def test_gamma_values(self):
+        assert gamma(6.0) == pytest.approx(120.0)
+        assert gamma(0.5) == pytest.approx(math.sqrt(math.pi))
+
+
+class TestIncompleteGamma:
+    @given(st.floats(0.05, 60.0), st.floats(0.0, 200.0))
+    def test_p_matches_scipy(self, a, x):
+        assert regularized_gamma_p(a, x) == pytest.approx(
+            float(sp.gammainc(a, x)), abs=1e-11
+        )
+
+    @given(st.floats(0.05, 60.0), st.floats(0.0, 200.0))
+    def test_q_matches_scipy(self, a, x):
+        ours = regularized_gamma_q(a, x)
+        reference = float(sp.gammaincc(a, x))
+        assert ours == pytest.approx(reference, abs=1e-11, rel=1e-9)
+
+    @given(st.floats(0.05, 60.0), st.floats(0.0, 200.0))
+    def test_p_plus_q_is_one(self, a, x):
+        total = regularized_gamma_p(a, x) + regularized_gamma_q(a, x)
+        assert total == pytest.approx(1.0, abs=1e-10)
+
+    def test_tail_relative_precision(self):
+        """The whole reason Q is computed directly: tiny tail p-values."""
+        ours = regularized_gamma_q(0.5, 500.0)
+        reference = float(sp.gammaincc(0.5, 500.0))
+        assert reference > 0
+        assert ours == pytest.approx(reference, rel=1e-8)
+
+    @given(st.floats(0.05, 20.0), st.floats(0.0, 50.0), st.floats(0.0, 50.0))
+    def test_p_monotone_in_x(self, a, x1, x2):
+        lo, hi = sorted((x1, x2))
+        assert regularized_gamma_p(a, lo) <= regularized_gamma_p(a, hi) + 1e-12
+
+    def test_boundaries(self):
+        assert regularized_gamma_p(1.0, 0.0) == 0.0
+        assert regularized_gamma_q(1.0, 0.0) == 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            regularized_gamma_p(0.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_gamma_p(1.0, -1.0)
+        with pytest.raises(ValueError):
+            regularized_gamma_q(-2.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_gamma_q(1.0, -0.5)
+
+
+class TestErf:
+    @given(st.floats(-6.0, 6.0))
+    def test_matches_math_erf(self, x):
+        assert erf(x) == pytest.approx(math.erf(x), abs=1e-12)
+
+    @given(st.floats(0.0, 10.0))
+    def test_erfc_matches(self, x):
+        assert erfc(x) == pytest.approx(math.erfc(x), rel=1e-9, abs=1e-300)
+
+    def test_odd_symmetry(self):
+        assert erf(-1.3) == -erf(1.3)
+
+    def test_zero(self):
+        assert erf(0.0) == 0.0
+        assert erfc(0.0) == 1.0

@@ -1,0 +1,71 @@
+"""Tests for the run-length substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.strings.runs import Run, run_boundaries, run_length_decode, run_length_encode
+
+
+class TestRun:
+    def test_end(self):
+        assert Run("a", 3, 4).end == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Run("a", -1, 2)
+        with pytest.raises(ValueError):
+            Run("a", 0, 0)
+
+
+class TestEncodeDecode:
+    def test_basic(self):
+        runs = run_length_encode("aabbba")
+        assert [(r.symbol, r.start, r.length) for r in runs] == [
+            ("a", 0, 2),
+            ("b", 2, 3),
+            ("a", 5, 1),
+        ]
+
+    def test_empty(self):
+        assert run_length_encode("") == []
+
+    def test_single_run(self):
+        runs = run_length_encode("aaaa")
+        assert len(runs) == 1 and runs[0].length == 4
+
+    @given(st.text(alphabet="abc", min_size=0, max_size=60))
+    def test_roundtrip(self, text):
+        assert "".join(run_length_decode(run_length_encode(text))) == text
+
+    def test_decode_gap_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            run_length_decode([Run("a", 0, 2), Run("b", 3, 1)])
+
+    @given(st.text(alphabet="ab", min_size=1, max_size=60))
+    def test_runs_are_maximal(self, text):
+        runs = run_length_encode(text)
+        for first, second in zip(runs, runs[1:]):
+            assert first.symbol != second.symbol
+
+
+class TestBoundaries:
+    def test_basic(self):
+        assert run_boundaries("aabbba") == [0, 2, 5, 6]
+
+    def test_empty(self):
+        assert run_boundaries("") == [0]
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=60))
+    def test_boundary_count_is_runs_plus_one(self, text):
+        assert len(run_boundaries(text)) == len(run_length_encode(text)) + 1
+
+    @given(st.text(alphabet="ab", min_size=1, max_size=40))
+    def test_agrees_with_walks_module(self, text):
+        import numpy as np
+
+        from repro.baselines.walks import block_boundary_positions
+
+        codes = [0 if c == "a" else 1 for c in text]
+        walk_version = block_boundary_positions(codes, len(codes))
+        assert walk_version.tolist() == run_boundaries(text)

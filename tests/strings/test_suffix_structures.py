@@ -1,0 +1,123 @@
+"""Tests for the suffix automaton and suffix tree against brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings import SuffixAutomaton, SuffixTree
+
+
+def brute_substrings(text: str) -> set[str]:
+    return {
+        text[i:j] for i in range(len(text)) for j in range(i + 1, len(text) + 1)
+    }
+
+
+TEXTS = st.text(alphabet="ab", min_size=1, max_size=30) | st.text(
+    alphabet="abc", min_size=1, max_size=25
+)
+
+
+class TestSuffixAutomaton:
+    @given(TEXTS)
+    @settings(max_examples=80)
+    def test_distinct_substring_count(self, text):
+        assert SuffixAutomaton(text).count_distinct_substrings() == len(
+            brute_substrings(text)
+        )
+
+    @given(TEXTS, st.data())
+    @settings(max_examples=80)
+    def test_membership_and_occurrences(self, text, data):
+        sam = SuffixAutomaton(text)
+        i = data.draw(st.integers(0, len(text) - 1))
+        j = data.draw(st.integers(i + 1, len(text)))
+        pattern = text[i:j]
+        occurrences = sum(
+            1
+            for k in range(len(text) - len(pattern) + 1)
+            if text[k : k + len(pattern)] == pattern
+        )
+        assert sam.contains(pattern)
+        assert sam.count_occurrences(pattern) == occurrences
+        assert not sam.contains(pattern + "z")
+        assert sam.count_occurrences(pattern + "z") == 0
+
+    def test_empty_pattern(self):
+        sam = SuffixAutomaton("abc")
+        assert sam.contains("")
+        assert sam.count_occurrences("") == 4  # n + 1 positions
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            SuffixAutomaton("")
+
+    def test_state_count_bound(self):
+        for text in ("abcabcabc", "aaaaaaaa", "abababab"):
+            sam = SuffixAutomaton(text)
+            assert sam.state_count <= 2 * len(text)
+
+    def test_length_class_partition(self):
+        """State classes partition the distinct substrings by length."""
+        text = "abcbc"
+        sam = SuffixAutomaton(text)
+        total = sum(
+            hi - lo + 1 for lo, hi in sam.iter_distinct_substring_lengths()
+        )
+        assert total == sam.count_distinct_substrings()
+
+    def test_general_symbols(self):
+        sam = SuffixAutomaton([("a", 1), ("b", 2), ("a", 1)])
+        assert sam.contains([("a", 1)])
+        assert sam.count_occurrences([("a", 1)]) == 2
+
+
+class TestSuffixTree:
+    @given(TEXTS)
+    @settings(max_examples=80)
+    def test_distinct_substring_count(self, text):
+        assert SuffixTree(text).count_distinct_substrings() == len(
+            brute_substrings(text)
+        )
+
+    @given(TEXTS, st.data())
+    @settings(max_examples=80)
+    def test_membership_occurrences_positions(self, text, data):
+        tree = SuffixTree(text)
+        i = data.draw(st.integers(0, len(text) - 1))
+        j = data.draw(st.integers(i + 1, len(text)))
+        pattern = text[i:j]
+        starts = [
+            k
+            for k in range(len(text) - len(pattern) + 1)
+            if text[k : k + len(pattern)] == pattern
+        ]
+        assert tree.contains(pattern)
+        assert tree.count_occurrences(pattern) == len(starts)
+        assert sorted(tree.iter_occurrences(pattern)) == starts
+        assert not tree.contains(pattern + "z")
+
+    def test_empty_pattern(self):
+        tree = SuffixTree("abc")
+        assert tree.contains("")
+        assert tree.count_occurrences("") == 4
+        assert list(tree.iter_occurrences("")) == [0, 1, 2, 3]
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            SuffixTree("")
+
+    def test_classic_banana(self):
+        tree = SuffixTree("banana")
+        assert tree.count_occurrences("ana") == 2
+        assert tree.count_occurrences("banana") == 1
+        assert tree.count_occurrences("nn") == 0
+
+    @given(TEXTS)
+    @settings(max_examples=40)
+    def test_agrees_with_automaton(self, text):
+        tree = SuffixTree(text)
+        sam = SuffixAutomaton(text)
+        assert (
+            tree.count_distinct_substrings() == sam.count_distinct_substrings()
+        )

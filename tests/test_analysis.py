@@ -1,0 +1,177 @@
+"""Tests for repro.analysis: calibration, skip profiling, complexity model."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    MSSNullDistribution,
+    mss_critical_value,
+    mss_null_distribution,
+    mss_p_value,
+    predicted_mss_iterations,
+    predicted_threshold_iterations,
+    profile_skips,
+    trivial_iterations_closed_form,
+)
+from repro.analysis.complexity import calibrate_constant
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.generators import (
+    PlantedSegment,
+    generate_null_string,
+    generate_with_planted,
+)
+
+
+@pytest.fixture(scope="module")
+def null_dist():
+    model = BernoulliModel.uniform("ab")
+    return mss_null_distribution(model, 400, trials=40, seed=3)
+
+
+class TestNullDistribution:
+    def test_sample_count(self, null_dist):
+        assert null_dist.trials == 40
+
+    def test_mean_near_two_ln_n(self, null_dist):
+        assert null_dist.mean == pytest.approx(null_dist.two_ln_n, rel=0.45)
+
+    def test_samples_sorted(self, null_dist):
+        assert list(null_dist.samples) == sorted(null_dist.samples)
+
+    def test_p_value_bounds(self, null_dist):
+        assert null_dist.p_value(1e9) == pytest.approx(1 / 41)
+        assert null_dist.p_value(0.0) == 1.0
+
+    def test_p_value_monotone(self, null_dist):
+        values = [null_dist.p_value(x) for x in (5.0, 10.0, 20.0, 40.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_critical_value_consistency(self, null_dist):
+        z = null_dist.critical_value(0.1)
+        # roughly 10% of samples should exceed the 10% critical value
+        exceeding = sum(1 for s in null_dist.samples if s > z)
+        assert exceeding <= 0.2 * null_dist.trials
+
+    def test_critical_value_validation(self, null_dist):
+        with pytest.raises(ValueError):
+            null_dist.critical_value(0.0)
+
+    def test_minimum_samples(self):
+        with pytest.raises(ValueError, match="at least 10"):
+            MSSNullDistribution(n=10, alphabet_size=2, samples=(1.0,) * 5)
+
+    def test_repr(self, null_dist):
+        assert "trials=40" in repr(null_dist)
+
+
+class TestCalibrationFunctions:
+    def test_planted_anomaly_significant_random_not(self):
+        """The whole point: look-elsewhere-corrected p-values separate a
+        planted anomaly from null fluctuation."""
+        model = BernoulliModel.uniform("ab")
+        n = 400
+        distribution = mss_null_distribution(model, n, trials=40, seed=3)
+
+        null_text = generate_null_string(model, n, seed=777)
+        null_score = find_mss(null_text, model).best.chi_square
+
+        segment = PlantedSegment(150, 60, (0.95, 0.05))
+        planted = generate_with_planted(model, n, [segment], seed=778)
+        planted_score = find_mss(model.decode_to_string(planted), model).best.chi_square
+
+        assert distribution.p_value(null_score) > 0.02
+        assert distribution.p_value(planted_score) <= 2 / 41
+
+    def test_wrappers(self):
+        model = BernoulliModel.uniform("ab")
+        p = mss_p_value(100.0, model, 200, trials=15, seed=5)
+        assert p == pytest.approx(1 / 16)
+        z = mss_critical_value(0.05, model, 200, trials=15, seed=5)
+        assert z > math.log(200)  # above Lemma 4's floor
+
+    def test_chi2_pvalue_would_be_anticonservative(self, null_dist):
+        """chi2_sf(X2max) is far smaller than the correct empirical p --
+        quantifying the look-elsewhere effect."""
+        from repro.stats.chi2dist import chi2_sf
+
+        median = null_dist.samples[null_dist.trials // 2]
+        naive = chi2_sf(median, 1)
+        empirical = null_dist.p_value(median)
+        assert naive < empirical / 50
+
+
+class TestSkipProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        model = BernoulliModel.uniform("ab")
+        text = generate_null_string(model, 1500, seed=11)
+        return profile_skips(text, model), text, model
+
+    def test_matches_production_scanner(self, profile):
+        prof, text, model = profile
+        result = find_mss(text, model)
+        assert prof.evaluated == result.stats.substrings_evaluated
+        assert prof.skipped == result.stats.positions_skipped
+        assert prof.x2max == pytest.approx(result.best.chi_square)
+
+    def test_majority_pruned(self, profile):
+        prof, _, _ = profile
+        assert prof.fraction_skipped > 0.8
+
+    def test_skips_grow_with_length(self, profile):
+        prof, _, _ = profile
+        by_decade = prof.mean_skip_by_decade()
+        decades = sorted(by_decade)
+        assert len(decades) >= 3
+        # mean skips increase across decades (Lemma 5's sqrt(l) factor)
+        means = [by_decade[d] for d in decades]
+        assert means[-1] > means[0]
+
+    def test_lemma5_floor_mostly_met(self, profile):
+        prof, _, model = profile
+        satisfaction = prof.lemma5_satisfaction(model.probabilities[0])
+        assert satisfaction > 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_skips("", BernoulliModel.uniform("ab"))
+
+    def test_record_count(self, profile):
+        prof, _, _ = profile
+        assert len(prof.records) == prof.evaluated
+
+
+class TestComplexityModel:
+    def test_trivial_closed_form(self):
+        assert trivial_iterations_closed_form(100) == 5050
+        assert trivial_iterations_closed_form(10, min_length=11) == 0
+
+    def test_mss_prediction_matches_measurement(self):
+        model = BernoulliModel.uniform("ab")
+        n = 4000
+        text = generate_null_string(model, n, seed=21)
+        measured = find_mss(text, model).stats.substrings_evaluated
+        predicted = predicted_mss_iterations(n)
+        assert predicted == pytest.approx(measured, rel=0.6)
+
+    def test_calibrate_roundtrip(self):
+        constant = calibrate_constant(10000, 420_000)
+        assert predicted_mss_iterations(10000, constant) == pytest.approx(420_000)
+
+    def test_threshold_prediction_shape(self):
+        # quadrupling alpha0 halves the prediction
+        a = predicted_threshold_iterations(10_000, 10.0)
+        b = predicted_threshold_iterations(10_000, 40.0)
+        assert a / b == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_mss_iterations(100, constant=0.0)
+        with pytest.raises(ValueError):
+            predicted_threshold_iterations(100, 0.0)
+        with pytest.raises(ValueError):
+            predicted_threshold_iterations(100, 5.0, constant=-1.0)
+        with pytest.raises(ValueError):
+            calibrate_constant(0, 10)

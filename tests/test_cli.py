@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def text_file(tmp_path):
+    path = tmp_path / "input.txt"
+    path.write_text("ab" * 30 + "aaaaaaaaaa" + "ba" * 30)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mss_defaults(self, text_file):
+        args = build_parser().parse_args(["mss", text_file])
+        assert args.command == "mss"
+        assert args.alphabet is None
+
+
+class TestMss:
+    def test_plain_output(self, text_file, capsys):
+        assert main(["mss", text_file]) == 0
+        out = capsys.readouterr().out
+        assert "X2=" in out and "n=130" in out
+
+    def test_json_output(self, text_file, capsys):
+        assert main(["--json", "mss", text_file]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 130
+        assert len(payload["substrings"]) == 1
+        best = payload["substrings"][0]
+        assert best["start"] == 60 - 1 or best["start"] <= 60 <= best["end"]
+
+    def test_explicit_model(self, text_file, capsys):
+        assert main(
+            ["--json", "mss", text_file, "--alphabet", "ab", "--probs", "0.5,0.5"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["substrings"][0]["chi_square"] >= 10.0
+
+    def test_probs_without_alphabet_rejected(self, text_file):
+        with pytest.raises(SystemExit):
+            main(["mss", text_file, "--probs", "0.5,0.5"])
+
+    def test_probs_length_mismatch(self, text_file):
+        with pytest.raises(SystemExit):
+            main(["mss", text_file, "--alphabet", "ab", "--probs", "0.3,0.3,0.4"])
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("ababaaaaab"))
+        assert main(["--json", "mss", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 10
+
+    def test_empty_input_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("\n")
+        with pytest.raises(SystemExit, match="empty"):
+            main(["mss", str(path)])
+
+
+class TestVariants:
+    def test_top(self, text_file, capsys):
+        assert main(["--json", "top", text_file, "-t", "4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["substrings"]) == 4
+        values = [s["chi_square"] for s in payload["substrings"]]
+        assert values == sorted(values, reverse=True)
+
+    def test_threshold(self, text_file, capsys):
+        assert main(["--json", "threshold", text_file, "--alpha", "5.0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(s["chi_square"] > 5.0 for s in payload["substrings"])
+
+    def test_minlength(self, text_file, capsys):
+        assert main(["--json", "minlength", text_file, "--min-length", "20"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["substrings"][0]["length"] >= 20
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "kind", ["null", "geometric", "zipf", "markov", "correlated"]
+    )
+    def test_kinds(self, kind, capsys):
+        assert main(["generate", kind, "-n", "100", "--seed", "1"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out) == 100
+
+    def test_alphabet_size(self, capsys):
+        assert main(["generate", "null", "-n", "500", "-k", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert set(out) <= set("abcd")
+
+    def test_invalid_k(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "null", "-k", "1"])
+
+    def test_pipeline_roundtrip(self, tmp_path, capsys):
+        """generate | mss as a user would chain them."""
+        assert main(["generate", "correlated", "-n", "400", "--same-prob", "0.9",
+                     "--seed", "3"]) == 0
+        text = capsys.readouterr().out.strip()
+        path = tmp_path / "gen.txt"
+        path.write_text(text)
+        assert main(["--json", "mss", str(path), "--alphabet", "ab",
+                     "--probs", "0.5,0.5"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["substrings"][0]["chi_square"] > 10.0

@@ -1,0 +1,70 @@
+"""Tests for the calibrate and stream CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCalibrate:
+    def test_plain_output(self, capsys):
+        assert main(["calibrate", "-n", "300", "--trials", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "reject at X2max >" in out
+
+    def test_json_fields(self, capsys):
+        assert main(
+            ["--json", "calibrate", "-n", "300", "--trials", "15",
+             "--alpha", "0.2", "--seed", "3"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 300
+        assert payload["trials"] == 15
+        assert payload["critical_value"] > payload["mean_x2max"] * 0.5
+        assert payload["two_ln_n"] == pytest.approx(2 * 5.7038, rel=0.01)
+
+    def test_deterministic_given_seed(self, capsys):
+        main(["--json", "calibrate", "-n", "200", "--trials", "12", "--seed", "7"])
+        first = json.loads(capsys.readouterr().out)
+        main(["--json", "calibrate", "-n", "200", "--trials", "12", "--seed", "7"])
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_invalid_k(self):
+        with pytest.raises(SystemExit):
+            main(["calibrate", "-n", "100", "-k", "1"])
+
+
+class TestStream:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("ab" * 500 + "a" * 60 + "ba" * 500)
+        return str(path)
+
+    def test_finds_burst(self, stream_file, capsys):
+        assert main(
+            ["--json", "stream", stream_file, "--alphabet", "ab",
+             "--probs", "0.5,0.5", "--chunk", "400", "--overlap", "100"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        best = payload["substrings"][0]
+        assert 980 <= best["start"] <= 1010
+        assert best["chi_square"] >= 50
+        assert payload["exact_length_limit"] == 100
+
+    def test_agrees_with_batch_when_buffer_covers_stream(
+        self, stream_file, capsys
+    ):
+        main(["--json", "mss", stream_file, "--alphabet", "ab",
+              "--probs", "0.5,0.5"])
+        batch = json.loads(capsys.readouterr().out)["substrings"][0]
+        main(["--json", "stream", stream_file, "--alphabet", "ab",
+              "--probs", "0.5,0.5", "--chunk", "5000", "--overlap", "500"])
+        streamed = json.loads(capsys.readouterr().out)["substrings"][0]
+        assert streamed["chi_square"] == pytest.approx(batch["chi_square"])
+
+    def test_bad_parameters_rejected(self, stream_file):
+        with pytest.raises(ValueError, match="overlap"):
+            main(["stream", stream_file, "--chunk", "100", "--overlap", "100"])
