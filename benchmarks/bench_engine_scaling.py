@@ -1,0 +1,120 @@
+"""Engine scaling: corpus throughput (docs/sec), serial vs. process pool.
+
+The corpus engine's pitch is that mining a corpus is embarrassingly
+parallel once calibration is shared; this benchmark measures what the
+process executor actually buys at 1, 2 and 4 workers against the serial
+baseline on one synthetic corpus, and emits machine-readable
+``results/BENCH_engine.json`` alongside the usual text table.
+
+Interpretation notes:
+
+* The per-document results are byte-identical across executors (tested
+  in ``tests/engine``); only throughput varies.
+* Speedup is bounded by physical cores.  On a single-core container the
+  process rows only show dispatch overhead -- the JSON records
+  ``cpu_count`` so downstream tooling can judge the numbers fairly.
+
+Run directly (``python benchmarks/bench_engine_scaling.py``) or through
+pytest (``pytest benchmarks/bench_engine_scaling.py``).
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core.model import BernoulliModel
+from repro.engine import CorpusEngine, ProcessExecutor, SerialExecutor
+from repro.generators import generate_null_string
+
+DOCS = 96
+DOC_LENGTH = 1500
+WORKER_COUNTS = [1, 2, 4]
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def build_corpus(model):
+    texts = []
+    for i in range(DOCS):
+        text = generate_null_string(model, DOC_LENGTH, seed=1000 + i)
+        if i % 9 == 0:  # sprinkle bursts so the workload is not pure null
+            middle = DOC_LENGTH // 2
+            text = text[:middle] + "a" * 60 + text[middle + 60:]
+        texts.append(text)
+    return texts
+
+
+def run_scaling():
+    model = BernoulliModel.uniform("ab")
+    corpus = build_corpus(model)
+
+    rows = []
+
+    def measure(label, executor):
+        engine = CorpusEngine(executor=executor, correction="bh")
+        started = time.perf_counter()
+        result = engine.run_texts(corpus, model)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "mode": label,
+                "workers": getattr(executor, "workers", 1),
+                "seconds": elapsed,
+                "docs_per_sec": DOCS / elapsed,
+                "significant": result.n_significant,
+            }
+        )
+        return result
+
+    measure("serial", SerialExecutor())
+    for workers in WORKER_COUNTS:
+        measure(f"process-{workers}", ProcessExecutor(workers=workers))
+
+    serial_rate = rows[0]["docs_per_sec"]
+    for row in rows:
+        row["speedup_vs_serial"] = row["docs_per_sec"] / serial_rate
+    return rows
+
+
+def emit_json(rows):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "engine_scaling",
+        "docs": DOCS,
+        "doc_length": DOC_LENGTH,
+        "cpu_count": os.cpu_count(),
+        "results": rows,
+    }
+    path = RESULTS_DIR / "BENCH_engine.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _render(rows, emit):
+    emit(f"Corpus engine scaling ({DOCS} docs x {DOC_LENGTH} symbols, "
+         f"{os.cpu_count()} cpu core(s)):")
+    header = f"{'mode':>12}  {'workers':>7}  {'seconds':>8}  {'docs/sec':>9}  {'speedup':>8}"
+    emit(header)
+    emit("-" * len(header))
+    for row in rows:
+        emit(
+            f"{row['mode']:>12}  {row['workers']:>7}  {row['seconds']:>8.3f}"
+            f"  {row['docs_per_sec']:>9.1f}  {row['speedup_vs_serial']:>7.2f}x"
+        )
+
+
+def test_engine_scaling(benchmark, reporter):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    path = emit_json(rows)
+    _render(rows, reporter.emit)
+    reporter.emit(f"JSON written to {path}")
+    # correctness-side assertions only; speedup depends on available cores
+    assert all(row["significant"] == rows[0]["significant"] for row in rows)
+    assert all(row["docs_per_sec"] > 0 for row in rows)
+
+
+if __name__ == "__main__":
+    table_rows = run_scaling()
+    _render(table_rows, lambda line="": print(line, file=sys.stdout))
+    print(f"JSON written to {emit_json(table_rows)}")

@@ -28,6 +28,8 @@ their own subpackages:
 * :mod:`repro.datasets` -- synthetic sports-rivalry and securities data.
 * :mod:`repro.strings` -- suffix tree, suffix automaton, run-length blocks.
 * :mod:`repro.extensions` -- 2-D grids, Markov nulls, windows, graphs.
+* :mod:`repro.engine` -- parallel corpus mining with cached calibration
+  and multiple-testing correction (:class:`CorpusEngine`).
 """
 
 from repro.core import (
@@ -48,7 +50,31 @@ from repro.core import (
 )
 from repro.stats import chi2_critical_value, chi2_sf, p_value
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# The corpus engine is re-exported lazily (PEP 562): it pulls in
+# concurrent.futures and the calibration machinery, which single-string
+# entry points (and the non-batch CLI) should not pay for at import time.
+_ENGINE_EXPORTS = frozenset(
+    {
+        "CorpusEngine",
+        "CorpusResult",
+        "MiningJob",
+        "JobSpec",
+        "DocumentResult",
+        "CalibrationCache",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from repro import engine
+
+        value = getattr(engine, name)
+        globals()[name] = value  # cache: next access skips __getattr__
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "BernoulliModel",
@@ -65,6 +91,12 @@ __all__ = [
     "ThresholdResult",
     "ScanStats",
     "SignificantSubstring",
+    "CorpusEngine",
+    "CorpusResult",
+    "MiningJob",
+    "JobSpec",
+    "DocumentResult",
+    "CalibrationCache",
     "chi2_critical_value",
     "chi2_sf",
     "p_value",

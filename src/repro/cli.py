@@ -13,6 +13,9 @@ generator for experimenting:
   (the look-elsewhere-corrected significance threshold).
 * ``stream``     -- online MSS over stdin with bounded memory
   (chunk + overlap; exact for anomalies up to the overlap length).
+* ``batch``      -- mine a whole corpus (directory of files, or one
+  document per line) concurrently with corrected significance
+  (Bonferroni / Benjamini-Hochberg), via :mod:`repro.engine`.
 
 Input is a text file (or stdin with ``-``); the alphabet defaults to the
 distinct characters of the input with maximum-likelihood probabilities,
@@ -39,9 +42,25 @@ __all__ = ["main", "build_parser"]
 
 def _read_text(path: str) -> str:
     if path == "-":
-        return sys.stdin.read().strip()
-    with open(path, encoding="utf-8") as handle:
-        return handle.read().strip()
+        text = sys.stdin.read()
+    else:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    return _chomp(text)
+
+
+def _chomp(text: str) -> str:
+    """Drop a single trailing newline, nothing else.
+
+    Stripping whitespace wholesale would silently delete meaningful
+    leading/trailing symbols -- an anomaly at the very start or end of
+    the file is exactly what a miner must not lose.
+    """
+    if text.endswith("\r\n"):
+        return text[:-2]
+    if text.endswith(("\n", "\r")):
+        return text[:-1]
+    return text
 
 
 def _build_model(text: str, alphabet: str | None, probs: str | None) -> BernoulliModel:
@@ -155,6 +174,61 @@ def build_parser() -> argparse.ArgumentParser:
                         help="symbols retained across flushes "
                              "(exact detection up to this length)")
 
+    batch = sub.add_parser(
+        "batch",
+        help="mine a corpus of documents concurrently (repro.engine)",
+    )
+    batch.add_argument(
+        "input",
+        help="directory of text files, a file with one document per line, "
+             "or - for one document per stdin line",
+    )
+    batch.add_argument(
+        "--problem",
+        choices=["mss", "top", "threshold", "minlength"],
+        default="mss",
+        help="which of the paper's problems to run per document",
+    )
+    batch.add_argument("-t", type=int, default=10,
+                       help="top-t size (--problem top)")
+    batch.add_argument("--threshold", type=float, default=0.0,
+                       help="X2 cut-off (--problem threshold)")
+    batch.add_argument("--min-length", type=int, default=1,
+                       help="length floor (--problem minlength)")
+    batch.add_argument("--limit", type=int, default=1000,
+                       help="cap on reported substrings per document")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="parallel workers (1 = serial)")
+    batch.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="fan-out strategy (default: process when --workers > 1)",
+    )
+    batch.add_argument(
+        "--correction",
+        choices=["none", "bonferroni", "bh"],
+        default="bh",
+        help="multiple-testing correction across documents",
+    )
+    batch.add_argument("--alpha", type=float, default=0.05,
+                       help="corpus-level significance level")
+    batch.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="Monte-Carlo family-wise p-values (cached per length bucket) "
+             "instead of asymptotic chi-square p-values",
+    )
+    batch.add_argument("--trials", type=int, default=100,
+                       help="Monte-Carlo trials per calibration bucket")
+    batch.add_argument("--seed", type=int, default=0,
+                       help="calibration random seed")
+    batch.add_argument("--alphabet", help="explicit shared alphabet, e.g. 'ab'")
+    batch.add_argument(
+        "--probs",
+        help="comma-separated null probabilities matching --alphabet",
+    )
+
     generate = sub.add_parser("generate", help="emit a synthetic string")
     generate.add_argument(
         "kind",
@@ -170,6 +244,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="correlated generator: probability of repeating the last symbol",
     )
+
+    # Accept --json after the subcommand too (`repro-mss batch ... --json`).
+    # SUPPRESS keeps the top-level value when the flag is absent here --
+    # a plain default would clobber a --json given before the subcommand.
+    for subparser in (mss, top, threshold, minlength, calibrate, stream,
+                      batch, generate):
+        subparser.add_argument(
+            "--json",
+            action="store_true",
+            default=argparse.SUPPRESS,
+            help=argparse.SUPPRESS,
+        )
     return parser
 
 
@@ -181,10 +267,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_generate(args)
     if args.command == "calibrate":
         return _run_calibrate(args)
+    if args.command == "batch":
+        return _run_batch(args)
 
     text = _read_text(args.file)
     if not text:
         raise SystemExit("input is empty")
+    if args.alphabet is None and len(set(text)) < 2:
+        raise SystemExit(
+            "input uses fewer than 2 distinct symbols; there is nothing to "
+            "mine (pass --alphabet to score it against a wider alphabet)"
+        )
     model = _build_model(text, args.alphabet, args.probs)
 
     if args.command == "mss":
@@ -230,6 +323,110 @@ def main(argv: Sequence[str] | None = None) -> int:
         "substrings": [_substring_payload(s, text) for s in substrings],
     }
     _emit(payload, args.json)
+    return 0
+
+
+def _read_corpus(source: str) -> tuple[list[str], list[str]]:
+    """Load a corpus as (doc_ids, texts).
+
+    A directory yields one document per (sorted) regular file; anything
+    else is read as one document per line (``-`` reads stdin).  Empty
+    documents are dropped -- there is nothing to mine in them.
+    """
+    import os
+
+    ids: list[str] = []
+    texts: list[str] = []
+    if source != "-" and os.path.isdir(source):
+        for name in sorted(os.listdir(source)):
+            path = os.path.join(source, name)
+            if not os.path.isfile(path):
+                continue
+            with open(path, encoding="utf-8") as handle:
+                text = _chomp(handle.read())
+            if text:
+                ids.append(name)
+                texts.append(text)
+    else:
+        if source == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            with open(source, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        for number, line in enumerate(lines, start=1):
+            if line:
+                ids.append(f"line-{number:04d}")
+                texts.append(line)
+    return ids, texts
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    from repro.engine import (
+        CalibrationCache,
+        CorpusEngine,
+        JobSpec,
+        resolve_executor,
+    )
+
+    ids, texts = _read_corpus(args.input)
+    if not texts:
+        raise SystemExit("corpus is empty")
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.calibrate and args.trials < 10:
+        raise SystemExit("--trials must be >= 10 for a usable Monte-Carlo "
+                         "null distribution")
+
+    if args.alphabet is None and args.probs is not None:
+        raise SystemExit("--probs requires --alphabet")
+    if args.alphabet is None and len({s for text in texts for s in text}) < 2:
+        raise SystemExit("corpus uses fewer than 2 distinct symbols; "
+                         "there is nothing to mine")
+    model = _build_model("".join(texts), args.alphabet, args.probs)
+
+    spec = JobSpec(
+        problem=args.problem,
+        t=args.t,
+        threshold=args.threshold,
+        min_length=args.min_length,
+        limit=args.limit,
+    )
+    executor_name = args.executor or ("process" if args.workers > 1 else "serial")
+    engine = CorpusEngine(
+        executor=resolve_executor(executor_name, workers=args.workers),
+        calibration=(
+            CalibrationCache(trials=args.trials, seed=args.seed)
+            if args.calibrate
+            else None
+        ),
+        correction=args.correction,
+        alpha=args.alpha,
+    )
+    result = engine.run_texts(texts, model, spec, ids=ids)
+
+    if args.json:
+        json.dump(result.payload(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+
+    print(
+        f"documents={len(result)}  symbols={result.stats.n}  "
+        f"executor={result.executor}x{result.workers}  "
+        f"correction={result.correction}  alpha={result.alpha}  "
+        f"significant={result.n_significant}"
+    )
+    for doc, text in zip(result.documents, texts):
+        best = doc.best
+        flag = "*" if doc.significant else " "
+        if best is None:
+            print(f" {flag} {doc.doc_id}: no substring above the threshold")
+            continue
+        entry = _substring_payload(best, text)
+        print(
+            f" {flag} {doc.doc_id}: [{best.start}, {best.end})"
+            f"  X2={best.chi_square:.4f}  p={doc.p_value:.3g}"
+            f"  p_adj={doc.p_corrected:.3g}  {entry['preview']!r}"
+        )
     return 0
 
 

@@ -47,7 +47,19 @@ class BernoulliModel:
     (2, 1)
     """
 
-    __slots__ = ("_alphabet", "_probabilities", "_index", "_char_table")
+    __slots__ = (
+        "_alphabet",
+        "_probabilities",
+        "_index",
+        "_char_table",
+        "_log_probabilities",
+        "_encode_table",
+    )
+
+    # Single-character alphabets whose largest code point fits below this
+    # bound get a dense ord -> code lookup array; anything rarer (emoji,
+    # non-char symbols) keeps the dict path.
+    _ENCODE_TABLE_MAX_ORD = 0x10000
 
     def __init__(
         self, alphabet: Sequence[Hashable], probabilities: Sequence[float]
@@ -64,10 +76,19 @@ class BernoulliModel:
         self._alphabet = symbols
         self._probabilities = probs
         self._index: dict[Hashable, int] = {s: i for i, s in enumerate(symbols)}
-        # Fast path for single-character string alphabets: a 256/65536-free
-        # dict is still the general case, but str.translate-style lookup via
-        # the dict is what encode() uses; nothing else to precompute.
         self._char_table = all(isinstance(s, str) and len(s) == 1 for s in symbols)
+        # Memoized lookups: models are shared across many encode()/scoring
+        # calls (the corpus engine reuses one model for a whole corpus), so
+        # both tables are built once here instead of per call.
+        self._log_probabilities = tuple(math.log(p) for p in probs)
+        self._encode_table: np.ndarray | None = None
+        if self._char_table:
+            max_ord = max(ord(s) for s in symbols)
+            if max_ord < self._ENCODE_TABLE_MAX_ORD:
+                table = np.full(max_ord + 1, -1, dtype=np.int64)
+                for code, symbol in enumerate(symbols):
+                    table[ord(symbol)] = code
+                self._encode_table = table
 
     # ------------------------------------------------------------------
     # Constructors
@@ -199,9 +220,26 @@ class BernoulliModel:
         """Alphabet size."""
         return len(self._alphabet)
 
+    @property
+    def log_probabilities(self) -> tuple[float, ...]:
+        """Memoized ``log(p1) .. log(pk)`` in code order.
+
+        >>> BernoulliModel.uniform("ab").log_probabilities[0] == math.log(0.5)
+        True
+        """
+        return self._log_probabilities
+
     def probability_of(self, symbol: Hashable) -> float:
         """Null-model probability of ``symbol``."""
         return self._probabilities[self.code_of(symbol)]
+
+    def log_probability_of(self, symbol: Hashable) -> float:
+        """Memoized null-model log-probability of ``symbol``.
+
+        >>> BernoulliModel("HT", [0.25, 0.75]).log_probability_of("H") == math.log(0.25)
+        True
+        """
+        return self._log_probabilities[self.code_of(symbol)]
 
     def code_of(self, symbol: Hashable) -> int:
         """Integer code of ``symbol`` (raises ``KeyError`` with context)."""
@@ -219,9 +257,17 @@ class BernoulliModel:
     def encode(self, text: Iterable[Hashable]) -> np.ndarray:
         """Encode a symbol sequence into an ``int64`` numpy array of codes.
 
+        Plain strings over a single-character alphabet take a vectorised
+        path through the memoized ord -> code table; any other sequence
+        goes through the symbol dict.
+
         >>> BernoulliModel.uniform("ab").encode("aba").tolist()
         [0, 1, 0]
+        >>> BernoulliModel.uniform("ab").encode(["a", "b"]).tolist()
+        [0, 1]
         """
+        if isinstance(text, str) and self._encode_table is not None:
+            return self._encode_string(text)
         index = self._index
         try:
             return np.fromiter(
@@ -231,6 +277,25 @@ class BernoulliModel:
             raise KeyError(
                 f"symbol {exc.args[0]!r} is not in the alphabet {self._alphabet!r}"
             ) from None
+
+    def _encode_string(self, text: str) -> np.ndarray:
+        """Vectorised string encoding via the memoized lookup table."""
+        table = self._encode_table
+        points = np.frombuffer(text.encode("utf-32-le"), dtype="<u4").astype(np.int64)
+        if points.size == 0:
+            return points
+        if int(points.max()) >= table.shape[0]:
+            bad = text[int(np.argmax(points >= table.shape[0]))]
+            raise KeyError(
+                f"symbol {bad!r} is not in the alphabet {self._alphabet!r}"
+            )
+        codes = table[points]
+        if codes.min() < 0:
+            bad = text[int(np.argmax(codes < 0))]
+            raise KeyError(
+                f"symbol {bad!r} is not in the alphabet {self._alphabet!r}"
+            )
+        return codes
 
     def decode(self, codes: Iterable[int]) -> list[Hashable]:
         """Inverse of :meth:`encode`.

@@ -96,6 +96,29 @@ class ScanStats:
     start_positions: int = 0
     elapsed_seconds: float = 0.0
 
+    @classmethod
+    def merged(cls, stats: Iterable["ScanStats"]) -> "ScanStats":
+        """Aggregate counters across many scans (a corpus of documents).
+
+        ``n`` becomes the total number of symbols scanned and
+        ``elapsed_seconds`` the summed scan time (CPU time across
+        workers, not wall time, when the scans ran concurrently).
+
+        >>> a = ScanStats(n=5, substrings_evaluated=10, positions_skipped=5)
+        >>> b = ScanStats(n=3, substrings_evaluated=4, positions_skipped=2)
+        >>> merged = ScanStats.merged([a, b])
+        >>> (merged.n, merged.substrings_evaluated, merged.positions_skipped)
+        (8, 14, 7)
+        """
+        merged = cls()
+        for item in stats:
+            merged.n += item.n
+            merged.substrings_evaluated += item.substrings_evaluated
+            merged.positions_skipped += item.positions_skipped
+            merged.start_positions += item.start_positions
+            merged.elapsed_seconds += item.elapsed_seconds
+        return merged
+
     @property
     def total_positions(self) -> int:
         """Evaluated + skipped end positions (the trivial scan's count)."""

@@ -1,0 +1,63 @@
+"""Parallel corpus mining: many documents, one null model, corrected
+significance.
+
+The paper's single-string miners answer "is *this* string anomalous?";
+its motivating applications (intrusion detection, market monitoring,
+sports and stock analysis) ask that question of an entire *corpus* at
+once.  This subsystem is that layer:
+
+* :mod:`repro.engine.jobs` -- :class:`JobSpec` / :class:`MiningJob`
+  pair any of the four paper problems with a document and a shared
+  :class:`~repro.core.model.BernoulliModel`; :func:`run_job` is the
+  picklable unit of work.
+* :mod:`repro.engine.executors` -- pluggable fan-out:
+  :class:`SerialExecutor`, :class:`ThreadExecutor`, and chunked
+  :class:`ProcessExecutor`, all order-preserving (parallel results are
+  identical to serial).
+* :mod:`repro.engine.calibration` -- :class:`CalibrationCache` memoizes
+  the Monte-Carlo X²max null distribution per (model, length-bucket) so
+  the whole corpus shares a handful of simulations.
+* :mod:`repro.engine.corrections` -- Bonferroni and Benjamini-Hochberg
+  adjusted p-values across the corpus.
+* :mod:`repro.engine.corpus` -- :class:`CorpusEngine.run(jobs)` ties it
+  together and returns a :class:`CorpusResult` (per-document results in
+  input order plus aggregate :class:`~repro.core.results.ScanStats`).
+
+The CLI front-end is ``repro-mss batch`` (see :mod:`repro.cli`).
+"""
+
+from repro.engine.calibration import CalibrationCache, length_bucket
+from repro.engine.corpus import CorpusEngine, CorpusResult
+from repro.engine.corrections import (
+    CORRECTIONS,
+    adjust_p_values,
+    benjamini_hochberg,
+    bonferroni,
+)
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from repro.engine.jobs import PROBLEMS, DocumentResult, JobSpec, MiningJob, run_job
+
+__all__ = [
+    "CorpusEngine",
+    "CorpusResult",
+    "MiningJob",
+    "JobSpec",
+    "DocumentResult",
+    "run_job",
+    "PROBLEMS",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "CalibrationCache",
+    "length_bucket",
+    "CORRECTIONS",
+    "bonferroni",
+    "benjamini_hochberg",
+    "adjust_p_values",
+]

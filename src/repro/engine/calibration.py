@@ -1,0 +1,156 @@
+"""Shared Monte-Carlo calibration for corpus runs.
+
+A single document's X²max is the maximum of O(n²) dependent chi-square
+variables, so its family-wise p-value needs the Monte-Carlo null
+distribution of :mod:`repro.analysis.calibration`.  Simulating that
+distribution costs ``trials`` full MSS scans -- far too much to pay per
+document.  Two observations make it affordable at corpus scale:
+
+1. The distribution depends only on ``(model, n)``, and corpora share one
+   model, so documents of similar length can share one simulation.
+2. The distribution varies slowly with ``n`` (the mean grows like
+   ``2 ln n``), so *bucketing* lengths to the next power of two changes
+   p-values marginally while collapsing thousands of lengths onto a
+   handful of keys.
+
+:class:`CalibrationCache` implements exactly that: one
+:class:`~repro.analysis.calibration.MSSNullDistribution` per
+``(model, length_bucket(n))`` key, computed on first request and reused
+for every later document -- across threads too (a lock guards the dict).
+The cache lives in the driver process; worker processes only mine, so
+the expensive simulation is never duplicated across the pool.
+
+Bucketing is conservative in the useful direction: the bucket length is
+``>= n``, X²max grows stochastically with ``n``, so bucketed p-values are
+(weakly) larger -- calibrated significance is never overstated.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from repro._validation import ensure_positive_int
+from repro.analysis.calibration import MSSNullDistribution, mss_null_distribution
+from repro.core.model import BernoulliModel
+
+__all__ = ["length_bucket", "CalibrationCache"]
+
+#: Smallest bucket: documents shorter than this share one simulation.
+_MIN_BUCKET = 64
+
+
+def length_bucket(n: int, minimum: int = _MIN_BUCKET) -> int:
+    """Round ``n`` up to the next power of two (floor ``minimum``).
+
+    >>> length_bucket(1)
+    64
+    >>> length_bucket(64)
+    64
+    >>> length_bucket(65)
+    128
+    >>> length_bucket(1000)
+    1024
+    """
+    ensure_positive_int(n, "n")
+    bucket = minimum
+    while bucket < n:
+        bucket *= 2
+    return bucket
+
+
+class CalibrationCache:
+    """Memoized Monte-Carlo X²max null distributions, keyed by
+    ``(model, length bucket)``.
+
+    Parameters
+    ----------
+    trials:
+        Monte-Carlo trials per distribution (p-value resolution is
+        ``1 / (trials + 1)``).
+    seed:
+        Base seed; each key derives a distinct deterministic stream from
+        it, so cache contents do not depend on request order.
+
+    Examples
+    --------
+    >>> cache = CalibrationCache(trials=12, seed=0)
+    >>> model = BernoulliModel.uniform("ab")
+    >>> first = cache.distribution_for(model, 50)
+    >>> cache.distribution_for(model, 60) is first   # same 64-bucket
+    True
+    >>> cache.misses, cache.hits
+    (1, 1)
+    """
+
+    def __init__(self, trials: int = 100, seed: int = 0) -> None:
+        ensure_positive_int(trials, "trials")
+        self.trials = trials
+        self.seed = seed
+        self._distributions: dict[tuple[BernoulliModel, int], MSSNullDistribution] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._distributions)
+
+    def __iter__(self) -> Iterator[tuple[BernoulliModel, int]]:
+        return iter(dict(self._distributions))
+
+    def distribution_for(self, model: BernoulliModel, n: int) -> MSSNullDistribution:
+        """The (cached) null distribution covering documents of length ``n``."""
+        bucket = length_bucket(n)
+        key = (model, bucket)
+        with self._lock:
+            cached = self._distributions.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        # Simulate outside the lock: concurrent misses on the same key may
+        # duplicate work but stay correct (the simulation is deterministic
+        # per key, so whichever insert wins stores the identical result).
+        distribution = mss_null_distribution(
+            model, bucket, trials=self.trials, seed=self._key_seed(bucket)
+        )
+        with self._lock:
+            self.misses += 1
+            return self._distributions.setdefault(key, distribution)
+
+    def p_value(self, model: BernoulliModel, n: int, x2_max: float) -> float:
+        """Calibrated family-wise p-value of a document's X²max."""
+        return self.distribution_for(model, n).p_value(x2_max)
+
+    def critical_value(self, model: BernoulliModel, n: int, alpha: float) -> float:
+        """Calibrated rejection threshold at family level ``alpha``."""
+        return self.distribution_for(model, n).critical_value(alpha)
+
+    def _key_seed(self, bucket: int) -> int:
+        """Deterministic per-bucket seed, independent of request order."""
+        return (self.seed * 1_000_003 + bucket) % (2**32)
+
+    def summary(self) -> dict:
+        """JSON-ready view of what was simulated (for CLI/bench output)."""
+        return {
+            "trials": self.trials,
+            "seed": self.seed,
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": [
+                {
+                    "k": model.k,
+                    "bucket": bucket,
+                    "mean_x2max": dist.mean,
+                    "two_ln_n": dist.two_ln_n,
+                }
+                for (model, bucket), dist in sorted(
+                    self._distributions.items(), key=lambda item: item[0][1]
+                )
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CalibrationCache(trials={self.trials}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,87 @@
+"""Multiple-testing corrections for corpus-level significance.
+
+Mining a corpus runs one hypothesis test per document; reporting every
+document with a raw ``p < alpha`` would flag ``alpha * m`` null documents
+by chance alone.  Two standard corrections are provided as *adjusted
+p-values* (compare the adjusted value against ``alpha`` directly):
+
+* **Bonferroni** -- controls the family-wise error rate;
+  ``p_adj = min(1, m * p)``.  Conservative but simple, the right choice
+  when a single false alarm is costly (the paper's intrusion-detection
+  motivation).
+* **Benjamini-Hochberg** -- controls the false discovery rate; the
+  step-up procedure ``p_adj(i) = min_{j >= i} (m / j) * p_(j)`` over the
+  ascending order statistics.  The right choice for exploratory corpus
+  scans where a bounded *fraction* of false discoveries is acceptable.
+
+Both are order-preserving on ties and clamp to 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["CORRECTIONS", "bonferroni", "benjamini_hochberg", "adjust_p_values"]
+
+#: Supported correction names (``"none"`` passes p-values through).
+CORRECTIONS = ("none", "bonferroni", "bh")
+
+
+def bonferroni(p_values: Sequence[float]) -> list[float]:
+    """Bonferroni-adjusted p-values: ``min(1, m * p)``.
+
+    >>> bonferroni([0.01, 0.25, 0.5])
+    [0.03, 0.75, 1.0]
+    """
+    _validate(p_values)
+    m = len(p_values)
+    return [min(1.0, m * p) for p in p_values]
+
+
+def benjamini_hochberg(p_values: Sequence[float]) -> list[float]:
+    """Benjamini-Hochberg (FDR) adjusted p-values, in input order.
+
+    Step-up procedure: sort ascending, scale the i-th order statistic by
+    ``m / i``, then enforce monotonicity from the largest down.
+
+    >>> benjamini_hochberg([0.01, 0.04, 0.03, 0.005])
+    [0.02, 0.04, 0.04, 0.02]
+    >>> benjamini_hochberg([0.5])
+    [0.5]
+    """
+    _validate(p_values)
+    m = len(p_values)
+    if m == 0:
+        return []
+    order = sorted(range(m), key=lambda i: p_values[i])
+    adjusted = [0.0] * m
+    running_min = 1.0
+    for rank in range(m, 0, -1):
+        index = order[rank - 1]
+        running_min = min(running_min, p_values[index] * m / rank)
+        adjusted[index] = running_min
+    return adjusted
+
+
+def adjust_p_values(p_values: Sequence[float], method: str) -> list[float]:
+    """Dispatch by correction name (``"none"``, ``"bonferroni"``, ``"bh"``).
+
+    >>> adjust_p_values([0.02, 0.5], "none")
+    [0.02, 0.5]
+    >>> adjust_p_values([0.02, 0.5], "bonferroni")
+    [0.04, 1.0]
+    """
+    if method == "none":
+        _validate(p_values)
+        return list(p_values)
+    if method == "bonferroni":
+        return bonferroni(p_values)
+    if method == "bh":
+        return benjamini_hochberg(p_values)
+    raise ValueError(f"unknown correction {method!r}; expected one of {CORRECTIONS}")
+
+
+def _validate(p_values: Sequence[float]) -> None:
+    for p in p_values:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p-values must lie in [0, 1], got {p!r}")

@@ -1,0 +1,226 @@
+"""Mining jobs: one document, one problem, one shared null model.
+
+The corpus engine decomposes a workload into :class:`MiningJob` values --
+each pairs a document with a :class:`JobSpec` (which of the paper's four
+problems to run, and its parameters) and the corpus-wide
+:class:`~repro.core.model.BernoulliModel`.  Jobs are plain picklable
+dataclasses so they can be shipped to worker processes unchanged, and
+:func:`run_job` is a module-level function so ``ProcessPoolExecutor`` can
+dispatch it.
+
+The per-document outcome is a :class:`DocumentResult`: the mined
+substrings, the scan's work counters, and a per-document p-value that the
+engine later replaces (Monte-Carlo calibration) and corrects
+(Bonferroni / Benjamini-Hochberg) at the corpus level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.core.minlength import find_mss_min_length
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.core.results import ScanStats, SignificantSubstring
+from repro.core.threshold import find_above_threshold
+from repro.core.topt import find_top_t
+
+__all__ = ["PROBLEMS", "JobSpec", "MiningJob", "DocumentResult", "run_job"]
+
+#: The paper's four problems, by CLI/API name.
+PROBLEMS = ("mss", "top", "threshold", "minlength")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Which problem to run on each document, with its parameters.
+
+    Parameters
+    ----------
+    problem:
+        One of ``"mss"`` (Problem 1), ``"top"`` (Problem 2),
+        ``"threshold"`` (Problem 3), ``"minlength"`` (Problem 4).
+    t:
+        Top-``t`` size (``"top"`` only).
+    threshold:
+        The X² cut-off (``"threshold"`` only).
+    min_length:
+        Inclusive length floor (``"minlength"`` only).
+    limit:
+        Cap on reported substrings (``"threshold"`` only).
+
+    Examples
+    --------
+    >>> JobSpec().problem
+    'mss'
+    >>> JobSpec(problem="top", t=3)
+    JobSpec(problem='top', t=3)
+    >>> JobSpec(problem="episode")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown problem 'episode'; expected one of ('mss', 'top', 'threshold', 'minlength')
+    """
+
+    problem: str = "mss"
+    t: int = 10
+    threshold: float = 0.0
+    min_length: int = 1
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.problem not in PROBLEMS:
+            raise ValueError(
+                f"unknown problem {self.problem!r}; expected one of {PROBLEMS}"
+            )
+        if self.problem == "top" and self.t < 1:
+            raise ValueError(f"t must be >= 1, got {self.t!r}")
+        if self.problem == "threshold" and self.threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {self.threshold!r}")
+        if self.problem == "minlength" and self.min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {self.min_length!r}")
+
+    def mine(
+        self, text: Sequence[Hashable], model: BernoulliModel
+    ) -> tuple[list[SignificantSubstring], ScanStats, bool]:
+        """Run the configured problem on one document.
+
+        Returns ``(substrings desc by X², stats, truncated)``.
+        ``truncated`` is True when a threshold scan stopped at ``limit``
+        before exhausting the document -- the reported substrings (and
+        hence the document's X²max) may then understate the true
+        optimum.  A ``minlength`` job on a document shorter than the
+        floor returns no substrings: nothing in that document satisfies
+        the constraint, which is an answer, not an error.
+        """
+        if self.problem == "mss":
+            result = find_mss(text, model)
+            return [result.best], result.stats, False
+        if self.problem == "top":
+            n = len(text)
+            t = min(self.t, n * (n + 1) // 2)
+            result = find_top_t(text, model, t)
+            return list(result.substrings), result.stats, False
+        if self.problem == "threshold":
+            result = find_above_threshold(
+                text, model, self.threshold, limit=self.limit
+            )
+            return list(result.substrings), result.stats, result.truncated
+        if self.min_length > len(text):
+            return [], ScanStats(n=len(text)), False
+        result = find_mss_min_length(text, model, self.min_length)
+        return [result.best], result.stats, False
+
+    def __repr__(self) -> str:
+        parts = [f"problem={self.problem!r}"]
+        if self.problem == "top":
+            parts.append(f"t={self.t}")
+        elif self.problem == "threshold":
+            parts.append(f"threshold={self.threshold}")
+            if self.limit is not None:
+                parts.append(f"limit={self.limit}")
+        elif self.problem == "minlength":
+            parts.append(f"min_length={self.min_length}")
+        return f"JobSpec({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class MiningJob:
+    """One unit of corpus work: a document under a shared null model.
+
+    Examples
+    --------
+    >>> model = BernoulliModel.uniform("ab")
+    >>> job = MiningJob("doc-0", "abab" + "aaaa" + "bab", JobSpec(), model)
+    >>> run_job(job).best.slice(job.text)
+    'aaaa'
+    """
+
+    doc_id: str
+    text: Sequence[Hashable]
+    spec: JobSpec
+    model: BernoulliModel
+
+    def __post_init__(self) -> None:
+        if len(self.text) == 0:
+            raise ValueError(f"document {self.doc_id!r} is empty")
+
+
+@dataclass
+class DocumentResult:
+    """Per-document mining outcome, before and after corpus correction.
+
+    ``p_value`` starts as the asymptotic chi-square p-value of the
+    document's X²max (the significance of one *fixed* substring) and is
+    replaced by the engine with a Monte-Carlo calibrated family-wise
+    p-value when calibration is enabled.  ``p_corrected`` and
+    ``significant`` are filled in by the engine's multiple-testing
+    correction across the whole corpus.
+    """
+
+    doc_id: str
+    n: int
+    substrings: tuple[SignificantSubstring, ...]
+    stats: ScanStats
+    p_value: float
+    p_value_kind: str = "asymptotic"
+    p_corrected: float | None = None
+    significant: bool | None = None
+    truncated: bool = False
+
+    @property
+    def best(self) -> SignificantSubstring | None:
+        """The document's most significant substring (None when a
+        threshold scan matched nothing)."""
+        return self.substrings[0] if self.substrings else None
+
+    @property
+    def x2_max(self) -> float:
+        """The document's maximum *reported* X² (0.0 when nothing matched).
+
+        Exact for mss/top/minlength; a lower bound when ``truncated``.
+        """
+        return self.substrings[0].chi_square if self.substrings else 0.0
+
+    def payload(self, *, include_timing: bool = True) -> dict:
+        """JSON-ready dict; ``include_timing=False`` drops wall-clock noise
+        so serial and parallel runs compare byte-identically."""
+        data: dict = {
+            "doc_id": self.doc_id,
+            "n": self.n,
+            "x2_max": self.x2_max,
+            "p_value": self.p_value,
+            "p_value_kind": self.p_value_kind,
+            "p_corrected": self.p_corrected,
+            "significant": self.significant,
+            "truncated": self.truncated,
+            "evaluated": self.stats.substrings_evaluated,
+            "skipped": self.stats.positions_skipped,
+            "substrings": [
+                {
+                    "start": s.start,
+                    "end": s.end,
+                    "length": s.length,
+                    "chi_square": s.chi_square,
+                    "counts": list(s.counts),
+                }
+                for s in self.substrings
+            ],
+        }
+        if include_timing:
+            data["elapsed_seconds"] = self.stats.elapsed_seconds
+        return data
+
+
+def run_job(job: MiningJob) -> DocumentResult:
+    """Mine one job (module-level so process pools can pickle it)."""
+    substrings, stats, truncated = job.spec.mine(job.text, job.model)
+    best_p = substrings[0].p_value if substrings else 1.0
+    return DocumentResult(
+        doc_id=job.doc_id,
+        n=stats.n,
+        substrings=tuple(substrings),
+        stats=stats,
+        p_value=best_p,
+        truncated=truncated,
+    )

@@ -81,9 +81,9 @@ def noncentral_chi2_cdf(x: float, dof: float, noncentrality: float) -> float:
         raise ValueError(f"noncentrality must be >= 0, got {noncentrality!r}")
     if x <= 0.0:
         return 0.0
-    if noncentrality == 0.0:
-        return Chi2Distribution(dof).cdf(x)
     half = noncentrality / 2.0
+    if half == 0.0:  # includes denormals that underflow when halved
+        return Chi2Distribution(dof).cdf(x)
     log_half = math.log(half)
     total = 0.0
     cumulative_mass = 0.0

@@ -176,3 +176,70 @@ class TestProtocol:
         assert math.isclose(sum(model.probabilities), 1.0, abs_tol=1e-12)
         assert all(0 < p < 1 for p in model.probabilities)
         assert model.k == len(model.alphabet)
+
+
+class TestMemoizedLookups:
+    """The encode table and log-probabilities are built once per model."""
+
+    def test_fast_and_dict_paths_agree(self):
+        model = BernoulliModel("abc", [0.5, 0.3, 0.2])
+        text = "abcabccba" * 5
+        assert model.encode(text).tolist() == model.encode(list(text)).tolist()
+
+    def test_fast_path_dtype_and_empty(self):
+        model = BernoulliModel.uniform("ab")
+        assert model.encode("abab").dtype == np.int64
+        assert model.encode("").tolist() == []
+
+    def test_fast_path_unknown_symbol_message_matches_dict_path(self):
+        model = BernoulliModel.uniform("ab")
+        with pytest.raises(KeyError) as fast:
+            model.encode("abz")
+        with pytest.raises(KeyError) as slow:
+            model.encode(list("abz"))
+        assert str(fast.value) == str(slow.value)
+
+    def test_fast_path_out_of_table_symbol(self):
+        model = BernoulliModel.uniform("ab")
+        with pytest.raises(KeyError, match="not in the alphabet"):
+            model.encode("ab\U0001F600")
+
+    def test_table_built_once_and_reused(self):
+        model = BernoulliModel.uniform("ab")
+        assert model._encode_table is model._encode_table
+        first = model._encode_table
+        model.encode("abab")
+        assert model._encode_table is first
+
+    def test_non_char_alphabet_has_no_table(self):
+        model = BernoulliModel((1, 2), [0.5, 0.5])
+        assert model._encode_table is None
+        assert model.encode([1, 2, 1]).tolist() == [0, 1, 0]
+
+    def test_high_codepoint_alphabet_falls_back(self):
+        model = BernoulliModel("\U0001F600\U0001F601", [0.5, 0.5])
+        assert model._encode_table is None
+        assert model.encode("\U0001F600\U0001F601").tolist() == [0, 1]
+
+    def test_log_probabilities_memoized_and_correct(self):
+        model = BernoulliModel("ab", [0.25, 0.75])
+        assert model.log_probabilities is model.log_probabilities
+        assert model.log_probabilities == (math.log(0.25), math.log(0.75))
+        assert model.log_probability_of("b") == math.log(0.75)
+        with pytest.raises(KeyError):
+            model.log_probability_of("z")
+
+    def test_pickle_round_trip_keeps_tables(self):
+        import pickle
+
+        model = BernoulliModel("ab", [0.3, 0.7])
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone == model
+        assert clone.encode("abba").tolist() == [0, 1, 1, 0]
+        assert clone.log_probabilities == model.log_probabilities
+
+    @given(models())
+    def test_encode_paths_agree_on_random_models(self, model):
+        text = "".join(str(s) for s in model.alphabet) * 3
+        if all(isinstance(s, str) and len(s) == 1 for s in model.alphabet):
+            assert model.encode(text).tolist() == model.encode(list(text)).tolist()

@@ -1,0 +1,97 @@
+"""Tests for the shared Monte-Carlo calibration cache."""
+
+import pytest
+
+from repro.core.model import BernoulliModel
+from repro.engine.calibration import CalibrationCache, length_bucket
+
+
+@pytest.fixture
+def model():
+    return BernoulliModel.uniform("ab")
+
+
+class TestLengthBucket:
+    def test_powers_of_two_with_floor(self):
+        assert length_bucket(1) == 64
+        assert length_bucket(64) == 64
+        assert length_bucket(65) == 128
+        assert length_bucket(128) == 128
+        assert length_bucket(129) == 256
+        assert length_bucket(100_000) == 131072
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            length_bucket(0)
+
+
+class TestCache:
+    def test_same_bucket_shares_one_simulation(self, model):
+        cache = CalibrationCache(trials=12, seed=0)
+        first = cache.distribution_for(model, 30)
+        second = cache.distribution_for(model, 64)
+        assert second is first
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert len(cache) == 1
+
+    def test_different_buckets_are_distinct(self, model):
+        cache = CalibrationCache(trials=12, seed=0)
+        small = cache.distribution_for(model, 40)
+        large = cache.distribution_for(model, 200)
+        assert small is not large
+        assert small.n == 64 and large.n == 256
+        assert len(cache) == 2
+
+    def test_different_models_are_distinct_keys(self, model):
+        cache = CalibrationCache(trials=12, seed=0)
+        cache.distribution_for(model, 40)
+        cache.distribution_for(BernoulliModel("ab", [0.8, 0.2]), 40)
+        assert len(cache) == 2
+
+    def test_contents_independent_of_request_order(self, model):
+        forward = CalibrationCache(trials=12, seed=5)
+        forward.distribution_for(model, 50)
+        forward.distribution_for(model, 200)
+        backward = CalibrationCache(trials=12, seed=5)
+        backward.distribution_for(model, 200)
+        backward.distribution_for(model, 50)
+        assert (
+            forward.distribution_for(model, 50).samples
+            == backward.distribution_for(model, 50).samples
+        )
+        assert (
+            forward.distribution_for(model, 200).samples
+            == backward.distribution_for(model, 200).samples
+        )
+
+    def test_p_value_is_conservative_for_shorter_documents(self, model):
+        """Bucketing rounds n up, and X²max grows with n, so the cached
+        p-value can only overstate the true one (never false confidence)."""
+        cache = CalibrationCache(trials=20, seed=2)
+        distribution = cache.distribution_for(model, 30)  # simulated at n=64
+        # an X²max that would be middling for n=64 is at least as
+        # unremarkable for the n=30 document
+        assert cache.p_value(model, 30, distribution.mean) >= 1.0 / (20 + 1)
+
+    def test_extreme_score_gets_minimal_p_value(self, model):
+        cache = CalibrationCache(trials=15, seed=3)
+        assert cache.p_value(model, 100, 1e9) == pytest.approx(1 / 16)
+
+    def test_critical_value_matches_distribution(self, model):
+        cache = CalibrationCache(trials=19, seed=4)
+        direct = cache.distribution_for(model, 90).critical_value(0.1)
+        assert cache.critical_value(model, 90, 0.1) == direct
+
+    def test_summary_is_json_ready(self, model):
+        import json
+
+        cache = CalibrationCache(trials=12, seed=0)
+        cache.p_value(model, 45, 3.0)
+        summary = cache.summary()
+        json.dumps(summary)  # must not raise
+        assert summary["misses"] == 1
+        assert summary["entries"][0]["bucket"] == 64
+
+    def test_rejects_nonpositive_trials(self):
+        with pytest.raises(ValueError):
+            CalibrationCache(trials=0)

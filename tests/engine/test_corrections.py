@@ -1,0 +1,93 @@
+"""Tests for multiple-testing corrections (Bonferroni, Benjamini-Hochberg)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.corrections import (
+    CORRECTIONS,
+    adjust_p_values,
+    benjamini_hochberg,
+    bonferroni,
+)
+
+
+class TestBonferroni:
+    def test_scales_by_m(self):
+        assert bonferroni([0.01]) == [0.01]
+        assert bonferroni([0.01, 0.02]) == [0.02, 0.04]
+
+    def test_clamps_to_one(self):
+        assert bonferroni([0.5, 0.9]) == [1.0, 1.0]
+
+    def test_empty(self):
+        assert bonferroni([]) == []
+
+
+class TestBenjaminiHochberg:
+    def test_hand_checked_example(self):
+        """Worked by hand: p = (0.005, 0.01, 0.03, 0.04) ascending, m = 4.
+
+        rank 1: 0.005 * 4/1 = 0.02
+        rank 2: 0.010 * 4/2 = 0.02
+        rank 3: 0.030 * 4/3 = 0.04
+        rank 4: 0.040 * 4/4 = 0.04
+        (already monotone, so the step-up minimum changes nothing)
+        """
+        adjusted = benjamini_hochberg([0.01, 0.04, 0.03, 0.005])
+        assert adjusted == pytest.approx([0.02, 0.04, 0.04, 0.02])
+
+    def test_hand_checked_monotonicity_enforcement(self):
+        """Worked by hand: p = (0.01, 0.02, 0.021) ascending, m = 3.
+
+        raw:  0.01 * 3/1 = 0.03,  0.02 * 3/2 = 0.03,  0.021 * 3/3 = 0.021
+        step-up from the largest rank: adj_3 = 0.021,
+        adj_2 = min(0.03, 0.021) = 0.021, adj_1 = min(0.03, 0.021) = 0.021.
+        """
+        adjusted = benjamini_hochberg([0.01, 0.02, 0.021])
+        assert adjusted == pytest.approx([0.021, 0.021, 0.021])
+
+    def test_single_p_value_unchanged(self):
+        assert benjamini_hochberg([0.37]) == [0.37]
+
+    def test_less_conservative_than_bonferroni(self):
+        p = [0.001, 0.008, 0.039, 0.041, 0.2]
+        bh = benjamini_hochberg(p)
+        bf = bonferroni(p)
+        assert all(a <= b + 1e-12 for a, b in zip(bh, bf))
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=30))
+    def test_adjusted_values_are_valid_p_values(self, p_values):
+        adjusted = benjamini_hochberg(p_values)
+        assert len(adjusted) == len(p_values)
+        assert all(0.0 <= p <= 1.0 for p in adjusted)
+        # adjustment never makes a p-value smaller
+        assert all(a >= p - 1e-12 for a, p in zip(adjusted, p_values))
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=30))
+    def test_preserves_significance_order(self, p_values):
+        """A smaller raw p-value never gets a larger adjusted one."""
+        adjusted = benjamini_hochberg(p_values)
+        pairs = sorted(zip(p_values, adjusted))
+        for (_, a), (_, b) in zip(pairs, pairs[1:]):
+            assert a <= b + 1e-12
+
+
+class TestDispatch:
+    def test_none_passthrough(self):
+        assert adjust_p_values([0.2, 0.04], "none") == [0.2, 0.04]
+
+    @pytest.mark.parametrize("method", CORRECTIONS)
+    def test_all_methods_dispatch(self, method):
+        assert len(adjust_p_values([0.1, 0.5], method)) == 2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown correction"):
+            adjust_p_values([0.1], "holm")
+
+    @pytest.mark.parametrize("method", CORRECTIONS)
+    def test_invalid_p_value_rejected(self, method):
+        with pytest.raises(ValueError, match="p-values"):
+            adjust_p_values([1.5], method)
+        with pytest.raises(ValueError, match="p-values"):
+            adjust_p_values([-0.1], method)

@@ -1,0 +1,78 @@
+"""Tests for the pluggable executors (serial / thread / process)."""
+
+import pytest
+
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestSerial:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert SerialExecutor().map(_square, []) == []
+
+
+class TestThread:
+    def test_maps_in_order(self):
+        assert ThreadExecutor(workers=3).map(_square, list(range(20))) == [
+            x * x for x in range(20)
+        ]
+
+    def test_default_workers_positive(self):
+        assert ThreadExecutor().workers >= 1
+
+    def test_single_item_short_circuits(self):
+        assert ThreadExecutor(workers=4).map(_square, [5]) == [25]
+
+
+class TestProcess:
+    def test_maps_in_order(self):
+        result = ProcessExecutor(workers=2, chunksize=3).map(
+            _square, list(range(25))
+        )
+        assert result == [x * x for x in range(25)]
+
+    def test_single_worker_runs_inline(self):
+        # workers=1 avoids pool startup entirely; closures stay usable
+        assert ProcessExecutor(workers=1).map(lambda x: x + 1, [1, 2]) == [2, 3]
+
+    def test_default_chunksize_four_waves_per_worker(self):
+        assert ProcessExecutor(workers=2).chunk_size(100) == 13
+        assert ProcessExecutor(workers=4).chunk_size(8) == 1
+
+    def test_explicit_chunksize_wins(self):
+        assert ProcessExecutor(workers=2, chunksize=7).chunk_size(1000) == 7
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            ProcessExecutor(chunksize=0)
+
+
+class TestResolve:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [("serial", SerialExecutor), ("thread", ThreadExecutor),
+         ("process", ProcessExecutor)],
+    )
+    def test_by_name(self, name, expected):
+        executor = resolve_executor(name, workers=2)
+        assert isinstance(executor, expected)
+        assert executor.name == name
+
+    def test_worker_count_propagates(self):
+        assert resolve_executor("process", workers=5).workers == 5
+        assert resolve_executor("thread", workers=3).workers == 3
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("gpu")

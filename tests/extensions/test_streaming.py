@@ -82,6 +82,92 @@ class TestExactness:
         assert best.chi_square >= 30.0
 
 
+class TestChunkBoundary:
+    """The overlap guarantee at its exact limit: an anomaly of length ==
+    overlap spanning a flush cut must still be found exactly."""
+
+    CHUNK = 100
+    OVERLAP = 20
+
+    def _miner(self, model):
+        return StreamingMSS(model, chunk=self.CHUNK, overlap=self.OVERLAP)
+
+    def _assert_exact(self, text, model):
+        miner = self._miner(model)
+        miner.feed(text)
+        streamed = miner.finish()
+        batch = find_mss(text, model).best
+        assert streamed.chi_square == pytest.approx(batch.chi_square)
+        assert (streamed.start, streamed.end) == (batch.start, batch.end)
+        return miner
+
+    def test_anomaly_spanning_first_cut_length_equals_overlap(self, model):
+        # cut after the first flush is at global index 100 (chunk);
+        # the 20-symbol burst [90, 110) straddles it symmetrically
+        text = "ab" * 45 + "a" * self.OVERLAP + "ba" * 45
+        miner = self._assert_exact(text, model)
+        assert miner.flushes >= 2
+        best = miner.current_best
+        assert (best.start, best.end) == (90, 110)
+        assert best.chi_square == pytest.approx(float(self.OVERLAP))
+
+    def test_anomaly_spanning_later_cut_length_equals_overlap(self, model):
+        # second cut at global index 200; burst [190, 210) spans it and is
+        # only covered thanks to the retained overlap [100, 120) ... [200, 220)
+        text = "ab" * 95 + "a" * self.OVERLAP + "ba" * 95
+        miner = self._assert_exact(text, model)
+        assert miner.flushes >= 3
+        assert (miner.current_best.start, miner.current_best.end) == (190, 210)
+
+    def test_anomaly_ending_exactly_at_cut(self, model):
+        # burst [180, 200): its last symbol is the final one dropped by
+        # the flush at 200
+        text = "ab" * 90 + "a" * self.OVERLAP + "ba" * 100
+        self._assert_exact(text, model)
+
+    def test_anomaly_starting_exactly_at_cut(self, model):
+        # burst [200, 220): begins on the first symbol after the cut
+        text = "ab" * 100 + "a" * self.OVERLAP + "ba" * 90
+        self._assert_exact(text, model)
+
+
+class TestStreamCLI:
+    """The ``stream`` subcommand end-to-end, including the cut-spanning case."""
+
+    def test_boundary_burst_matches_batch_cli(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        text = "ab" * 95 + "a" * 20 + "ba" * 95  # spans the cut at 200
+        path = tmp_path / "stream.txt"
+        path.write_text(text)
+        assert main(["--json", "mss", str(path), "--alphabet", "ab",
+                     "--probs", "0.5,0.5"]) == 0
+        batch = json.loads(capsys.readouterr().out)["substrings"][0]
+        assert main(["--json", "stream", str(path), "--alphabet", "ab",
+                     "--probs", "0.5,0.5", "--chunk", "100",
+                     "--overlap", "20"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        streamed = payload["substrings"][0]
+        assert streamed["chi_square"] == pytest.approx(batch["chi_square"])
+        assert (streamed["start"], streamed["end"]) == (190, 210)
+        assert payload["exact_length_limit"] == 20
+        assert payload["n"] == len(text)
+        assert payload["evaluated"] >= 3  # several flushes happened
+
+    def test_plain_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "stream.txt"
+        path.write_text("ab" * 100 + "a" * 30 + "ba" * 100)
+        assert main(["stream", str(path), "--alphabet", "ab",
+                     "--probs", "0.5,0.5", "--chunk", "120",
+                     "--overlap", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "X2=" in out
+
+
 def _best_bounded_length(text, model, max_length):
     from repro.core.chisquare import ChiSquareScorer
 

@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "sports_rivalry.py",
     "grid_hotspot.py",
+    "corpus_batch.py",
 ]
 
 SLOW_EXAMPLES = [

@@ -1,10 +1,52 @@
 """Tests for the command-line interface."""
 
+import io
 import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _read_text, build_parser, main
+
+
+class TestReadText:
+    """Regression: input must lose only its trailing newline -- stripping
+    whitespace would delete an anomaly sitting at the file's edges."""
+
+    def test_keeps_leading_and_trailing_spaces(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("  aaa  \n")
+        assert _read_text(str(path)) == "  aaa  "
+
+    def test_drops_exactly_one_trailing_newline(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("aaa\n\n")
+        assert _read_text(str(path)) == "aaa\n"
+
+    def test_crlf(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_bytes(b"aaa\r\n")
+        assert _read_text(str(path)) == "aaa"
+
+    def test_no_trailing_newline_untouched(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("aaa")
+        assert _read_text(str(path)) == "aaa"
+
+    def test_stdin_same_rule(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(" ab \n"))
+        assert _read_text("-") == " ab "
+
+    def test_edge_anomaly_survives_end_to_end(self, tmp_path, capsys):
+        """A burst of unusual symbols at the very start of the file used to
+        be silently deleted when it was whitespace."""
+        text = "    " + "ab" * 30  # the anomaly IS the leading spaces
+        path = tmp_path / "t.txt"
+        path.write_text(text + "\n")
+        assert main(["--json", "mss", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == len(text)
+        best = payload["substrings"][0]
+        assert best["start"] == 0 and best["end"] == 4
 
 
 @pytest.fixture

@@ -24,6 +24,12 @@ EXPECTED_TOP_LEVEL = {
     "ThresholdResult",
     "ScanStats",
     "SignificantSubstring",
+    "CorpusEngine",
+    "CorpusResult",
+    "MiningJob",
+    "JobSpec",
+    "DocumentResult",
+    "CalibrationCache",
     "chi2_critical_value",
     "chi2_sf",
     "p_value",
@@ -53,6 +59,7 @@ def test_subpackages_importable():
     import repro.analysis
     import repro.baselines
     import repro.datasets
+    import repro.engine
     import repro.extensions
     import repro.generators
     import repro.stats
@@ -62,6 +69,7 @@ def test_subpackages_importable():
         repro.analysis,
         repro.baselines,
         repro.datasets,
+        repro.engine,
         repro.extensions,
         repro.generators,
         repro.stats,
@@ -75,6 +83,7 @@ def test_subpackage_alls_resolve():
     import repro.analysis
     import repro.baselines
     import repro.datasets
+    import repro.engine
     import repro.extensions
     import repro.generators
     import repro.stats
@@ -84,6 +93,7 @@ def test_subpackage_alls_resolve():
         repro.analysis,
         repro.baselines,
         repro.datasets,
+        repro.engine,
         repro.extensions,
         repro.generators,
         repro.stats,
