@@ -1,0 +1,224 @@
+"""Kernel backends: numpy wavefront vs. python reference.
+
+Times the MSS scan and the Monte-Carlo X²max calibration on both kernel
+backends (:mod:`repro.kernels`) over null strings at the sizes the
+tentpole targets (n >= 4096), asserts the results are bit-identical, and
+emits machine-readable ``results/BENCH_kernels.json``.
+
+Headline expectations (checked by ``--strict``, recorded in the JSON):
+
+* MSS scans: numpy >= 3x python for n >= 4096;
+* calibration: numpy >= 5x python for n >= 4096.
+
+Modes:
+
+* ``python benchmarks/bench_kernels.py`` -- full run, writes the JSON;
+* ``python benchmarks/bench_kernels.py --strict`` -- full run, non-zero
+  exit when a speedup threshold is missed;
+* ``python benchmarks/bench_kernels.py --smoke`` -- small sizes, parity
+  checks only (CI's per-backend smoke job); writes
+  ``BENCH_kernels_smoke.json`` so the checked-in full-size
+  ``BENCH_kernels.json`` is never clobbered by smoke numbers.
+
+Under pytest the full configuration runs and asserts parity plus
+positive speedups (thresholds are machine-dependent, so they gate the
+checked-in JSON, not the test-suite).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.calibration import mss_null_distribution
+from repro.core.model import BernoulliModel
+from repro.core.mss import find_mss
+from repro.generators import generate_null_string
+from repro.kernels import get_backend
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+THRESHOLDS = {"mss": 3.0, "calibration": 5.0}
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+#: (k, n) for the MSS cases and (k, n, trials) for calibration.
+FULL_MSS_CASES = [(2, 4096), (2, 8192), (2, 16384), (4, 4096), (26, 4096)]
+FULL_CALIBRATION_CASES = [(2, 4096, 20), (2, 8192, 10), (4, 4096, 10)]
+SMOKE_MSS_CASES = [(2, 512), (4, 512)]
+SMOKE_CALIBRATION_CASES = [(2, 256, 10)]
+
+
+#: Repetitions per backend; the recorded time is the minimum, the
+#: standard way to strip scheduler/GC noise from single-process timings.
+REPEATS = {"python": 2, "numpy": 3}
+
+
+def _timed(fn):
+    best = {}
+    for backend, repeats in REPEATS.items():
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = fn(backend)
+            elapsed = time.perf_counter() - started
+            if backend not in best or elapsed < best[backend][0]:
+                best[backend] = (elapsed, result)
+    return best["python"], best["numpy"]
+
+
+def _mss_case(k, n):
+    model = BernoulliModel.uniform(ALPHABET[:k])
+    text = generate_null_string(model, n, seed=20_000 + n + k)
+    (python_seconds, reference), (numpy_seconds, result) = _timed(
+        lambda backend: find_mss(text, model, backend=backend)
+    )
+    parity = (
+        result.best.chi_square == reference.best.chi_square
+        and (result.best.start, result.best.end)
+        == (reference.best.start, reference.best.end)
+        and result.stats.substrings_evaluated
+        == reference.stats.substrings_evaluated
+        and result.stats.positions_skipped
+        == reference.stats.positions_skipped
+    )
+    return {
+        "kind": "mss",
+        "k": k,
+        "n": n,
+        "python_seconds": python_seconds,
+        "numpy_seconds": numpy_seconds,
+        "speedup": python_seconds / numpy_seconds,
+        "parity": parity,
+        "evaluated": reference.stats.substrings_evaluated,
+    }
+
+
+def _calibration_case(k, n, trials):
+    model = BernoulliModel.uniform(ALPHABET[:k])
+    (python_seconds, reference), (numpy_seconds, result) = _timed(
+        lambda backend: mss_null_distribution(
+            model, n, trials=trials, seed=9, backend=backend
+        )
+    )
+    return {
+        "kind": "calibration",
+        "k": k,
+        "n": n,
+        "trials": trials,
+        "python_seconds": python_seconds,
+        "numpy_seconds": numpy_seconds,
+        "speedup": python_seconds / numpy_seconds,
+        "parity": result.samples == reference.samples,
+    }
+
+
+def run_cases(smoke=False):
+    mss_cases = SMOKE_MSS_CASES if smoke else FULL_MSS_CASES
+    calibration_cases = (
+        SMOKE_CALIBRATION_CASES if smoke else FULL_CALIBRATION_CASES
+    )
+    cases = [_mss_case(k, n) for k, n in mss_cases]
+    cases += [_calibration_case(k, n, t) for k, n, t in calibration_cases]
+    return cases
+
+
+def summarise(cases, smoke=False):
+    minima = {}
+    for kind in THRESHOLDS:
+        speedups = [c["speedup"] for c in cases if c["kind"] == kind]
+        minima[kind] = min(speedups) if speedups else None
+    return {
+        "benchmark": "kernels",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "default_backend": get_backend().name,
+        "thresholds": THRESHOLDS,
+        "min_speedup": minima,
+        "parity": all(c["parity"] for c in cases),
+        "pass": all(c["parity"] for c in cases)
+        and (
+            smoke
+            or all(
+                minima[kind] is not None and minima[kind] >= threshold
+                for kind, threshold in THRESHOLDS.items()
+            )
+        ),
+        "cases": cases,
+    }
+
+
+def emit_json(payload):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = "BENCH_kernels_smoke.json" if payload["smoke"] else "BENCH_kernels.json"
+    path = RESULTS_DIR / name
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _render(payload, emit):
+    emit(
+        f"Kernel backends ({payload['cpu_count']} cpu core(s), "
+        f"default backend: {payload['default_backend']}, "
+        f"{'smoke' if payload['smoke'] else 'full'} mode):"
+    )
+    header = (
+        f"{'kind':>12} {'k':>3} {'n':>6} {'trials':>6}  "
+        f"{'python':>8}  {'numpy':>8}  {'speedup':>8}  {'parity':>6}"
+    )
+    emit(header)
+    emit("-" * len(header))
+    for case in payload["cases"]:
+        emit(
+            f"{case['kind']:>12} {case['k']:>3} {case['n']:>6} "
+            f"{case.get('trials', '-'):>6}  "
+            f"{case['python_seconds']:>7.3f}s  {case['numpy_seconds']:>7.3f}s  "
+            f"{case['speedup']:>7.2f}x  {str(case['parity']):>6}"
+        )
+    for kind, threshold in payload["thresholds"].items():
+        minimum = payload["min_speedup"][kind]
+        emit(
+            f"min {kind} speedup: {minimum:.2f}x "
+            f"(threshold {threshold:.1f}x)"
+        )
+
+
+def test_kernels(benchmark, reporter):
+    cases = benchmark.pedantic(run_cases, rounds=1, iterations=1)
+    payload = summarise(cases)
+    path = emit_json(payload)
+    _render(payload, reporter.emit)
+    reporter.emit(f"JSON written to {path}")
+    # Parity is a hard guarantee everywhere; speedup thresholds gate the
+    # checked-in JSON (they depend on the machine), so the test only
+    # requires the numpy backend to actually win.
+    assert all(case["parity"] for case in cases)
+    assert all(case["speedup"] > 1.0 for case in cases)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes, parity only (CI)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when a speedup threshold is missed",
+    )
+    args = parser.parse_args(argv)
+    payload = summarise(run_cases(smoke=args.smoke), smoke=args.smoke)
+    _render(payload, lambda line="": print(line))
+    print(f"JSON written to {emit_json(payload)}")
+    if not payload["parity"]:
+        print("FAIL: backends disagree", file=sys.stderr)
+        return 1
+    if args.strict and not payload["pass"]:
+        print("FAIL: speedup thresholds not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,9 @@ their own subpackages:
 * :mod:`repro.extensions` -- 2-D grids, Markov nulls, windows, graphs.
 * :mod:`repro.engine` -- parallel corpus mining with cached calibration
   and multiple-testing correction (:class:`CorpusEngine`).
+* :mod:`repro.kernels` -- pluggable scan/calibration kernel backends
+  (vectorised ``"numpy"`` default, ``"python"`` reference; selectable
+  per call, via ``REPRO_BACKEND``, or ``--backend`` on the CLI).
 """
 
 from repro.core import (
@@ -48,6 +51,7 @@ from repro.core import (
     find_mss_min_length,
     find_top_t,
 )
+from repro.kernels import available_backends, get_backend
 from repro.stats import chi2_critical_value, chi2_sf, p_value
 
 __version__ = "1.1.0"
@@ -100,5 +104,7 @@ __all__ = [
     "chi2_critical_value",
     "chi2_sf",
     "p_value",
+    "get_backend",
+    "available_backends",
     "__version__",
 ]

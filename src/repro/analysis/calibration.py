@@ -29,9 +29,8 @@ import numpy as np
 
 from repro._validation import ensure_positive_int
 from repro.core.model import BernoulliModel
-from repro.core.mss import find_mss
 from repro.generators.base import resolve_rng
-from repro.generators.null import generate_null
+from repro.kernels import get_backend
 
 __all__ = [
     "MSSNullDistribution",
@@ -109,12 +108,18 @@ def mss_null_distribution(
     n: int,
     trials: int = 100,
     seed: int | np.random.Generator | None = 0,
+    *,
+    backend=None,
 ) -> MSSNullDistribution:
     """Simulate the null distribution of X²max for strings of length ``n``.
 
     Cost: ``trials`` MSS scans of length-``n`` null strings, i.e.
     O(trials * k * n^1.5) expected -- the pruned scanner is what makes
-    this calibration affordable at all.
+    this calibration affordable at all.  The simulation runs through the
+    selected kernel backend (:mod:`repro.kernels`): the default
+    ``"numpy"`` backend scans all trials as one batched wavefront and is
+    several times faster than the ``"python"`` reference, with
+    bit-identical samples (both consume the RNG stream the same way).
 
     >>> model = BernoulliModel.uniform("ab")
     >>> dist = mss_null_distribution(model, 500, trials=20, seed=1)
@@ -126,11 +131,8 @@ def mss_null_distribution(
     ensure_positive_int(n, "n")
     ensure_positive_int(trials, "trials")
     rng = resolve_rng(seed)
-    samples = []
-    for _ in range(trials):
-        codes = generate_null(model, n, seed=rng)
-        text = model.decode(codes)
-        samples.append(find_mss(text, model).best.chi_square)
+    kernel = get_backend(backend)
+    samples = kernel.simulate_x2max(model, n, trials, rng)
     return MSSNullDistribution(
         n=n, alphabet_size=model.k, samples=tuple(samples)
     )
@@ -142,6 +144,8 @@ def mss_p_value(
     n: int,
     trials: int = 100,
     seed: int | np.random.Generator | None = 0,
+    *,
+    backend=None,
 ) -> float:
     """One-call empirical p-value of an observed X²max.
 
@@ -154,7 +158,9 @@ def mss_p_value(
     >>> p_extreme <= 1 / 30
     True
     """
-    distribution = mss_null_distribution(model, n, trials=trials, seed=seed)
+    distribution = mss_null_distribution(
+        model, n, trials=trials, seed=seed, backend=backend
+    )
     return distribution.p_value(observed_x2max)
 
 
@@ -164,6 +170,8 @@ def mss_critical_value(
     n: int,
     trials: int = 100,
     seed: int | np.random.Generator | None = 0,
+    *,
+    backend=None,
 ) -> float:
     """Empirical rejection threshold for X²max at family level ``alpha``.
 
@@ -171,5 +179,7 @@ def mss_critical_value(
     the goal is "everything more significant than chance at level
     alpha, accounting for the search over all substrings".
     """
-    distribution = mss_null_distribution(model, n, trials=trials, seed=seed)
+    distribution = mss_null_distribution(
+        model, n, trials=trials, seed=seed, backend=backend
+    )
     return distribution.critical_value(alpha)

@@ -94,7 +94,7 @@ def profile_skips(text: Iterable, model: BernoulliModel) -> SkipProfile:
     n = len(codes)
     if n == 0:
         raise ValueError("cannot profile an empty string")
-    index = PrefixCountIndex(codes.tolist(), model.k)
+    index = PrefixCountIndex(codes, model.k)
     prefix = index.prefix_lists
     probabilities = model.probabilities
     k = model.k

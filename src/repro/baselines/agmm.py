@@ -49,7 +49,7 @@ def find_mss_agmm(text: Iterable, model: BernoulliModel) -> MSSResult:
     n = len(codes)
     if n == 0:
         raise ValueError("cannot mine an empty string")
-    index = PrefixCountIndex(codes.tolist(), model.k)
+    index = PrefixCountIndex(codes, model.k)
     matrix = index.counts_matrix()
     inv_p = np.asarray([1.0 / p for p in model.probabilities])
     started = time.perf_counter()

@@ -67,7 +67,7 @@ def find_mss_heap(text: Iterable, model: BernoulliModel) -> MSSResult:
     n = len(codes)
     if n == 0:
         raise ValueError("cannot mine an empty string")
-    index = PrefixCountIndex(codes.tolist(), model.k)
+    index = PrefixCountIndex(codes, model.k)
     prefix = index.prefix_lists
     probabilities = model.probabilities
     k = model.k

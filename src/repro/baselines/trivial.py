@@ -63,7 +63,7 @@ def _prepare(text: Iterable, model: BernoulliModel) -> tuple[PrefixCountIndex, i
     n = len(codes)
     if n == 0:
         raise ValueError("cannot mine an empty string")
-    return PrefixCountIndex(codes.tolist(), model.k), n
+    return PrefixCountIndex(codes, model.k), n
 
 
 def find_mss_trivial(text: Iterable, model: BernoulliModel) -> MSSResult:

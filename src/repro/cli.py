@@ -20,7 +20,11 @@ generator for experimenting:
 Input is a text file (or stdin with ``-``); the alphabet defaults to the
 distinct characters of the input with maximum-likelihood probabilities,
 or is given explicitly with ``--alphabet``/``--probs``.  Output is
-human-readable by default, JSON with ``--json``.
+human-readable by default, JSON with ``--json``.  Every mining command
+accepts ``--backend`` to pick a scan kernel (``numpy`` vectorised
+default, ``python`` reference -- identical results, see
+:mod:`repro.kernels`); the ``REPRO_BACKEND`` environment variable sets
+the session-wide default.
 """
 
 from __future__ import annotations
@@ -127,6 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--probs",
             help="comma-separated null probabilities matching --alphabet",
         )
+        add_backend(p)
+
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            default=None,
+            help="kernel backend: 'numpy' (vectorised, default) or "
+                 "'python' (reference); results are identical "
+                 "(env: REPRO_BACKEND)",
+        )
 
     mss = sub.add_parser("mss", help="most significant substring (Problem 1)")
     common(mss)
@@ -163,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--trials", type=int, default=100,
                            help="Monte-Carlo trials")
     calibrate.add_argument("--seed", type=int, default=0, help="random seed")
+    add_backend(calibrate)
 
     stream = sub.add_parser(
         "stream", help="online MSS over a stream (bounded memory)"
@@ -228,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--probs",
         help="comma-separated null probabilities matching --alphabet",
     )
+    add_backend(batch)
 
     generate = sub.add_parser("generate", help="emit a synthetic string")
     generate.add_argument(
@@ -263,6 +279,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
+    if getattr(args, "backend", None) is not None:
+        from repro.kernels import get_backend
+
+        try:
+            get_backend(args.backend)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+
     if args.command == "generate":
         return _run_generate(args)
     if args.command == "calibrate":
@@ -281,13 +305,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     model = _build_model(text, args.alphabet, args.probs)
 
     if args.command == "mss":
-        result = find_mss(text, model)
+        result = find_mss(text, model, backend=args.backend)
         substrings = [result.best]
         stats = result.stats
     elif args.command == "stream":
         from repro.extensions.streaming import StreamingMSS
 
-        miner = StreamingMSS(model, chunk=args.chunk, overlap=args.overlap)
+        miner = StreamingMSS(model, chunk=args.chunk, overlap=args.overlap,
+                             backend=args.backend)
         miner.feed(text)
         best = miner.finish()
         payload = {
@@ -302,15 +327,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         _emit(payload, args.json)
         return 0
     elif args.command == "top":
-        result = find_top_t(text, model, args.t)
+        result = find_top_t(text, model, args.t, backend=args.backend)
         substrings = result.substrings
         stats = result.stats
     elif args.command == "threshold":
-        result = find_above_threshold(text, model, args.alpha, limit=args.limit)
+        result = find_above_threshold(
+            text, model, args.alpha, limit=args.limit, backend=args.backend
+        )
         substrings = result.substrings
         stats = result.stats
     else:  # minlength
-        result = find_mss_min_length(text, model, args.min_length)
+        result = find_mss_min_length(
+            text, model, args.min_length, backend=args.backend
+        )
         substrings = [result.best]
         stats = result.stats
 
@@ -390,12 +419,15 @@ def _run_batch(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         min_length=args.min_length,
         limit=args.limit,
+        backend=args.backend,
     )
     executor_name = args.executor or ("process" if args.workers > 1 else "serial")
     engine = CorpusEngine(
         executor=resolve_executor(executor_name, workers=args.workers),
         calibration=(
-            CalibrationCache(trials=args.trials, seed=args.seed)
+            CalibrationCache(
+                trials=args.trials, seed=args.seed, backend=args.backend
+            )
             if args.calibrate
             else None
         ),
@@ -438,7 +470,8 @@ def _run_calibrate(args: argparse.Namespace) -> int:
     alphabet = "abcdefghijklmnopqrstuvwxyz"[: args.k]
     model = BernoulliModel.uniform(alphabet)
     distribution = mss_null_distribution(
-        model, args.n, trials=args.trials, seed=args.seed
+        model, args.n, trials=args.trials, seed=args.seed,
+        backend=args.backend,
     )
     payload = {
         "n": args.n,

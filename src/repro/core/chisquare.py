@@ -115,7 +115,7 @@ class ChiSquareScorer:
         if len(codes) == 0:
             raise ValueError("cannot score an empty string")
         self._model = model
-        self._index = PrefixCountIndex(codes.tolist(), model.k)
+        self._index = PrefixCountIndex(codes, model.k)
         self._inv_p = tuple(1.0 / p for p in model.probabilities)
 
     @property

@@ -5,14 +5,23 @@ its character counts, which "can be easily computed in O(1) time by
 maintaining k count arrays, one for each character of the alphabet, where
 the i-th element of the array stores the number of occurrences of the
 character till the i-th position".  :class:`PrefixCountIndex` is exactly
-that data structure, preprocessed in O(k n).
+that data structure, preprocessed in O(k n) -- vectorised through numpy
+(one boolean ``cumsum`` per character), so indexing a megabyte-scale
+string costs milliseconds, not seconds.
 
 Two access paths are provided:
 
 * plain Python lists (:attr:`PrefixCountIndex.prefix_lists`) -- fastest
-  for the scalar inner loops of the scanners;
-* a numpy matrix (:meth:`PrefixCountIndex.counts_matrix`) -- for the
-  vectorised baselines and profile computations.
+  for the scalar inner loops of the scanners; materialised lazily on
+  first access and cached;
+* a numpy matrix (:meth:`PrefixCountIndex.counts_matrix`) -- the
+  canonical storage, shared by the vectorised kernels, baselines and
+  profile computations (built once, returned by reference).
+
+Codes may be given as any integer sequence, including the numpy array
+:meth:`repro.core.model.BernoulliModel.encode` produces -- no
+``.tolist()`` round-trip is needed (or wanted: the round-trip used to
+cost more than the index build itself).
 """
 
 from __future__ import annotations
@@ -30,7 +39,9 @@ class PrefixCountIndex:
     Parameters
     ----------
     codes:
-        The encoded string: integer codes in ``range(k)``.
+        The encoded string: integer codes in ``range(k)``.  Accepts any
+        integer sequence -- a plain list or the numpy array returned by
+        :meth:`~repro.core.model.BernoulliModel.encode`.
     k:
         Alphabet size.
 
@@ -43,30 +54,41 @@ class PrefixCountIndex:
     (1, 1, 0)
     >>> index.count(0, 0, 3)
     2
+    >>> PrefixCountIndex(np.array([0, 1]), 2).counts(0, 2)
+    (1, 1)
     """
 
-    __slots__ = ("_prefix", "_n", "_k", "_codes")
+    __slots__ = ("_matrix", "_n", "_k", "_codes", "_prefix_lists", "_codes_list")
 
-    def __init__(self, codes: Sequence[int], k: int) -> None:
+    def __init__(self, codes: Sequence[int] | np.ndarray, k: int) -> None:
         if k < 2:
             raise ValueError(f"alphabet size must be >= 2, got {k!r}")
-        n = len(codes)
-        prefix: list[list[int]] = [[0] * (n + 1) for _ in range(k)]
-        running = [0] * k
-        for position, code in enumerate(codes):
-            code = int(code)
-            if not 0 <= code < k:
-                raise ValueError(
-                    f"code {code!r} at position {position} is outside "
-                    f"range(0, {k})"
-                )
-            running[code] += 1
-            for j in range(k):
-                prefix[j][position + 1] = running[j]
-        self._prefix = prefix
+        # Always a copy, so a caller mutating its own array afterwards
+        # cannot desynchronise `codes` from the prefix matrix.  The cast
+        # keeps int(code) semantics: floats truncate toward zero, bools
+        # map to 0/1; non-numeric dtypes fail here with numpy's error.
+        arr = np.array(codes, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(
+                f"codes must be a one-dimensional sequence, got shape {arr.shape}"
+            )
+        n = int(arr.shape[0])
+        bad = (arr < 0) | (arr >= k)
+        if bad.any():
+            position = int(np.argmax(bad))
+            raise ValueError(
+                f"code {int(arr[position])!r} at position {position} is outside "
+                f"range(0, {k})"
+            )
+        matrix = np.zeros((k, n + 1), dtype=np.int64)
+        for j in range(k):
+            np.cumsum(arr == j, out=matrix[j, 1:])
+        self._matrix = matrix
         self._n = n
         self._k = k
-        self._codes = [int(c) for c in codes]
+        self._codes = arr
+        self._prefix_lists: list[list[int]] | None = None
+        self._codes_list: list[int] | None = None
 
     @property
     def n(self) -> int:
@@ -80,7 +102,14 @@ class PrefixCountIndex:
 
     @property
     def codes(self) -> list[int]:
-        """The underlying encoded string (defensive copy not taken: treat as read-only)."""
+        """The underlying encoded string as plain ints (cached; treat as read-only)."""
+        if self._codes_list is None:
+            self._codes_list = self._codes.tolist()
+        return self._codes_list
+
+    @property
+    def codes_array(self) -> np.ndarray:
+        """The underlying encoded string as an ``int64`` array (read-only by convention)."""
         return self._codes
 
     @property
@@ -88,32 +117,36 @@ class PrefixCountIndex:
         """The raw per-character prefix arrays (read-only by convention).
 
         ``prefix_lists[j][i]`` is the number of occurrences of character
-        ``j`` among the first ``i`` positions.  Exposed so the scanners'
-        hot loops can bind the lists locally.
+        ``j`` among the first ``i`` positions.  Exposed so the scalar
+        scanners' hot loops can bind the lists locally; materialised
+        from the numpy matrix on first access and cached.
         """
-        return self._prefix
+        if self._prefix_lists is None:
+            self._prefix_lists = self._matrix.tolist()
+        return self._prefix_lists
 
     def count(self, char: int, start: int, end: int) -> int:
         """Occurrences of character ``char`` in ``codes[start:end]``."""
         self._check_range(start, end)
         if not 0 <= char < self._k:
             raise ValueError(f"char {char!r} outside range(0, {self._k})")
-        row = self._prefix[char]
-        return row[end] - row[start]
+        row = self._matrix[char]
+        return int(row[end]) - int(row[start])
 
     def counts(self, start: int, end: int) -> tuple[int, ...]:
         """Count vector of the substring ``codes[start:end]`` (half-open)."""
         self._check_range(start, end)
-        return tuple(row[end] - row[start] for row in self._prefix)
+        return tuple((self._matrix[:, end] - self._matrix[:, start]).tolist())
 
     def counts_matrix(self) -> np.ndarray:
         """``(k, n + 1)`` numpy matrix of prefix counts.
 
-        ``counts_matrix()[j, i]`` equals ``prefix_lists[j][i]``; the
-        vectorised trivial baseline computes whole X² profiles from
-        differences of this matrix's columns.
+        ``counts_matrix()[j, i]`` equals ``prefix_lists[j][i]``.  This is
+        the index's canonical storage, returned by reference (not
+        copied) so the vectorised kernels and baselines share one
+        matrix -- treat it as read-only.
         """
-        return np.asarray(self._prefix, dtype=np.int64)
+        return self._matrix
 
     def _check_range(self, start: int, end: int) -> None:
         if not 0 <= start <= end <= self._n:

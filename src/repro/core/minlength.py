@@ -12,11 +12,13 @@ API note: the paper's Problem 4 is phrased as "length greater than
 ``Gamma0``" (strict).  This module takes an *inclusive* ``min_length``
 because that is the natural Python contract; ``min_length = Gamma0 + 1``
 reproduces the paper exactly, and the benchmark for Figure 7 does so.
+
+The scan is delegated to a pluggable kernel backend
+(:mod:`repro.kernels`); all backends return bit-identical results.
 """
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Iterable
 
@@ -24,14 +26,13 @@ from repro._validation import ensure_positive_int
 from repro.core.counts import PrefixCountIndex
 from repro.core.model import BernoulliModel
 from repro.core.results import MSSResult, ScanStats, SignificantSubstring
+from repro.kernels import get_backend
 
 __all__ = ["find_mss_min_length"]
 
-_EPS = 1e-9
-
 
 def find_mss_min_length(
-    text: Iterable, model: BernoulliModel, min_length: int
+    text: Iterable, model: BernoulliModel, min_length: int, *, backend=None
 ) -> MSSResult:
     """Find the most significant substring of length ``>= min_length``.
 
@@ -44,6 +45,9 @@ def find_mss_min_length(
     min_length:
         Inclusive minimum substring length; must satisfy
         ``1 <= min_length <= n``.
+    backend:
+        Kernel backend name or instance (default: ``REPRO_BACKEND`` or
+        ``"numpy"``).
 
     Examples
     --------
@@ -61,58 +65,12 @@ def find_mss_min_length(
         raise ValueError(
             f"min_length {min_length} exceeds the string length {n}"
         )
-    index = PrefixCountIndex(codes.tolist(), model.k)
-    prefix = index.prefix_lists
-    probabilities = model.probabilities
-    k = model.k
-    inv_p = [1.0 / p for p in probabilities]
-    char_range = range(k)
-    sqrt = math.sqrt
-
-    best = -1.0
-    best_start = 0
-    best_end = min_length
-    evaluated = 0
-    skipped = 0
-    counts = [0] * k
+    kernel = get_backend(backend)
+    index = PrefixCountIndex(codes, model.k)
     started = time.perf_counter()
-    # Start positions that admit a substring of the required length.
-    for i in range(n - min_length, -1, -1):
-        bases = [prefix[j][i] for j in char_range]
-        e = i + min_length
-        while e <= n:
-            L = e - i
-            total = 0.0
-            for j in char_range:
-                y = prefix[j][e] - bases[j]
-                counts[j] = y
-                total += y * y * inv_p[j]
-            x2 = total / L - L
-            evaluated += 1
-            if x2 > best:
-                best = x2
-                best_start = i
-                best_end = e
-            c_common = (x2 - best) * L
-            root = math.inf
-            for j in char_range:
-                p = probabilities[j]
-                a = 1.0 - p
-                b = 2.0 * counts[j] - 2.0 * L * p - p * best
-                c = c_common * p
-                r = (-b + sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
-                if r < root:
-                    root = r
-                    if root < 1.0:
-                        break
-            if root >= 1.0:
-                jump = int(root - _EPS)
-                if e + jump > n:
-                    jump = n - e
-                skipped += jump
-                e += jump + 1
-            else:
-                e += 1
+    best, (best_start, best_end), evaluated, skipped = (
+        kernel.scan_mss_min_length(index, model, min_length)
+    )
     elapsed = time.perf_counter() - started
 
     substring = SignificantSubstring(
@@ -120,7 +78,7 @@ def find_mss_min_length(
         end=best_end,
         chi_square=best,
         counts=index.counts(best_start, best_end),
-        alphabet_size=k,
+        alphabet_size=model.k,
     )
     stats = ScanStats(
         n=n,

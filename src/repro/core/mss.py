@@ -10,30 +10,30 @@ extension.  On null-model inputs the expected skip is ``omega(sqrt(L))``
 non-null inputs ``X²_max`` is larger, the skips grow, and the scan only
 gets faster (§5.1).
 
-Two code paths produce identical results (tested):
-
-* a generic-``k`` loop, and
-* a hand-tuned binary (``k = 2``) loop using the closed form
-  ``X² = (Y₁ - L p₁)² / (L p₀ p₁)`` -- the common case in the paper's
-  experiments (sports, stocks, cryptology are all binary strings).
+The scan itself is delegated to a pluggable kernel backend
+(:mod:`repro.kernels`): the ``"python"`` reference walks the loops
+interpreted (with a hand-tuned binary fast path for ``k = 2``, the common
+case in the paper's experiments), while the default ``"numpy"`` backend
+runs the same arithmetic as batched array operations -- bit-identical
+results, including the evaluated/skipped work counters (tested).
 """
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Iterable
 
 from repro.core.counts import PrefixCountIndex
 from repro.core.model import BernoulliModel
 from repro.core.results import MSSResult, ScanStats, SignificantSubstring
+from repro.kernels import get_backend
 
 __all__ = ["find_mss"]
 
-_EPS = 1e-9
 
-
-def find_mss(text: Iterable, model: BernoulliModel) -> MSSResult:
+def find_mss(
+    text: Iterable, model: BernoulliModel, *, backend=None
+) -> MSSResult:
     """Find the substring with the maximum chi-square value (Problem 1).
 
     Parameters
@@ -42,6 +42,9 @@ def find_mss(text: Iterable, model: BernoulliModel) -> MSSResult:
         The string (or any symbol sequence) to mine.
     model:
         The null :class:`~repro.core.model.BernoulliModel`.
+    backend:
+        Kernel backend name or instance (default: the ``REPRO_BACKEND``
+        environment variable, falling back to ``"numpy"``).
 
     Returns
     -------
@@ -60,18 +63,11 @@ def find_mss(text: Iterable, model: BernoulliModel) -> MSSResult:
     n = len(codes)
     if n == 0:
         raise ValueError("cannot mine an empty string")
-    index = PrefixCountIndex(codes.tolist(), model.k)
+    kernel = get_backend(backend)
+    index = PrefixCountIndex(codes, model.k)
     started = time.perf_counter()
-    if model.k == 2:
-        best, interval, evaluated, skipped = _scan_binary(
-            index.prefix_lists[1], n, model.probabilities[0], model.probabilities[1]
-        )
-    else:
-        best, interval, evaluated, skipped = _scan_generic(
-            index.prefix_lists, n, model.probabilities
-        )
+    best, (start, end), evaluated, skipped = kernel.scan_mss(index, model)
     elapsed = time.perf_counter() - started
-    start, end = interval
     substring = SignificantSubstring(
         start=start,
         end=end,
@@ -87,103 +83,3 @@ def find_mss(text: Iterable, model: BernoulliModel) -> MSSResult:
         elapsed_seconds=elapsed,
     )
     return MSSResult(best=substring, stats=stats)
-
-
-def _scan_binary(
-    pref1: list[int], n: int, p0: float, p1: float
-) -> tuple[float, tuple[int, int], int, int]:
-    """Binary fast path.  ``pref1`` is the prefix-count array of symbol 1."""
-    sqrt = math.sqrt
-    inv_lp = 1.0 / (p0 * p1)
-    two_p0 = 2.0 * p0
-    two_p1 = 2.0 * p1
-    best = -1.0
-    best_start = 0
-    best_end = 1
-    evaluated = 0
-    skipped = 0
-    for i in range(n - 1, -1, -1):
-        base = pref1[i]
-        e = i + 1
-        while e <= n:
-            L = e - i
-            y1 = pref1[e] - base
-            d = y1 - L * p1
-            x2 = d * d * inv_lp / L
-            evaluated += 1
-            if x2 > best:
-                best = x2
-                best_start = i
-                best_end = e
-            # Chain-cover skip: min over the two per-character roots.
-            c_common = (x2 - best) * L
-            y0 = L - y1
-            b0 = 2.0 * y0 - L * two_p0 - p0 * best
-            c0 = c_common * p0
-            r0 = (-b0 + sqrt(b0 * b0 - 4.0 * p1 * c0)) / (2.0 * p1)
-            b1 = 2.0 * y1 - L * two_p1 - p1 * best
-            c1 = c_common * p1
-            r1 = (-b1 + sqrt(b1 * b1 - 4.0 * p0 * c1)) / (2.0 * p0)
-            root = r0 if r0 < r1 else r1
-            if root >= 1.0:
-                jump = int(root - _EPS)
-                if e + jump > n:
-                    jump = n - e
-                skipped += jump
-                e += jump + 1
-            else:
-                e += 1
-    return best, (best_start, best_end), evaluated, skipped
-
-
-def _scan_generic(
-    prefix: list[list[int]], n: int, probabilities: tuple[float, ...]
-) -> tuple[float, tuple[int, int], int, int]:
-    """Generic alphabet scan; same structure as the binary path."""
-    sqrt = math.sqrt
-    k = len(probabilities)
-    inv_p = [1.0 / p for p in probabilities]
-    char_range = range(k)
-    best = -1.0
-    best_start = 0
-    best_end = 1
-    evaluated = 0
-    skipped = 0
-    counts = [0] * k
-    for i in range(n - 1, -1, -1):
-        bases = [prefix[j][i] for j in char_range]
-        e = i + 1
-        while e <= n:
-            L = e - i
-            total = 0.0
-            for j in char_range:
-                y = prefix[j][e] - bases[j]
-                counts[j] = y
-                total += y * y * inv_p[j]
-            x2 = total / L - L
-            evaluated += 1
-            if x2 > best:
-                best = x2
-                best_start = i
-                best_end = e
-            c_common = (x2 - best) * L
-            root = math.inf
-            for j in char_range:
-                p = probabilities[j]
-                a = 1.0 - p
-                b = 2.0 * counts[j] - 2.0 * L * p - p * best
-                c = c_common * p
-                r = (-b + sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
-                if r < root:
-                    root = r
-                    if root < 1.0:
-                        break
-            if root >= 1.0:
-                jump = int(root - _EPS)
-                if e + jump > n:
-                    jump = n - e
-                skipped += jump
-                e += jump + 1
-            else:
-                e += 1
-    return best, (best_start, best_end), evaluated, skipped

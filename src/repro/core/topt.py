@@ -8,26 +8,27 @@ O((k + log t) n^{3/2}) when ``t < omega(n)`` (§6.1, Lemma 8).
 
 Skipped substrings have X² no greater than the current t-th value, so the
 returned multiset of X² values is exact; tied intervals at the cut-off are
-an arbitrary choice, exactly as in the trivial enumeration.
+an arbitrary choice, exactly as in the trivial enumeration.  The scan is
+delegated to a pluggable kernel backend (:mod:`repro.kernels`); every
+backend returns the identical multiset.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
 import time
 from typing import Iterable
 
 from repro.core.counts import PrefixCountIndex
 from repro.core.model import BernoulliModel
 from repro.core.results import ScanStats, SignificantSubstring, TopTResult
+from repro.kernels import get_backend
 
 __all__ = ["find_top_t"]
 
-_EPS = 1e-9
 
-
-def find_top_t(text: Iterable, model: BernoulliModel, t: int) -> TopTResult:
+def find_top_t(
+    text: Iterable, model: BernoulliModel, t: int, *, backend=None
+) -> TopTResult:
     """Find the ``t`` substrings with the largest chi-square values (Problem 2).
 
     Parameters
@@ -39,6 +40,9 @@ def find_top_t(text: Iterable, model: BernoulliModel, t: int) -> TopTResult:
     t:
         How many substrings to return; must satisfy
         ``1 <= t <= n (n + 1) / 2``.
+    backend:
+        Kernel backend name or instance (default: ``REPRO_BACKEND`` or
+        ``"numpy"``).
 
     Examples
     --------
@@ -61,62 +65,13 @@ def find_top_t(text: Iterable, model: BernoulliModel, t: int) -> TopTResult:
             f"t must be in [1, {total_substrings}] for a string of length "
             f"{n}, got {t}"
         )
-    index = PrefixCountIndex(codes.tolist(), model.k)
-    prefix = index.prefix_lists
-    probabilities = model.probabilities
-    k = model.k
-    inv_p = [1.0 / p for p in probabilities]
-    char_range = range(k)
-    sqrt = math.sqrt
-
-    # The paper's heap of t zeros: entries are (x2, start, end); the seeds
-    # carry a sentinel interval and are filtered out of the result.
-    heap: list[tuple[float, int, int]] = [(0.0, -1, -1)] * t
-    bound = 0.0
-
-    evaluated = 0
-    skipped = 0
-    counts = [0] * k
+    kernel = get_backend(backend)
+    index = PrefixCountIndex(codes, model.k)
     started = time.perf_counter()
-    for i in range(n - 1, -1, -1):
-        bases = [prefix[j][i] for j in char_range]
-        e = i + 1
-        while e <= n:
-            L = e - i
-            total = 0.0
-            for j in char_range:
-                y = prefix[j][e] - bases[j]
-                counts[j] = y
-                total += y * y * inv_p[j]
-            x2 = total / L - L
-            evaluated += 1
-            if x2 > bound:
-                heapq.heapreplace(heap, (x2, i, e))
-                bound = heap[0][0]
-            if x2 <= bound:
-                # Chain-cover skip against the t-th best value.
-                c_common = (x2 - bound) * L
-                root = math.inf
-                for j in char_range:
-                    p = probabilities[j]
-                    a = 1.0 - p
-                    b = 2.0 * counts[j] - 2.0 * L * p - p * bound
-                    c = c_common * p
-                    r = (-b + sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
-                    if r < root:
-                        root = r
-                        if root < 1.0:
-                            break
-                if root >= 1.0:
-                    jump = int(root - _EPS)
-                    if e + jump > n:
-                        jump = n - e
-                    skipped += jump
-                    e += jump + 1
-                    continue
-            e += 1
+    heap, evaluated, skipped = kernel.scan_top_t(index, model, t)
     elapsed = time.perf_counter() - started
 
+    # The heap seeds carry a sentinel interval; filter them out.
     found = [entry for entry in heap if entry[1] >= 0]
     found.sort(key=lambda entry: (-entry[0], entry[1]))
     substrings = [
@@ -125,7 +80,7 @@ def find_top_t(text: Iterable, model: BernoulliModel, t: int) -> TopTResult:
             end=end,
             chi_square=x2,
             counts=index.counts(start, end),
-            alphabet_size=k,
+            alphabet_size=model.k,
         )
         for x2, start, end in found
     ]

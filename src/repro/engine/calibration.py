@@ -71,6 +71,11 @@ class CalibrationCache:
     seed:
         Base seed; each key derives a distinct deterministic stream from
         it, so cache contents do not depend on request order.
+    backend:
+        Kernel backend name or instance for the simulations (see
+        :mod:`repro.kernels`); ``None`` defers to ``REPRO_BACKEND`` /
+        the default.  Backends produce bit-identical samples, so this
+        is purely a throughput knob.
 
     Examples
     --------
@@ -83,10 +88,11 @@ class CalibrationCache:
     (1, 1)
     """
 
-    def __init__(self, trials: int = 100, seed: int = 0) -> None:
+    def __init__(self, trials: int = 100, seed: int = 0, backend=None) -> None:
         ensure_positive_int(trials, "trials")
         self.trials = trials
         self.seed = seed
+        self.backend = backend
         self._distributions: dict[tuple[BernoulliModel, int], MSSNullDistribution] = {}
         self._lock = threading.Lock()
         self.hits = 0
@@ -111,7 +117,8 @@ class CalibrationCache:
         # duplicate work but stay correct (the simulation is deterministic
         # per key, so whichever insert wins stores the identical result).
         distribution = mss_null_distribution(
-            model, bucket, trials=self.trials, seed=self._key_seed(bucket)
+            model, bucket, trials=self.trials, seed=self._key_seed(bucket),
+            backend=self.backend,
         )
         with self._lock:
             self.misses += 1

@@ -49,6 +49,11 @@ class JobSpec:
         Inclusive length floor (``"minlength"`` only).
     limit:
         Cap on reported substrings (``"threshold"`` only).
+    backend:
+        Kernel backend *name* (see :mod:`repro.kernels`); ``None``
+        defers to ``REPRO_BACKEND`` / the default.  Kept as a string so
+        jobs stay picklable and each worker process resolves its own
+        backend instance.
 
     Examples
     --------
@@ -67,6 +72,7 @@ class JobSpec:
     threshold: float = 0.0
     min_length: int = 1
     limit: int | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.problem not in PROBLEMS:
@@ -79,6 +85,11 @@ class JobSpec:
             raise ValueError(f"threshold must be >= 0, got {self.threshold!r}")
         if self.problem == "minlength" and self.min_length < 1:
             raise ValueError(f"min_length must be >= 1, got {self.min_length!r}")
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise TypeError(
+                f"backend must be a registered backend name (str) or None, "
+                f"got {self.backend!r}"
+            )
 
     def mine(
         self, text: Sequence[Hashable], model: BernoulliModel
@@ -94,21 +105,24 @@ class JobSpec:
         the constraint, which is an answer, not an error.
         """
         if self.problem == "mss":
-            result = find_mss(text, model)
+            result = find_mss(text, model, backend=self.backend)
             return [result.best], result.stats, False
         if self.problem == "top":
             n = len(text)
             t = min(self.t, n * (n + 1) // 2)
-            result = find_top_t(text, model, t)
+            result = find_top_t(text, model, t, backend=self.backend)
             return list(result.substrings), result.stats, False
         if self.problem == "threshold":
             result = find_above_threshold(
-                text, model, self.threshold, limit=self.limit
+                text, model, self.threshold, limit=self.limit,
+                backend=self.backend,
             )
             return list(result.substrings), result.stats, result.truncated
         if self.min_length > len(text):
             return [], ScanStats(n=len(text)), False
-        result = find_mss_min_length(text, model, self.min_length)
+        result = find_mss_min_length(
+            text, model, self.min_length, backend=self.backend
+        )
         return [result.best], result.stats, False
 
     def __repr__(self) -> str:
@@ -121,6 +135,8 @@ class JobSpec:
                 parts.append(f"limit={self.limit}")
         elif self.problem == "minlength":
             parts.append(f"min_length={self.min_length}")
+        if self.backend is not None:
+            parts.append(f"backend={self.backend!r}")
         return f"JobSpec({', '.join(parts)})"
 
 

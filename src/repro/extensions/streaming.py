@@ -46,6 +46,9 @@ class StreamingMSS:
     overlap:
         Symbols retained across flushes.  Substrings up to this length
         are tracked exactly.
+    backend:
+        Kernel backend for the flush scans (see :mod:`repro.kernels`);
+        ``None`` defers to ``REPRO_BACKEND`` / the default.
 
     Examples
     --------
@@ -59,7 +62,8 @@ class StreamingMSS:
     True
     """
 
-    def __init__(self, model: BernoulliModel, chunk: int = 4096, overlap: int = 512) -> None:
+    def __init__(self, model: BernoulliModel, chunk: int = 4096,
+                 overlap: int = 512, *, backend=None) -> None:
         ensure_positive_int(chunk, "chunk")
         ensure_positive_int(overlap, "overlap")
         if overlap >= chunk:
@@ -69,6 +73,7 @@ class StreamingMSS:
         self._model = model
         self._chunk = chunk
         self._overlap = overlap
+        self._backend = backend
         self._buffer: list[Hashable] = []
         self._buffer_offset = 0  # global index of buffer[0]
         self._symbols_seen = 0
@@ -117,7 +122,7 @@ class StreamingMSS:
     def _scan_buffer(self) -> None:
         if not self._buffer:
             return
-        result = find_mss(self._buffer, self._model)
+        result = find_mss(self._buffer, self._model, backend=self._backend)
         self._flushes += 1
         candidate = result.best
         if self._best is None or candidate.chi_square > self._best.chi_square:

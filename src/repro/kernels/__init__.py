@@ -1,0 +1,104 @@
+"""Pluggable scan/calibration kernel backends.
+
+Every hot loop in the library -- the four problem scanners and the
+Monte-Carlo X²max simulation -- runs through a *kernel backend*:
+
+* ``"python"`` -- the interpreted reference implementation
+  (:class:`~repro.kernels.python_backend.PythonBackend`), the seed
+  scanners factored into reusable row walkers;
+* ``"numpy"`` -- the vectorised wavefront implementation
+  (:class:`~repro.kernels.numpy_backend.NumpyBackend`), bit-identical
+  results at a multiple of the speed (see
+  ``benchmarks/bench_kernels.py``).
+
+Selection, most specific wins:
+
+1. an explicit ``backend=`` argument (a name or a backend instance) on
+   :func:`repro.find_mss` and friends, or ``--backend`` on the CLI;
+2. the ``REPRO_BACKEND`` environment variable;
+3. the default, ``"numpy"`` -- safe because the backends are
+   bit-for-bit interchangeable (enforced by the parity test-suite).
+
+Third-party backends (a C extension, a GPU port) register with
+:func:`register_backend` and become selectable everywhere by name.
+
+>>> get_backend("python").name
+'python'
+>>> get_backend().name in available_backends()
+True
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.kernels.numpy_backend import NumpyBackend
+from repro.kernels.python_backend import PythonBackend
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+#: Environment variable consulted when no explicit backend is given.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Fallback when neither an argument nor the environment chooses.
+DEFAULT_BACKEND = "numpy"
+
+_REGISTRY: dict[str, object] = {}
+
+
+def register_backend(backend, *, replace: bool = False) -> None:
+    """Register a backend instance under its ``name`` attribute.
+
+    Third-party accelerators plug in here; ``replace=True`` allows
+    shadowing an existing name (tests use this to inject probes).
+    """
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            f"backend {backend!r} must expose a non-empty string 'name'"
+        )
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass replace=True "
+            f"to shadow it"
+        )
+    _REGISTRY[name] = backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(backend=None):
+    """Resolve ``backend`` to a kernel backend instance.
+
+    ``backend`` may be an instance (returned unchanged), a registered
+    name, or ``None`` -- which consults :data:`ENV_VAR` and falls back
+    to :data:`DEFAULT_BACKEND`.
+    """
+    if backend is None:
+        backend = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    if isinstance(backend, str):
+        try:
+            return _REGISTRY[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown kernel backend {backend!r}; available: "
+                f"{', '.join(available_backends())}"
+            ) from None
+    if hasattr(backend, "scan_mss"):
+        return backend
+    raise TypeError(
+        f"backend must be a name or a backend instance, got {backend!r}"
+    )
+
+
+register_backend(PythonBackend())
+register_backend(NumpyBackend())

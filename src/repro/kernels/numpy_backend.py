@@ -1,0 +1,670 @@
+"""Vectorised scan kernels: the wavefront algorithm.
+
+The paper's scanner is a doubly-nested loop whose inner iteration count
+is only O(n^{3/2}) thanks to the chain-cover skip -- but every one of
+those iterations is interpreted Python in the reference backend.  This
+module batches them.
+
+**The wavefront.**  Fix the pruning bound ``B``.  Then every start
+position's walk over its end positions is *independent*: the skip root
+at ``(i, e)`` depends only on the prefix counts and ``B``.  So the scan
+is run as a set of *lanes* -- one lane per start position -- advanced in
+lockstep: one numpy "step" gathers the prefix counts at every lane's
+current end position, evaluates all their X² values, their skip roots
+and their jumps in a handful of array operations, and retires lanes that
+run off the end of the string.  The number of steps is the *maximum*
+number of evaluations any lane needs, while the interpreted backend pays
+for the *sum*.
+
+**Exactness.**  The bound is only fixed until some evaluation beats it
+(Algorithm 1 line 8).  Such a position can never be jumped over -- the
+chain-cover argument only ever skips positions whose X² is at most the
+current bound -- so a two-pass scheme recovers the exact sequential
+semantics:
+
+1. *Discovery pass*: run all lanes of a block of start positions with
+   the bound frozen at its block-entry value, recording every visit that
+   exceeds it (a superset of the true bound updates, each of which is
+   provably visited).
+2. If nothing exceeded, the discovery pass *was* the exact scan: commit
+   its counters.  Otherwise replay the block: a scan-order simulation of
+   the recorded exceedances pins down exactly which rows update the
+   bound; those few rows are walked by the scalar reference row walkers
+   (:mod:`repro.kernels.python_backend`), and the runs of rows between
+   them -- whose bounds are now known constants -- are re-run as exact
+   wavefronts.
+
+Because bound updates cluster in the earliest (shortest) start
+positions, the first :data:`_HEAD_ROWS` rows are walked scalar to let
+the bound ramp up, and block sizes double from :data:`_FIRST_BLOCK` so a
+late update never forces a large replay.
+
+Every arithmetic expression below is written in the same evaluation
+order as the scalar walkers, and numpy's float64 element operations are
+IEEE-754-identical to CPython's -- so the two backends agree *bitwise*
+on scores, intervals, evaluation and skip counters (asserted by
+``tests/kernels/test_backend_parity.py``).
+
+Skip accounting needs no per-lane bookkeeping: a lane entering at
+``e0`` always leaves at ``n + 1``, and every evaluation advances it by
+``1 + jump``, so ``skipped = (n + 1 - e0) - evaluated`` summed over
+lanes -- the identity the commit paths use.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.generators.base import resolve_rng
+from repro.kernels.python_backend import (
+    _EPS,
+    mss_row_binary,
+    mss_row_generic,
+    threshold_row,
+    topt_row,
+)
+
+__all__ = ["NumpyBackend"]
+
+#: Rows walked by the scalar reference before vectorising: the pruning
+#: bound does most of its climbing in the first (shortest) rows, and a
+#: scalar head keeps those bound updates out of the replay machinery.
+_HEAD_ROWS = 64
+
+#: First vectorised block size; blocks double from here so early bound
+#: updates replay only small blocks while the bulk of the string is
+#: covered by a few large, cheap passes.
+_FIRST_BLOCK = 64
+
+#: First block size for the Monte-Carlo kernel (smaller: per-trial
+#: bounds ramp inside the blocked sweep itself, there is no scalar head).
+_CALIB_FIRST_BLOCK = 16
+
+#: Replay gaps at most this many rows go through the scalar row walkers:
+#: a wavefront pass has a per-step overhead that only pays off once
+#: enough lanes advance together.
+_SCALAR_GAP = 48
+
+#: Element budget (k * (n + 1) * trials) per calibration chunk, bounding
+#: the stacked prefix matrices to ~64 MB.
+_CALIB_CHUNK_ELEMS = 8 * 2**20
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+def _lane_pass_binary(pref1, n, i_arr, e_arr, off, bound, p0, p1,
+                      *, collect, lane_tag=None):
+    """Advance binary-MSS lanes to completion under a frozen bound.
+
+    ``pref1`` is the flat ``int64`` prefix-count array of symbol 1 --
+    ``(n + 1,)`` for a single string (``off is None``) or the
+    concatenation of ``T`` such arrays with ``off`` holding each lane's
+    base offset.  ``bound`` is a float or a per-lane float64 array.
+
+    With ``collect`` the pass records every visit whose X² exceeds the
+    bound (using ``max(bound, x2)`` -- a legal chain-cover bound -- for
+    that visit's own skip); without it the caller guarantees no visit
+    exceeds, making the pass an exact replay.
+
+    Returns ``(evaluated, cand_i, cand_e, cand_x, cand_tag)``.
+    """
+    inv_lp = 1.0 / (p0 * p1)
+    two_p0 = 2.0 * p0
+    two_p1 = 2.0 * p1
+    bound_is_array = isinstance(bound, np.ndarray)
+    base = pref1[i_arr if off is None else off + i_arr]
+    cand_i: list[np.ndarray] = []
+    cand_e: list[np.ndarray] = []
+    cand_x: list[np.ndarray] = []
+    cand_t: list[np.ndarray] = []
+    evaluated = 0
+    while e_arr.size:
+        L = e_arr - i_arr
+        y1 = pref1[e_arr if off is None else off + e_arr] - base
+        d = y1 - L * p1
+        x2 = (d * d) * inv_lp / L
+        evaluated += e_arr.size
+        if collect:
+            exceed = x2 > bound
+            if exceed.any():
+                idx = np.nonzero(exceed)[0]
+                cand_i.append(i_arr[idx])
+                cand_e.append(e_arr[idx])
+                cand_x.append(x2[idx])
+                if lane_tag is not None:
+                    cand_t.append(lane_tag[idx])
+                # Tighten each lane's own bound: a lane's past
+                # exceedances precede its current position in scan
+                # order, so they lower-bound the true pruning bound
+                # there -- skips stay conservative, visits shrink.
+                bound = np.maximum(bound, x2)
+                bound_is_array = True
+        beff = bound
+        c_common = (x2 - beff) * L
+        y0 = L - y1
+        b0 = 2.0 * y0 - L * two_p0 - p0 * beff
+        c0 = c_common * p0
+        r0 = (-b0 + np.sqrt(b0 * b0 - 4.0 * p1 * c0)) / (2.0 * p1)
+        b1 = 2.0 * y1 - L * two_p1 - p1 * beff
+        c1 = c_common * p1
+        r1 = (-b1 + np.sqrt(b1 * b1 - 4.0 * p0 * c1)) / (2.0 * p0)
+        root = np.minimum(r0, r1)
+        jump = np.where(root >= 1.0, root - _EPS, 0.0).astype(np.int64)
+        np.minimum(jump, n - e_arr, out=jump)
+        e_arr = e_arr + jump + 1
+        alive = e_arr <= n
+        if not alive.all():
+            e_arr = e_arr[alive]
+            i_arr = i_arr[alive]
+            base = base[alive]
+            if off is not None:
+                off = off[alive]
+            if bound_is_array:
+                bound = bound[alive]
+            if lane_tag is not None:
+                lane_tag = lane_tag[alive]
+    return (
+        evaluated,
+        np.concatenate(cand_i) if cand_i else _EMPTY_I,
+        np.concatenate(cand_e) if cand_e else _EMPTY_I,
+        np.concatenate(cand_x) if cand_x else _EMPTY_F,
+        np.concatenate(cand_t) if cand_t else _EMPTY_I,
+    )
+
+
+def _lane_pass_generic(mat, n, i_arr, e_arr, off, bound, probabilities,
+                       *, collect, exceed_unit=False, store=True,
+                       lane_tag=None):
+    """Advance generic-alphabet lanes to completion under a frozen bound.
+
+    ``mat`` is the ``(k, m)`` flat prefix matrix (``m = n + 1`` for a
+    single string).  ``exceed_unit`` selects the threshold semantics at
+    exceeding visits -- advance one position, no skip -- instead of the
+    discovery semantics (skip with the visit's own X² as bound);
+    ``store=False`` counts exceedances without materialising them
+    (``count_only`` threshold scans).
+
+    Returns ``(evaluated, exceed_count, cand_i, cand_e, cand_x, cand_tag)``.
+    """
+    k = len(probabilities)
+    p_col = np.asarray(probabilities, dtype=np.float64)[:, None]
+    a_col = 1.0 - p_col
+    four_a = 4.0 * a_col
+    two_a = 2.0 * a_col
+    inv_p = [1.0 / p for p in probabilities]
+    bound_is_array = isinstance(bound, np.ndarray)
+    bases = mat[:, i_arr if off is None else off + i_arr]
+    cand_i: list[np.ndarray] = []
+    cand_e: list[np.ndarray] = []
+    cand_x: list[np.ndarray] = []
+    cand_t: list[np.ndarray] = []
+    evaluated = 0
+    exceed_count = 0
+    with np.errstate(invalid="ignore"):
+        while e_arr.size:
+            L = e_arr - i_arr
+            y = mat[:, e_arr if off is None else off + e_arr] - bases
+            total = (y[0] * y[0]) * inv_p[0]
+            for j in range(1, k):
+                total = total + (y[j] * y[j]) * inv_p[j]
+            x2 = total / L - L
+            evaluated += e_arr.size
+            exceed = None
+            if collect:
+                exceed = x2 > bound
+                if exceed.any():
+                    exceed_count += int(exceed.sum())
+                    if store:
+                        idx = np.nonzero(exceed)[0]
+                        cand_i.append(i_arr[idx])
+                        cand_e.append(e_arr[idx])
+                        cand_x.append(x2[idx])
+                        if lane_tag is not None:
+                            cand_t.append(lane_tag[idx])
+                    if not exceed_unit:
+                        # Per-lane bound tightening (see the binary pass).
+                        bound = np.maximum(bound, x2)
+                        bound_is_array = True
+                        exceed = None
+                elif not exceed_unit:
+                    exceed = None
+            beff = bound
+            c_common = (x2 - beff) * L
+            b = 2.0 * y - (2.0 * L) * p_col - p_col * beff
+            c = c_common * p_col
+            r = (-b + np.sqrt(b * b - four_a * c)) / two_a
+            root = np.minimum.reduce(r, axis=0)
+            if exceed_unit and exceed is not None:
+                # Qualifying visits advance by one (their quadratic may
+                # have no real root); NaNs from the sqrt land here too.
+                root = np.where(exceed, 0.0, root)
+            jump = np.where(root >= 1.0, root - _EPS, 0.0).astype(np.int64)
+            np.minimum(jump, n - e_arr, out=jump)
+            e_arr = e_arr + jump + 1
+            alive = e_arr <= n
+            if not alive.all():
+                e_arr = e_arr[alive]
+                i_arr = i_arr[alive]
+                bases = bases[:, alive]
+                if off is not None:
+                    off = off[alive]
+                if bound_is_array:
+                    bound = bound[alive]
+                if lane_tag is not None:
+                    lane_tag = lane_tag[alive]
+    return (
+        evaluated,
+        exceed_count,
+        np.concatenate(cand_i) if cand_i else _EMPTY_I,
+        np.concatenate(cand_e) if cand_e else _EMPTY_I,
+        np.concatenate(cand_x) if cand_x else _EMPTY_F,
+        np.concatenate(cand_t) if cand_t else _EMPTY_I,
+    )
+
+
+def _scan_order(cand_i, cand_e, cand_x):
+    """Sort candidate visits into scan order (start descending, end ascending)."""
+    order = np.lexsort((cand_e, -cand_i))
+    return cand_i[order], cand_e[order], cand_x[order]
+
+
+def _running_max_rows(cand_i, cand_x, bound):
+    """Rows where a running-maximum bound truly updates.
+
+    ``cand_i``/``cand_x`` are scan-ordered discovery candidates; a
+    candidate is a real update exactly when it beats every earlier one
+    and the incoming ``bound`` -- the sequential scan's own rule.
+    """
+    rows: list[int] = []
+    running = bound
+    for row, value in zip(cand_i.tolist(), cand_x.tolist()):
+        if value > running:
+            running = value
+            if not rows or rows[-1] != row:
+                rows.append(row)
+    return rows
+
+
+def _row_span(n, i_lo, i_hi, e_offset):
+    """Sum of ``n + 1 - e0`` over rows ``i_lo..i_hi`` with ``e0 = i + e_offset``."""
+    count = i_hi - i_lo + 1
+    sum_i = (i_lo + i_hi) * count // 2
+    return count * (n + 1 - e_offset) - sum_i
+
+
+def _sweep(n, top_row, e_offset, lane_pass, scalar_row, find_update_rows):
+    """The shared discovery/replay block sweep over all start rows.
+
+    Drives one scan end to end: a scalar head of :data:`_HEAD_ROWS` rows
+    (where the pruning bound does most of its climbing), then
+    doubling-size blocks, each run as a discovery pass first and -- only
+    when the discovery pass surfaced bound-update candidates -- replayed
+    exactly: the true update rows walk scalar, the gap runs between them
+    re-run as bound-frozen wavefronts (or scalar below :data:`_SCALAR_GAP`
+    rows, where a wavefront's per-step overhead cannot amortise).
+
+    The problem-specific pieces come in as callbacks:
+
+    ``lane_pass(i_hi, i_lo, collect)``
+        run rows ``i_hi..i_lo`` as lanes under the *current* bound,
+        returning ``(evaluated, cand_i, cand_e, cand_x)``;
+    ``scalar_row(i)``
+        walk one row with the reference walker, applying any bound
+        updates to the caller's state, returning ``(d_ev, d_sk)``;
+    ``find_update_rows(cand_i, cand_e, cand_x)``
+        given the scan-ordered discovery candidates, return the rows in
+        which the true sequential scan updates its bound (scan order).
+
+    Returns the scan's total ``(evaluated, skipped)``; skips fall out of
+    the lane identity ``skipped = span - evaluated`` per committed pass.
+    """
+    evaluated = 0
+    skipped = 0
+
+    def scalar_rows(hi, lo):
+        nonlocal evaluated, skipped
+        for i in range(hi, lo - 1, -1):
+            d_ev, d_sk = scalar_row(i)
+            evaluated += d_ev
+            skipped += d_sk
+
+    def replay_gap(hi, lo):
+        nonlocal evaluated, skipped
+        if hi - lo < _SCALAR_GAP:
+            scalar_rows(hi, lo)
+        else:
+            ev, _, _, _ = lane_pass(hi, lo, False)
+            evaluated += ev
+            skipped += _row_span(n, lo, hi, e_offset) - ev
+
+    head = min(top_row + 1, _HEAD_ROWS)
+    scalar_rows(top_row, top_row - head + 1)
+    i_hi = top_row - head
+    size = _FIRST_BLOCK
+    while i_hi >= 0:
+        count = min(size, i_hi + 1)
+        i_lo = i_hi - count + 1
+        ev, ci, ce, cx = lane_pass(i_hi, i_lo, True)
+        if ci.size == 0:
+            # No visit beat the bound: the discovery pass was the exact
+            # sequential scan of this block.  Commit it.
+            evaluated += ev
+            skipped += _row_span(n, i_lo, i_hi, e_offset) - ev
+        else:
+            update_rows = find_update_rows(*_scan_order(ci, ce, cx))
+            prev = i_hi
+            for row in update_rows:
+                if prev > row:
+                    replay_gap(prev, row + 1)
+                scalar_rows(row, row)
+                prev = row - 1
+            if prev >= i_lo:
+                replay_gap(prev, i_lo)
+        i_hi = i_lo - 1
+        size *= 2
+    return evaluated, skipped
+
+
+class NumpyBackend:
+    """Vectorised kernels, bit-identical to :class:`PythonBackend`."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # Problem 1: MSS
+    # ------------------------------------------------------------------
+
+    def scan_mss(self, index, model):
+        n = index.n
+        binary = model.k == 2
+        probabilities = model.probabilities
+        best = -1.0
+        best_start = 0
+        best_end = 1
+        mat = index.counts_matrix()
+        if binary:
+            pref1_list = index.prefix_lists[1]
+            pref1 = mat[1]
+            p0, p1 = probabilities
+        else:
+            prefix = index.prefix_lists
+            inv_p = [1.0 / p for p in probabilities]
+
+        def scalar_row(i):
+            nonlocal best, best_start, best_end
+            if binary:
+                best, best_start, best_end, d_ev, d_sk = mss_row_binary(
+                    pref1_list, n, i, i + 1, best, best_start, best_end, p0, p1
+                )
+            else:
+                best, best_start, best_end, d_ev, d_sk = mss_row_generic(
+                    prefix, n, i, i + 1, best, best_start, best_end,
+                    probabilities, inv_p,
+                )
+            return d_ev, d_sk
+
+        def lane_pass(i_hi, i_lo, collect):
+            i_arr = np.arange(i_hi, i_lo - 1, -1, dtype=np.int64)
+            e_arr = i_arr + 1
+            if binary:
+                ev, ci, ce, cx, _ = _lane_pass_binary(
+                    pref1, n, i_arr, e_arr, None, best, p0, p1, collect=collect
+                )
+            else:
+                ev, _, ci, ce, cx, _ = _lane_pass_generic(
+                    mat, n, i_arr, e_arr, None, best, probabilities,
+                    collect=collect,
+                )
+            return ev, ci, ce, cx
+
+        evaluated, skipped = _sweep(
+            n, n - 1, 1, lane_pass, scalar_row,
+            lambda ci, ce, cx: _running_max_rows(ci, cx, best),
+        )
+        return best, (best_start, best_end), evaluated, skipped
+
+    # ------------------------------------------------------------------
+    # Problem 4: MSS with a length floor
+    # ------------------------------------------------------------------
+
+    def scan_mss_min_length(self, index, model, min_length):
+        n = index.n
+        prefix = index.prefix_lists
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        mat = index.counts_matrix()
+        best = -1.0
+        best_start = 0
+        best_end = min_length
+
+        def scalar_row(i):
+            nonlocal best, best_start, best_end
+            best, best_start, best_end, d_ev, d_sk = mss_row_generic(
+                prefix, n, i, i + min_length, best, best_start, best_end,
+                probabilities, inv_p,
+            )
+            return d_ev, d_sk
+
+        def lane_pass(i_hi, i_lo, collect):
+            i_arr = np.arange(i_hi, i_lo - 1, -1, dtype=np.int64)
+            e_arr = i_arr + min_length
+            ev, _, ci, ce, cx, _ = _lane_pass_generic(
+                mat, n, i_arr, e_arr, None, best, probabilities,
+                collect=collect,
+            )
+            return ev, ci, ce, cx
+
+        evaluated, skipped = _sweep(
+            n, n - min_length, min_length, lane_pass, scalar_row,
+            lambda ci, ce, cx: _running_max_rows(ci, cx, best),
+        )
+        return best, (best_start, best_end), evaluated, skipped
+
+    # ------------------------------------------------------------------
+    # Problem 2: top-t
+    # ------------------------------------------------------------------
+
+    def scan_top_t(self, index, model, t):
+        n = index.n
+        prefix = index.prefix_lists
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        mat = index.counts_matrix()
+        heap: list[tuple[float, int, int]] = [(0.0, -1, -1)] * t
+        bound = 0.0
+
+        def scalar_row(i):
+            nonlocal bound
+            bound, d_ev, d_sk = topt_row(
+                prefix, n, i, i + 1, heap, bound, probabilities, inv_p
+            )
+            return d_ev, d_sk
+
+        def lane_pass(i_hi, i_lo, collect):
+            i_arr = np.arange(i_hi, i_lo - 1, -1, dtype=np.int64)
+            e_arr = i_arr + 1
+            ev, _, ci, ce, cx, _ = _lane_pass_generic(
+                mat, n, i_arr, e_arr, None, bound, probabilities,
+                collect=collect,
+            )
+            return ev, ci, ce, cx
+
+        def heap_update_rows(ci, ce, cx):
+            # Simulate the heap over the scan-ordered exceedances to find
+            # exactly which rows replace a heap entry (the real heap is
+            # mutated by the scalar replay walks, not here).
+            sim = list(heap)
+            rows: list[int] = []
+            for row, end, value in zip(ci.tolist(), ce.tolist(), cx.tolist()):
+                if value > sim[0][0]:
+                    heapq.heapreplace(sim, (value, row, end))
+                    if not rows or rows[-1] != row:
+                        rows.append(row)
+            return rows
+
+        evaluated, skipped = _sweep(
+            n, n - 1, 1, lane_pass, scalar_row, heap_update_rows
+        )
+        return heap, evaluated, skipped
+
+    # ------------------------------------------------------------------
+    # Problem 3: threshold
+    # ------------------------------------------------------------------
+
+    def scan_threshold(self, index, model, alpha0, limit=None, count_only=False):
+        if limit is not None and limit < 1:
+            # The reference walker truncates right after appending match
+            # number max(limit, 1); clamping keeps the kernels agreeing
+            # even on a nonsensical limit a third-party caller slips past
+            # find_above_threshold's validation.
+            limit = 1
+        n = index.n
+        prefix = index.prefix_lists
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        mat = index.counts_matrix()
+        found: list[tuple[float, int, int]] = []
+        match_count = 0
+        truncated = False
+        evaluated = 0
+        skipped = 0
+
+        def scalar_row(i):
+            nonlocal match_count, truncated, evaluated, skipped
+            d_ev, d_sk, d_match, truncated = threshold_row(
+                prefix, n, i, i + 1, alpha0, probabilities, inv_p, found,
+                limit, count_only,
+            )
+            evaluated += d_ev
+            skipped += d_sk
+            match_count += d_match
+
+        head = min(n, _HEAD_ROWS)
+        for i in range(n - 1, n - head - 1, -1):
+            scalar_row(i)
+            if truncated:
+                return found, match_count, truncated, evaluated, skipped
+
+        def lane_pass(i_hi, i_lo, store):
+            i_arr = np.arange(i_hi, i_lo - 1, -1, dtype=np.int64)
+            e_arr = i_arr + 1
+            return _lane_pass_generic(
+                mat, n, i_arr, e_arr, None, alpha0, probabilities,
+                collect=True, exceed_unit=True, store=store,
+            )
+
+        i_hi = n - head - 1
+        size = _FIRST_BLOCK
+        while i_hi >= 0:
+            count = min(size, i_hi + 1)
+            i_lo = i_hi - count + 1
+            materialise = not count_only
+            ev, n_match, ci, ce, cx = lane_pass(i_hi, i_lo, materialise)[:5]
+            if materialise and limit is not None and len(found) + n_match >= limit:
+                # The scan truncates inside this block.  The matches of a
+                # fixed-bound pass are exact per row, so the scan-order
+                # position of match number ``limit`` identifies the row
+                # the sequential scan stopped in; rows above it are
+                # replayed for exact counters, that row is walked scalar
+                # with the real remaining capacity.
+                ci, ce, cx = _scan_order(ci, ce, cx)
+                cut_row = int(ci[limit - len(found) - 1])
+                if i_hi > cut_row:
+                    ev, n_match, _, _, _ = lane_pass(i_hi, cut_row + 1, False)[:5]
+                    keep = ci > cut_row
+                    for value, row, end in zip(
+                        cx[keep].tolist(), ci[keep].tolist(), ce[keep].tolist()
+                    ):
+                        found.append((value, row, end))
+                    match_count += n_match
+                    evaluated += ev
+                    skipped += _row_span(n, cut_row + 1, i_hi, 1) - ev
+                scalar_row(cut_row)
+                return found, match_count, truncated, evaluated, skipped
+            if materialise and ci.size:
+                ci, ce, cx = _scan_order(ci, ce, cx)
+                for value, row, end in zip(cx.tolist(), ci.tolist(), ce.tolist()):
+                    found.append((value, row, end))
+            match_count += n_match
+            evaluated += ev
+            skipped += _row_span(n, i_lo, i_hi, 1) - ev
+            i_hi = i_lo - 1
+            size *= 2
+        return found, match_count, truncated, evaluated, skipped
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo calibration
+    # ------------------------------------------------------------------
+
+    def simulate_x2max(self, model, n, trials, seed):
+        """X²max of ``trials`` null strings, all simulated as one batch.
+
+        The sample matrix (drawn in memory-bounded chunks of trials)
+        consumes the RNG stream exactly as ``trials`` sequential
+        length-``n`` draws would, so the samples are bit-identical to
+        the reference backend's.  The
+        scans then run as one big wavefront: lanes span *every* trial's
+        start positions at once (trials are independent, so each lane
+        carries its own trial's running-maximum bound), and only the
+        maxima matter -- exceedances fold into the per-trial best via a
+        scatter-max, with no replay machinery at all.
+        """
+        rng = resolve_rng(seed)
+        k = model.k
+        probabilities = model.probabilities
+        p_arr = np.asarray(probabilities)
+        chunk = max(1, _CALIB_CHUNK_ELEMS // (k * (n + 1)))
+        samples: list[float] = []
+        for start in range(0, trials, chunk):
+            # Chunked draws consume the Generator stream in the same
+            # row-major order as one (trials, n) call -- and as the
+            # reference backend's per-trial draws -- so chunking bounds
+            # peak memory without touching the samples.
+            sub = rng.choice(k, size=(min(chunk, trials - start), n), p=p_arr)
+            samples.extend(self._x2max_chunk(sub, n, k, probabilities))
+        return samples
+
+    def _x2max_chunk(self, sub, n, k, probabilities):
+        t = sub.shape[0]
+        width = n + 1
+        mat = np.zeros((k, t * width), dtype=np.int64)
+        for j in range(k):
+            rows = mat[j].reshape(t, width)
+            np.cumsum(sub == j, axis=1, out=rows[:, 1:])
+        best = np.full(t, -1.0)
+        trial_ids = np.arange(t, dtype=np.int64)
+        trial_off = trial_ids * width
+        if k == 2:
+            p0, p1 = probabilities
+            pref1 = mat[1]
+        i_hi = n - 1
+        size = _CALIB_FIRST_BLOCK
+        while i_hi >= 0:
+            count = min(size, i_hi + 1)
+            rows = np.arange(i_hi, i_hi - count, -1, dtype=np.int64)
+            i_arr = np.tile(rows, t)
+            tags = np.repeat(trial_ids, count)
+            off = np.repeat(trial_off, count)
+            e_arr = i_arr + 1
+            bound = best[tags]
+            if k == 2:
+                _, _, _, cx, ct = _lane_pass_binary(
+                    pref1, n, i_arr, e_arr, off, bound, p0, p1,
+                    collect=True, lane_tag=tags,
+                )
+            else:
+                _, _, _, _, cx, ct = _lane_pass_generic(
+                    mat, n, i_arr, e_arr, off, bound, probabilities,
+                    collect=True, lane_tag=tags,
+                )
+            if cx.size:
+                np.maximum.at(best, ct, cx)
+            i_hi -= count
+            size *= 2
+        return best.tolist()
+
+    def __repr__(self) -> str:
+        return "NumpyBackend()"

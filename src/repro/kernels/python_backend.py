@@ -1,0 +1,366 @@
+"""The pure-Python reference kernels.
+
+This module is the semantic ground truth for every scan: the arithmetic
+here is the paper's Algorithm 1-3 exactly as the seed implementation
+wrote it (see :mod:`repro.core.mss` for the derivation), factored into
+*row walkers* -- one call walks every end position of a single start
+position ``i``, applying the chain-cover skip after each evaluation.
+
+The row walkers serve two masters:
+
+* :class:`PythonBackend` loops them over all start positions -- the
+  reference backend, byte-identical to the seed scanners;
+* the numpy backend calls them for the handful of rows it cannot batch
+  (the short "head" rows that establish the pruning bound, and rows in
+  which the bound provably updates), which is what makes the two
+  backends *bit-for-bit* interchangeable rather than merely
+  approximately equal.
+
+Floating-point discipline: every expression is written (and must stay)
+in exactly the evaluation order of the seed scanners, because the numpy
+backend replicates that order elementwise and the parity tests assert
+``==`` on the results, not ``isclose``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.core.skip import ROOT_EPSILON as _EPS
+from repro.generators.base import resolve_rng
+from repro.generators.null import generate_null
+
+__all__ = ["PythonBackend"]
+
+
+# ----------------------------------------------------------------------
+# Row walkers: one start position, every end position.
+# ----------------------------------------------------------------------
+
+def mss_row_binary(pref1, n, i, e, best, best_start, best_end, p0, p1):
+    """Walk row ``i`` of the binary (k = 2) MSS scan from end ``e``.
+
+    Returns ``(best, best_start, best_end, evaluated, skipped, )`` with
+    the running maximum updated in place of the caller's.
+    """
+    sqrt = math.sqrt
+    inv_lp = 1.0 / (p0 * p1)
+    two_p0 = 2.0 * p0
+    two_p1 = 2.0 * p1
+    base = pref1[i]
+    evaluated = 0
+    skipped = 0
+    while e <= n:
+        L = e - i
+        y1 = pref1[e] - base
+        d = y1 - L * p1
+        x2 = d * d * inv_lp / L
+        evaluated += 1
+        if x2 > best:
+            best = x2
+            best_start = i
+            best_end = e
+        # Chain-cover skip: min over the two per-character roots.
+        c_common = (x2 - best) * L
+        y0 = L - y1
+        b0 = 2.0 * y0 - L * two_p0 - p0 * best
+        c0 = c_common * p0
+        r0 = (-b0 + sqrt(b0 * b0 - 4.0 * p1 * c0)) / (2.0 * p1)
+        b1 = 2.0 * y1 - L * two_p1 - p1 * best
+        c1 = c_common * p1
+        r1 = (-b1 + sqrt(b1 * b1 - 4.0 * p0 * c1)) / (2.0 * p0)
+        root = r0 if r0 < r1 else r1
+        if root >= 1.0:
+            jump = int(root - _EPS)
+            if e + jump > n:
+                jump = n - e
+            skipped += jump
+            e += jump + 1
+        else:
+            e += 1
+    return best, best_start, best_end, evaluated, skipped
+
+
+def mss_row_generic(prefix, n, i, e, best, best_start, best_end, probabilities, inv_p):
+    """Walk row ``i`` of the generic-alphabet MSS scan from end ``e``.
+
+    Also the Problem 4 row walker: ``find_mss_min_length`` is this scan
+    with ``e`` starting at ``i + min_length``.
+    """
+    sqrt = math.sqrt
+    k = len(probabilities)
+    char_range = range(k)
+    bases = [prefix[j][i] for j in char_range]
+    counts = [0] * k
+    evaluated = 0
+    skipped = 0
+    while e <= n:
+        L = e - i
+        total = 0.0
+        for j in char_range:
+            y = prefix[j][e] - bases[j]
+            counts[j] = y
+            total += y * y * inv_p[j]
+        x2 = total / L - L
+        evaluated += 1
+        if x2 > best:
+            best = x2
+            best_start = i
+            best_end = e
+        c_common = (x2 - best) * L
+        root = math.inf
+        for j in char_range:
+            p = probabilities[j]
+            a = 1.0 - p
+            b = 2.0 * counts[j] - 2.0 * L * p - p * best
+            c = c_common * p
+            r = (-b + sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+            if r < root:
+                root = r
+                if root < 1.0:
+                    break
+        if root >= 1.0:
+            jump = int(root - _EPS)
+            if e + jump > n:
+                jump = n - e
+            skipped += jump
+            e += jump + 1
+        else:
+            e += 1
+    return best, best_start, best_end, evaluated, skipped
+
+
+def topt_row(prefix, n, i, e, heap, bound, probabilities, inv_p):
+    """Walk row ``i`` of the top-t scan; mutates ``heap`` in place.
+
+    Returns ``(bound, evaluated, skipped)`` -- the t-th best value after
+    the row, i.e. the heap root.
+    """
+    sqrt = math.sqrt
+    k = len(probabilities)
+    char_range = range(k)
+    bases = [prefix[j][i] for j in char_range]
+    counts = [0] * k
+    evaluated = 0
+    skipped = 0
+    while e <= n:
+        L = e - i
+        total = 0.0
+        for j in char_range:
+            y = prefix[j][e] - bases[j]
+            counts[j] = y
+            total += y * y * inv_p[j]
+        x2 = total / L - L
+        evaluated += 1
+        if x2 > bound:
+            heapq.heapreplace(heap, (x2, i, e))
+            bound = heap[0][0]
+        if x2 <= bound:
+            # Chain-cover skip against the t-th best value.
+            c_common = (x2 - bound) * L
+            root = math.inf
+            for j in char_range:
+                p = probabilities[j]
+                a = 1.0 - p
+                b = 2.0 * counts[j] - 2.0 * L * p - p * bound
+                c = c_common * p
+                r = (-b + sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+                if r < root:
+                    root = r
+                    if root < 1.0:
+                        break
+            if root >= 1.0:
+                jump = int(root - _EPS)
+                if e + jump > n:
+                    jump = n - e
+                skipped += jump
+                e += jump + 1
+                continue
+        e += 1
+    return bound, evaluated, skipped
+
+
+def threshold_row(prefix, n, i, e, alpha0, probabilities, inv_p, found,
+                  limit, count_only):
+    """Walk row ``i`` of the threshold scan; appends matches to ``found``.
+
+    Returns ``(evaluated, skipped, match_count, truncated)``; the caller
+    stops the whole scan when ``truncated`` is True (the shared ``found``
+    list hit ``limit``).
+    """
+    sqrt = math.sqrt
+    k = len(probabilities)
+    char_range = range(k)
+    bases = [prefix[j][i] for j in char_range]
+    counts = [0] * k
+    evaluated = 0
+    skipped = 0
+    match_count = 0
+    truncated = False
+    while e <= n:
+        L = e - i
+        total = 0.0
+        for j in char_range:
+            y = prefix[j][e] - bases[j]
+            counts[j] = y
+            total += y * y * inv_p[j]
+        x2 = total / L - L
+        evaluated += 1
+        if x2 > alpha0:
+            match_count += 1
+            if not count_only:
+                found.append((x2, i, e))
+                if limit is not None and len(found) >= limit:
+                    truncated = True
+                    break
+            # The current substring qualifies: neighbours may too, so
+            # no skip is provable.  Advance by one.
+            e += 1
+            continue
+        c_common = (x2 - alpha0) * L
+        root = math.inf
+        for j in char_range:
+            p = probabilities[j]
+            a = 1.0 - p
+            b = 2.0 * counts[j] - 2.0 * L * p - p * alpha0
+            c = c_common * p
+            r = (-b + sqrt(b * b - 4.0 * a * c)) / (2.0 * a)
+            if r < root:
+                root = r
+                if root < 1.0:
+                    break
+        if root >= 1.0:
+            jump = int(root - _EPS)
+            if e + jump > n:
+                jump = n - e
+            skipped += jump
+            e += jump + 1
+        else:
+            e += 1
+    return evaluated, skipped, match_count, truncated
+
+
+# ----------------------------------------------------------------------
+# The backend: reference scans assembled from the row walkers.
+# ----------------------------------------------------------------------
+
+class PythonBackend:
+    """Interpreted reference kernels (the seed implementation's scans)."""
+
+    name = "python"
+
+    def scan_mss(self, index, model):
+        """Full MSS scan.  Returns ``(best, (start, end), evaluated, skipped)``."""
+        n = index.n
+        best = -1.0
+        best_start = 0
+        best_end = 1
+        evaluated = 0
+        skipped = 0
+        if model.k == 2:
+            pref1 = index.prefix_lists[1]
+            p0, p1 = model.probabilities
+            for i in range(n - 1, -1, -1):
+                best, best_start, best_end, d_ev, d_sk = mss_row_binary(
+                    pref1, n, i, i + 1, best, best_start, best_end, p0, p1
+                )
+                evaluated += d_ev
+                skipped += d_sk
+        else:
+            prefix = index.prefix_lists
+            probabilities = model.probabilities
+            inv_p = [1.0 / p for p in probabilities]
+            for i in range(n - 1, -1, -1):
+                best, best_start, best_end, d_ev, d_sk = mss_row_generic(
+                    prefix, n, i, i + 1, best, best_start, best_end,
+                    probabilities, inv_p,
+                )
+                evaluated += d_ev
+                skipped += d_sk
+        return best, (best_start, best_end), evaluated, skipped
+
+    def scan_mss_min_length(self, index, model, min_length):
+        """Problem 4 scan (generic arithmetic for every k, as the seed did)."""
+        n = index.n
+        prefix = index.prefix_lists
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        best = -1.0
+        best_start = 0
+        best_end = min_length
+        evaluated = 0
+        skipped = 0
+        for i in range(n - min_length, -1, -1):
+            best, best_start, best_end, d_ev, d_sk = mss_row_generic(
+                prefix, n, i, i + min_length, best, best_start, best_end,
+                probabilities, inv_p,
+            )
+            evaluated += d_ev
+            skipped += d_sk
+        return best, (best_start, best_end), evaluated, skipped
+
+    def scan_top_t(self, index, model, t):
+        """Top-t scan.  Returns ``(heap, evaluated, skipped)`` -- the raw
+        size-t heap including any ``(0.0, -1, -1)`` sentinel seeds."""
+        n = index.n
+        prefix = index.prefix_lists
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        heap: list[tuple[float, int, int]] = [(0.0, -1, -1)] * t
+        bound = 0.0
+        evaluated = 0
+        skipped = 0
+        for i in range(n - 1, -1, -1):
+            bound, d_ev, d_sk = topt_row(
+                prefix, n, i, i + 1, heap, bound, probabilities, inv_p
+            )
+            evaluated += d_ev
+            skipped += d_sk
+        return heap, evaluated, skipped
+
+    def scan_threshold(self, index, model, alpha0, limit=None, count_only=False):
+        """Threshold scan.  Returns
+        ``(found, match_count, truncated, evaluated, skipped)``."""
+        n = index.n
+        prefix = index.prefix_lists
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        found: list[tuple[float, int, int]] = []
+        match_count = 0
+        truncated = False
+        evaluated = 0
+        skipped = 0
+        for i in range(n - 1, -1, -1):
+            d_ev, d_sk, d_match, truncated = threshold_row(
+                prefix, n, i, i + 1, alpha0, probabilities, inv_p, found,
+                limit, count_only,
+            )
+            evaluated += d_ev
+            skipped += d_sk
+            match_count += d_match
+            if truncated:
+                break
+        return found, match_count, truncated, evaluated, skipped
+
+    def simulate_x2max(self, model, n, trials, seed):
+        """Monte-Carlo X²max samples: ``trials`` sequential null scans.
+
+        Draws consume the RNG stream exactly as the seed implementation
+        did (one length-``n`` multinomial draw per trial); the scan runs
+        directly on the encoded draw, skipping the historical
+        decode/encode round-trip, which cannot change the counts.
+        """
+        from repro.core.counts import PrefixCountIndex
+
+        rng = resolve_rng(seed)
+        samples = []
+        for _ in range(trials):
+            codes = generate_null(model, n, seed=rng)
+            index = PrefixCountIndex(codes, model.k)
+            best, _, _, _ = self.scan_mss(index, model)
+            samples.append(best)
+        return samples
+
+    def __repr__(self) -> str:
+        return "PythonBackend()"

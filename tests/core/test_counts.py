@@ -95,3 +95,56 @@ class TestQueries:
         for position in range(len(codes) + 1):
             total = sum(row[position] for row in index.prefix_lists)
             assert total == position
+
+
+class TestNumpyCodes:
+    """The index accepts numpy code arrays directly (no .tolist() round-trip)."""
+
+    def test_numpy_input_matches_list_input(self):
+        codes = [0, 1, 2, 1, 0, 2, 2]
+        from_list = PrefixCountIndex(codes, 3)
+        from_array = PrefixCountIndex(np.asarray(codes, dtype=np.int64), 3)
+        assert from_array.prefix_lists == from_list.prefix_lists
+        assert from_array.counts(1, 6) == from_list.counts(1, 6)
+        assert from_array.codes == from_list.codes == codes
+
+    def test_encode_output_accepted_directly(self):
+        from repro.core.model import BernoulliModel
+
+        model = BernoulliModel.uniform("abc")
+        codes = model.encode("abcabcba")
+        index = PrefixCountIndex(codes, 3)
+        assert index.counts(0, 8) == (3, 3, 2)
+
+    def test_out_of_range_numpy_code_rejected_with_position(self):
+        with pytest.raises(ValueError, match="code 5 at position 2"):
+            PrefixCountIndex(np.array([0, 1, 5, 1]), 3)
+
+    def test_counts_matrix_is_cached(self):
+        index = PrefixCountIndex([0, 1, 1, 0], 2)
+        assert index.counts_matrix() is index.counts_matrix()
+
+    def test_prefix_lists_are_cached_python_ints(self):
+        index = PrefixCountIndex(np.array([0, 1, 1]), 2)
+        lists = index.prefix_lists
+        assert lists is index.prefix_lists
+        assert all(type(v) is int for row in lists for v in row)
+
+    def test_counts_returns_python_ints(self):
+        index = PrefixCountIndex(np.array([0, 1, 1]), 2)
+        assert all(type(v) is int for v in index.counts(0, 3))
+
+    def test_codes_array_roundtrip(self):
+        index = PrefixCountIndex([1, 0, 1], 2)
+        assert index.codes_array.tolist() == [1, 0, 1]
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            PrefixCountIndex(np.zeros((2, 2), dtype=np.int64), 2)
+
+    def test_input_array_is_copied(self):
+        arr = np.array([0, 1, 1, 0], dtype=np.int64)
+        index = PrefixCountIndex(arr, 2)
+        arr[0] = 1  # caller mutates its own buffer afterwards
+        assert index.codes == [0, 1, 1, 0]
+        assert index.counts(0, 4) == (2, 2)

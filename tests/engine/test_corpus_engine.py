@@ -260,3 +260,35 @@ class TestCalibratedRun:
         ).run_texts(texts, model)
         assert calibrated.n_significant <= raw.n_significant
         assert calibrated.n_significant <= 1  # null corpus: ~alpha * 8
+
+
+class TestJobSpecBackend:
+    """JobSpec carries the kernel backend name through to every scan."""
+
+    def test_backend_in_repr_when_set(self):
+        assert "backend='python'" in repr(JobSpec(backend="python"))
+        assert "backend" not in repr(JobSpec())
+
+    def test_non_string_backend_rejected(self):
+        with pytest.raises(TypeError, match="registered backend name"):
+            JobSpec(backend=object())
+
+    def test_backend_spec_pickles(self, model):
+        import pickle
+
+        spec = JobSpec(problem="top", t=3, backend="python")
+        job = MiningJob("d", "abba" * 10, spec, model)
+        assert pickle.loads(pickle.dumps(job)).spec.backend == "python"
+
+    @pytest.mark.parametrize("problem", ["mss", "top", "threshold", "minlength"])
+    def test_backends_agree_through_the_engine(self, model, problem):
+        texts = _corpus(model, 6, 150)
+        results = {}
+        for backend in ("python", "numpy"):
+            spec = JobSpec(problem=problem, t=4, threshold=4.0,
+                           min_length=3, backend=backend)
+            outcome = CorpusEngine().run_texts(texts, model, spec)
+            results[backend] = [
+                doc.payload(include_timing=False) for doc in outcome.documents
+            ]
+        assert results["python"] == results["numpy"]

@@ -216,3 +216,14 @@ class TestBookkeeping:
         miner.feed("a" * 50)  # still usable
         third = miner.finish()
         assert third.chi_square >= first.chi_square
+
+    def test_backend_choice_is_invisible(self, model):
+        """Flush scans honour the backend argument; results are identical."""
+        text = "ab" * 150 + "a" * 40 + "ba" * 150
+        results = []
+        for backend in ("python", "numpy"):
+            miner = StreamingMSS(model, chunk=120, overlap=50, backend=backend)
+            miner.feed(text)
+            best = miner.finish()
+            results.append((best.start, best.end, best.chi_square, miner.flushes))
+        assert results[0] == results[1]

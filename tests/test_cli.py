@@ -159,3 +159,41 @@ class TestGenerate:
                      "--probs", "0.5,0.5"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["substrings"][0]["chi_square"] > 10.0
+
+
+class TestBackendFlag:
+    """--backend selects a kernel; outputs are identical across kernels."""
+
+    @pytest.fixture
+    def text_path(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("ab" * 40 + "aaaaaaaaaa" + "ba" * 40 + "\n")
+        return str(path)
+
+    def _json_out(self, capsys, argv):
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_mss_backend_outputs_identical(self, text_path, capsys):
+        numpy_out = self._json_out(
+            capsys, ["--json", "mss", text_path, "--backend", "numpy"]
+        )
+        python_out = self._json_out(
+            capsys, ["--json", "mss", text_path, "--backend", "python"]
+        )
+        numpy_out.pop("elapsed_seconds")
+        python_out.pop("elapsed_seconds")
+        assert numpy_out == python_out
+
+    def test_unknown_backend_is_a_clean_cli_error(self, text_path, capsys):
+        with pytest.raises(SystemExit, match="unknown kernel backend"):
+            main(["mss", text_path, "--backend", "fortran"])
+
+    def test_batch_accepts_backend(self, tmp_path, capsys):
+        docs = tmp_path / "docs.txt"
+        docs.write_text("abababab\naaaaaaaa\nbabababa\n")
+        out = self._json_out(
+            capsys,
+            ["--json", "batch", str(docs), "--backend", "python"],
+        )
+        assert out["documents"] == 3

@@ -33,6 +33,8 @@ EXPECTED_TOP_LEVEL = {
     "chi2_critical_value",
     "chi2_sf",
     "p_value",
+    "get_backend",
+    "available_backends",
     "__version__",
 }
 
