@@ -16,8 +16,13 @@ Honest measurement notes:
   comparisons meaningless.
 * Every row therefore times the *mine* phase only (``mine_seconds``),
   with identical warm-cache conditions across executors.
-* The per-document results are byte-identical across executors (tested
-  in ``tests/engine``); only throughput varies.
+* The per-document results are byte-identical across executors **and
+  across the batched kernel path** (tested in ``tests/engine``); only
+  throughput varies.
+* The ``serial-batch*`` rows measure the corpus-batched kernel path
+  (``batch_docs``: one ``mine_batch`` call per chunk of documents
+  instead of one scan per document) -- the serial amortisation win this
+  benchmark tracks across PRs.
 * Speedup is bounded by physical cores.  On a single-core container the
   process rows only show dispatch overhead -- the JSON records
   ``cpu_count`` so downstream tooling can judge the numbers fairly.
@@ -47,6 +52,7 @@ from repro.kernels import get_backend
 DOCS = 96
 DOC_LENGTH = 1500
 WORKER_COUNTS = [1, 2, 4]
+BATCH_SIZES = [32, DOCS]
 CALIBRATION_TRIALS = 50
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -75,9 +81,9 @@ def run_scaling():
 
     rows = []
 
-    def measure(label, executor):
+    def measure(label, executor, batch_docs=None):
         engine = CorpusEngine(executor=executor, calibration=cache,
-                              correction="bh")
+                              correction="bh", batch_docs=batch_docs)
         started = time.perf_counter()
         result = engine.run_texts(corpus, model)
         mine_seconds = time.perf_counter() - started
@@ -85,6 +91,7 @@ def run_scaling():
             {
                 "mode": label,
                 "workers": getattr(executor, "workers", 1),
+                "batch_docs": batch_docs,
                 "mine_seconds": mine_seconds,
                 "docs_per_sec": DOCS / mine_seconds,
                 "significant": result.n_significant,
@@ -93,6 +100,11 @@ def run_scaling():
         return result
 
     measure("serial", SerialExecutor())
+    # The batched kernel path: same serial executor, chunk-of-documents
+    # kernel calls.  Identical results; this is the per-PR trajectory row.
+    for batch_docs in BATCH_SIZES:
+        measure(f"serial-batch{batch_docs}", SerialExecutor(),
+                batch_docs=batch_docs)
     for workers in WORKER_COUNTS:
         measure(f"process-{workers}", ProcessExecutor(workers=workers))
 
@@ -114,7 +126,8 @@ def emit_json(calibrate_seconds, rows):
         "phases": {
             "calibrate_seconds": calibrate_seconds,
             "note": "calibration cache pre-warmed once; every mode row "
-                    "times the mine phase only",
+                    "times the mine phase only; serial-batch* rows run "
+                    "the corpus-batched kernel path (batch_docs)",
         },
         "results": rows,
     }
@@ -128,13 +141,15 @@ def _render(calibrate_seconds, rows, emit):
          f"{os.cpu_count()} cpu core(s), backend={get_backend().name}):")
     emit(f"calibrate phase (pre-warmed, shared): {calibrate_seconds:.3f}s "
          f"({CALIBRATION_TRIALS} trials)")
-    header = (f"{'mode':>12}  {'workers':>7}  {'mine s':>8}  "
+    header = (f"{'mode':>14}  {'workers':>7}  {'batch':>5}  {'mine s':>8}  "
               f"{'docs/sec':>9}  {'speedup':>8}")
     emit(header)
     emit("-" * len(header))
     for row in rows:
+        batch = row.get("batch_docs")
         emit(
-            f"{row['mode']:>12}  {row['workers']:>7}  "
+            f"{row['mode']:>14}  {row['workers']:>7}  "
+            f"{'-' if batch is None else batch:>5}  "
             f"{row['mine_seconds']:>8.3f}"
             f"  {row['docs_per_sec']:>9.1f}  {row['speedup_vs_serial']:>7.2f}x"
         )

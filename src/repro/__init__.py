@@ -28,11 +28,14 @@ their own subpackages:
 * :mod:`repro.datasets` -- synthetic sports-rivalry and securities data.
 * :mod:`repro.strings` -- suffix tree, suffix automaton, run-length blocks.
 * :mod:`repro.extensions` -- 2-D grids, Markov nulls, windows, graphs.
-* :mod:`repro.engine` -- parallel corpus mining with cached calibration
-  and multiple-testing correction (:class:`CorpusEngine`).
+* :mod:`repro.engine` -- parallel corpus mining with batched kernel
+  dispatch (``batch_docs``), cached calibration and multiple-testing
+  correction (:class:`CorpusEngine`).
 * :mod:`repro.kernels` -- pluggable scan/calibration kernel backends
   (vectorised ``"numpy"`` default, ``"python"`` reference; selectable
-  per call, via ``REPRO_BACKEND``, or ``--backend`` on the CLI).
+  per call, via ``REPRO_BACKEND``, or ``--backend`` on the CLI).  The
+  full backend contract lives in that module's docstring and in
+  ``docs/ARCHITECTURE.md``.
 """
 
 from repro.core import (

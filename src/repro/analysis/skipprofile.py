@@ -7,9 +7,12 @@ instrumentation that records every (length, skip) pair, and
 :class:`SkipProfile` summarises them -- mean skip by length decade,
 comparison against the Lemma-5 floor, and the share of positions pruned.
 
-The instrumented scan is a reference implementation (clarity over
-speed); it shares the skip algebra with :mod:`repro.core.skip` and is
-tested to visit exactly the same substrings as the production scanner.
+The instrumented scan runs through the kernel registry
+(:mod:`repro.kernels`, the ``scan_mss_skips`` kernel); it shares the
+skip algebra with :mod:`repro.core.skip` and is tested to visit exactly
+the same substrings as the production scanner.  Profiling is inherently
+sequential (the records are the sequential trace), so every backend
+returns the identical profile.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from typing import Iterable
 
 from repro.core.counts import PrefixCountIndex
 from repro.core.model import BernoulliModel
-from repro.core.skip import max_safe_skip
+from repro.kernels import get_backend
 from repro.stats.bounds import lemma5_expected_skip
 
 __all__ = ["SkipProfile", "profile_skips"]
@@ -81,8 +84,14 @@ class SkipProfile:
         )
 
 
-def profile_skips(text: Iterable, model: BernoulliModel) -> SkipProfile:
+def profile_skips(
+    text: Iterable, model: BernoulliModel, *, backend=None
+) -> SkipProfile:
     """Run an instrumented MSS scan and record every skip decision.
+
+    The scan routes through the selected kernel backend's
+    ``scan_mss_skips`` (:mod:`repro.kernels`); the profile is identical
+    for every backend.
 
     >>> from repro.generators import generate_null_string
     >>> model = BernoulliModel.uniform("ab")
@@ -95,35 +104,9 @@ def profile_skips(text: Iterable, model: BernoulliModel) -> SkipProfile:
     if n == 0:
         raise ValueError("cannot profile an empty string")
     index = PrefixCountIndex(codes, model.k)
-    prefix = index.prefix_lists
-    probabilities = model.probabilities
-    k = model.k
-    inv_p = [1.0 / p for p in probabilities]
-    char_range = range(k)
-
-    best = -1.0
-    evaluated = 0
-    skipped = 0
-    records: list[tuple[int, int]] = []
-    for i in range(n - 1, -1, -1):
-        bases = [prefix[j][i] for j in char_range]
-        e = i + 1
-        while e <= n:
-            length = e - i
-            counts = [prefix[j][e] - bases[j] for j in char_range]
-            total = 0.0
-            for j in char_range:
-                total += counts[j] * counts[j] * inv_p[j]
-            x2 = total / length - length
-            evaluated += 1
-            if x2 > best:
-                best = x2
-            skip = max_safe_skip(counts, length, probabilities, x2, best)
-            if e + skip > n:
-                skip = n - e
-            records.append((length, skip))
-            skipped += skip
-            e += skip + 1
+    records, x2max, evaluated, skipped = get_backend(backend).scan_mss_skips(
+        index, model
+    )
     return SkipProfile(
-        n=n, evaluated=evaluated, skipped=skipped, records=records, x2max=best
+        n=n, evaluated=evaluated, skipped=skipped, records=records, x2max=x2max
     )

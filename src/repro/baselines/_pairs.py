@@ -1,15 +1,21 @@
-"""Vectorised evaluation of candidate boundary pairs.
+"""Evaluation of candidate boundary pairs, routed through the kernels.
 
 ARLM and the blocking technique both reduce to: given a set of candidate
 start positions and a set of candidate end positions, find the pair with
-the maximum X².  This helper does that with one numpy pass per start,
-keeping the O(m²) pair evaluation in C speed (the reference baselines
-would otherwise be unusable at the paper's string sizes in Python).
+the maximum X².  Since the kernels subsystem took over every numeric hot
+loop, this module is a thin front onto the backends'
+``best_over_pairs`` kernel (see :mod:`repro.kernels`): the default
+``"numpy"`` backend keeps the O(m²) pair evaluation at C speed (the
+reference baselines would otherwise be unusable at the paper's string
+sizes), the ``"python"`` backend is the interpreted reference, and the
+two agree bit for bit (``tests/kernels``).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.kernels import get_backend
 
 __all__ = ["best_over_pairs"]
 
@@ -19,6 +25,8 @@ def best_over_pairs(
     inv_p: np.ndarray,
     starts: np.ndarray,
     ends: np.ndarray,
+    *,
+    backend=None,
 ) -> tuple[float, tuple[int, int], int]:
     """Maximum X² over all candidate pairs ``(s, e)`` with ``s < e``.
 
@@ -30,33 +38,17 @@ def best_over_pairs(
     inv_p:
         ``(k,)`` vector of ``1 / p_j``.
     starts, ends:
-        Sorted candidate position arrays (values in ``0..n``).
+        Candidate position arrays (values in ``0..n``; deduplicated and
+        sorted by the kernel).
+    backend:
+        Kernel backend name or instance (default: ``REPRO_BACKEND`` or
+        ``"numpy"``); all backends return identical results.
 
     Returns
     -------
     ``(best_x2, (start, end), pairs_evaluated)``; ``best_x2`` is ``-inf``
     when no valid pair exists.
     """
-    starts = np.unique(np.asarray(starts, dtype=np.int64))
-    ends = np.unique(np.asarray(ends, dtype=np.int64))
-    end_counts = counts_matrix[:, ends].astype(np.float64)  # (k, m)
-    end_positions = ends.astype(np.float64)
-    best = -np.inf
-    best_pair = (0, 0)
-    evaluated = 0
-    for s in starts.tolist():
-        lengths = end_positions - s
-        valid = lengths > 0
-        if not valid.any():
-            continue
-        window = end_counts[:, valid] - counts_matrix[:, s : s + 1]
-        lengths = lengths[valid]
-        weighted = (window * window * inv_p[:, None]).sum(axis=0)
-        x2 = weighted / lengths - lengths
-        evaluated += int(x2.size)
-        offset = int(np.argmax(x2))
-        value = float(x2[offset])
-        if value > best:
-            best = value
-            best_pair = (s, int(ends[valid][offset]))
-    return best, best_pair, evaluated
+    return get_backend(backend).best_over_pairs(
+        counts_matrix, inv_p, starts, ends
+    )

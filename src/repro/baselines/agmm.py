@@ -34,11 +34,14 @@ from repro.core.results import MSSResult, ScanStats, SignificantSubstring
 __all__ = ["find_mss_agmm"]
 
 
-def find_mss_agmm(text: Iterable, model: BernoulliModel) -> MSSResult:
+def find_mss_agmm(
+    text: Iterable, model: BernoulliModel, *, backend=None
+) -> MSSResult:
     """MSS heuristic via global walk extrema (AGMM).
 
     The returned substring's X² is a lower bound on the true MSS value;
-    no approximation factor is guaranteed.
+    no approximation factor is guaranteed.  The pair evaluation runs
+    through the selected kernel backend (:mod:`repro.kernels`).
 
     >>> model = BernoulliModel.uniform("ab")
     >>> result = find_mss_agmm("ab" * 10 + "aaaaaaaa" + "ba" * 10, model)
@@ -61,7 +64,9 @@ def find_mss_agmm(text: Iterable, model: BernoulliModel) -> MSSResult:
         candidates.add(lo)
         candidates.add(hi)
     positions = np.asarray(sorted(candidates), dtype=np.int64)
-    best, best_pair, evaluated = best_over_pairs(matrix, inv_p, positions, positions)
+    best, best_pair, evaluated = best_over_pairs(
+        matrix, inv_p, positions, positions, backend=backend
+    )
     elapsed = time.perf_counter() - started
 
     start, end = best_pair

@@ -42,8 +42,13 @@ from repro.core.results import MSSResult, ScanStats, SignificantSubstring
 __all__ = ["find_mss_arlm"]
 
 
-def find_mss_arlm(text: Iterable, model: BernoulliModel) -> MSSResult:
+def find_mss_arlm(
+    text: Iterable, model: BernoulliModel, *, backend=None
+) -> MSSResult:
     """MSS via local-extrema boundary pairs (ARLM).
+
+    The pair evaluation runs through the selected kernel backend
+    (:mod:`repro.kernels`); results are backend-independent.
 
     >>> model = BernoulliModel.uniform("ab")
     >>> find_mss_arlm("abbbab", model).best.chi_square > 0
@@ -67,7 +72,9 @@ def find_mss_arlm(text: Iterable, model: BernoulliModel) -> MSSResult:
     for walk in rows:
         minima, maxima = local_extrema_positions(walk)
         for starts, ends in ((minima, maxima), (maxima, minima)):
-            value, pair, pairs_evaluated = best_over_pairs(matrix, inv_p, starts, ends)
+            value, pair, pairs_evaluated = best_over_pairs(
+                matrix, inv_p, starts, ends, backend=backend
+            )
             evaluated += pairs_evaluated
             if value > best:
                 best = value

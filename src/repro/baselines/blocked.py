@@ -30,8 +30,13 @@ from repro.core.results import MSSResult, ScanStats, SignificantSubstring
 __all__ = ["find_mss_blocked"]
 
 
-def find_mss_blocked(text: Iterable, model: BernoulliModel) -> MSSResult:
+def find_mss_blocked(
+    text: Iterable, model: BernoulliModel, *, backend=None
+) -> MSSResult:
     """MSS via block-boundary candidate pairs.
+
+    The pair evaluation runs through the selected kernel backend
+    (:mod:`repro.kernels`); results are backend-independent.
 
     >>> model = BernoulliModel.uniform("ab")
     >>> find_mss_blocked("aabbbba", model).best.slice("aabbbba")
@@ -46,7 +51,9 @@ def find_mss_blocked(text: Iterable, model: BernoulliModel) -> MSSResult:
     inv_p = np.asarray([1.0 / p for p in model.probabilities])
     started = time.perf_counter()
     boundaries = block_boundary_positions(index.codes, n)
-    best, best_pair, evaluated = best_over_pairs(matrix, inv_p, boundaries, boundaries)
+    best, best_pair, evaluated = best_over_pairs(
+        matrix, inv_p, boundaries, boundaries, backend=backend
+    )
     elapsed = time.perf_counter() - started
 
     start, end = best_pair

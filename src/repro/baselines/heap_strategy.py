@@ -28,6 +28,7 @@ from typing import Iterable
 from repro.core.counts import PrefixCountIndex
 from repro.core.model import BernoulliModel
 from repro.core.results import MSSResult, ScanStats, SignificantSubstring
+from repro.kernels import get_backend
 
 __all__ = ["find_mss_heap"]
 
@@ -56,8 +57,15 @@ def _chain_bound(
     return best
 
 
-def find_mss_heap(text: Iterable, model: BernoulliModel) -> MSSResult:
+def find_mss_heap(
+    text: Iterable, model: BernoulliModel, *, backend=None
+) -> MSSResult:
     """Exact MSS via best-first search over optimistic chain-cover bounds.
+
+    The O(n) seeding evaluations route through the selected kernel
+    backend's ``score_spans`` (:mod:`repro.kernels`); the best-first
+    expansion itself is inherently sequential (each pop depends on the
+    previous) and stays interpreted.  Results are backend-independent.
 
     >>> model = BernoulliModel.uniform("ab")
     >>> find_mss_heap("abbba", model).best.slice("abbba")
@@ -73,6 +81,7 @@ def find_mss_heap(text: Iterable, model: BernoulliModel) -> MSSResult:
     k = model.k
     inv_p = [1.0 / p for p in probabilities]
     char_range = range(k)
+    kernel = get_backend(backend)
 
     started = time.perf_counter()
 
@@ -90,13 +99,16 @@ def find_mss_heap(text: Iterable, model: BernoulliModel) -> MSSResult:
     best_pair = (0, 1)
     evaluated = 0
     heap: list[tuple[float, int, int]] = []
+    seed_scores = kernel.score_spans(index, model, range(n), range(1, n + 1))
+    matrix = index.counts_matrix()
+    seed_counts = (matrix[:, 1 : n + 1] - matrix[:, 0:n]).T.tolist()
     for i in range(n):
-        x2, counts = score(i, i + 1)
+        x2 = seed_scores[i]
         evaluated += 1
         if x2 > best:
             best = x2
             best_pair = (i, i + 1)
-        bound = _chain_bound(counts, 1, probabilities, n - i - 1, x2)
+        bound = _chain_bound(seed_counts[i], 1, probabilities, n - i - 1, x2)
         heapq.heappush(heap, (-bound, i, i + 2))
 
     while heap:

@@ -1,11 +1,13 @@
 """The trivial O(n²) algorithms: the exact reference for every problem.
 
 The pure-Python variants are written for clarity, not speed -- they are
-the oracle the property tests compare the O(n^{3/2}) scanners against.
-The numpy variant vectorises the inner loop over end positions (one
-:func:`~repro.core.chisquare.chi_square_profile` call per start position)
-and is fast enough to run the paper's Table 1 string sizes, which is what
-the comparison benchmarks use.
+the oracle the property tests compare the O(n^{3/2}) scanners against,
+and they deliberately do *not* route through the kernel registry (an
+oracle should not share machinery with what it checks).
+:func:`find_mss_trivial_numpy` does route through the backends'
+``scan_mss_exhaustive`` kernel (:mod:`repro.kernels`): bit-identical to
+the pure loop, fast enough for the paper's Table 1 string sizes, which
+is what the comparison benchmarks use.
 """
 
 from __future__ import annotations
@@ -14,10 +16,7 @@ import heapq
 import time
 from typing import Iterable
 
-import numpy as np
-
 from repro._validation import ensure_finite, ensure_positive_int
-from repro.core.chisquare import chi_square_profile
 from repro.core.counts import PrefixCountIndex
 from repro.core.model import BernoulliModel
 from repro.core.results import (
@@ -27,6 +26,7 @@ from repro.core.results import (
     ThresholdResult,
     TopTResult,
 )
+from repro.kernels import get_backend
 
 __all__ = [
     "trivial_iterations",
@@ -112,25 +112,23 @@ def find_mss_trivial(text: Iterable, model: BernoulliModel) -> MSSResult:
     return MSSResult(best=substring, stats=stats)
 
 
-def find_mss_trivial_numpy(text: Iterable, model: BernoulliModel) -> MSSResult:
-    """Exhaustive MSS scan with a vectorised inner loop.
+def find_mss_trivial_numpy(
+    text: Iterable, model: BernoulliModel, *, backend=None
+) -> MSSResult:
+    """Exhaustive MSS scan through the vectorised exhaustive kernel.
 
-    Mathematically identical to :func:`find_mss_trivial` (tested); runs
-    the O(n²) work through numpy so Table 1's n = 20000 completes in
+    Bit-identical to :func:`find_mss_trivial` (tested): the scan routes
+    through the backend's ``scan_mss_exhaustive`` kernel
+    (:mod:`repro.kernels`), whose default ``"numpy"`` implementation
+    runs the O(n²) work vectorised so Table 1's n = 20000 completes in
     seconds rather than minutes.
     """
     index, n = _prepare(text, model)
-    probabilities = model.probabilities
-    best = -1.0
-    best_start, best_end = 0, 1
+    kernel = get_backend(backend)
     started = time.perf_counter()
-    for i in range(n):
-        profile = chi_square_profile(index, probabilities, i)
-        offset = int(np.argmax(profile))
-        value = float(profile[offset])
-        if value > best:
-            best = value
-            best_start, best_end = i, i + offset + 1
+    best, (best_start, best_end), evaluated = kernel.scan_mss_exhaustive(
+        index, model
+    )
     elapsed = time.perf_counter() - started
     substring = SignificantSubstring(
         start=best_start,
@@ -141,7 +139,7 @@ def find_mss_trivial_numpy(text: Iterable, model: BernoulliModel) -> MSSResult:
     )
     stats = ScanStats(
         n=n,
-        substrings_evaluated=n * (n + 1) // 2,
+        substrings_evaluated=evaluated,
         positions_skipped=0,
         start_positions=n,
         elapsed_seconds=elapsed,

@@ -215,6 +215,14 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--workers", type=int, default=1,
                        help="parallel workers (1 = serial)")
     batch.add_argument(
+        "--batch-docs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="mine documents N at a time through one kernel call per batch "
+             "(identical results; amortises per-document dispatch)",
+    )
+    batch.add_argument(
         "--executor",
         choices=["serial", "thread", "process"],
         default=None,
@@ -402,6 +410,8 @@ def _run_batch(args: argparse.Namespace) -> int:
         raise SystemExit("corpus is empty")
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    if args.batch_docs is not None and args.batch_docs < 1:
+        raise SystemExit("--batch-docs must be >= 1")
     if args.calibrate and args.trials < 10:
         raise SystemExit("--trials must be >= 10 for a usable Monte-Carlo "
                          "null distribution")
@@ -433,6 +443,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         ),
         correction=args.correction,
         alpha=args.alpha,
+        batch_docs=args.batch_docs,
     )
     result = engine.run_texts(texts, model, spec, ids=ids)
 

@@ -9,7 +9,9 @@ once.  This subsystem is that layer:
 * :mod:`repro.engine.jobs` -- :class:`JobSpec` / :class:`MiningJob`
   pair any of the four paper problems with a document and a shared
   :class:`~repro.core.model.BernoulliModel`; :func:`run_job` is the
-  picklable unit of work.
+  picklable per-document unit of work and :func:`run_job_batch` the
+  batched one (a chunk of documents through a single kernel
+  ``mine_batch`` call -- see ``CorpusEngine(batch_docs=...)``).
 * :mod:`repro.engine.executors` -- pluggable fan-out:
   :class:`SerialExecutor`, :class:`ThreadExecutor`, and chunked
   :class:`ProcessExecutor`, all order-preserving (parallel results are
@@ -40,7 +42,14 @@ from repro.engine.executors import (
     ThreadExecutor,
     resolve_executor,
 )
-from repro.engine.jobs import PROBLEMS, DocumentResult, JobSpec, MiningJob, run_job
+from repro.engine.jobs import (
+    PROBLEMS,
+    DocumentResult,
+    JobSpec,
+    MiningJob,
+    run_job,
+    run_job_batch,
+)
 
 __all__ = [
     "CorpusEngine",
@@ -49,6 +58,7 @@ __all__ = [
     "JobSpec",
     "DocumentResult",
     "run_job",
+    "run_job_batch",
     "PROBLEMS",
     "SerialExecutor",
     "ThreadExecutor",

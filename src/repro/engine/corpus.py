@@ -37,9 +37,29 @@ from repro.core.results import ScanStats
 from repro.engine.calibration import CalibrationCache
 from repro.engine.corrections import CORRECTIONS, adjust_p_values
 from repro.engine.executors import SerialExecutor
-from repro.engine.jobs import DocumentResult, JobSpec, MiningJob, run_job
+from repro.engine.jobs import (
+    DocumentResult,
+    JobSpec,
+    MiningJob,
+    run_job,
+    run_job_batch,
+)
 
 __all__ = ["CorpusEngine", "CorpusResult"]
+
+
+def _validate_batch_docs(batch_docs: int | None) -> int | None:
+    if batch_docs is None:
+        return None
+    if (
+        not isinstance(batch_docs, int)
+        or isinstance(batch_docs, bool)
+        or batch_docs < 1
+    ):
+        raise ValueError(
+            f"batch_docs must be a positive int or None, got {batch_docs!r}"
+        )
+    return batch_docs
 
 
 @dataclass
@@ -58,6 +78,7 @@ class CorpusResult:
     calibrated: bool
     executor: str = "serial"
     workers: int = 1
+    batch_docs: int | None = None
     elapsed_seconds: float = 0.0
     calibration_summary: dict | None = field(default=None, repr=False)
 
@@ -97,6 +118,7 @@ class CorpusResult:
             "significant": self.n_significant,
             "executor": self.executor,
             "workers": self.workers,
+            "batch_docs": self.batch_docs,
             "results": [
                 doc.payload(include_timing=include_timing)
                 for doc in self.documents
@@ -136,6 +158,16 @@ class CorpusEngine:
         or ``"none"``.
     alpha:
         Default corpus-level significance level.
+    batch_docs:
+        When set, documents are mined ``batch_docs`` at a time through
+        one kernel ``mine_batch`` call per batch
+        (:func:`~repro.engine.jobs.run_job_batch`) instead of one call
+        per document -- the executor then fans out batches, not
+        documents.  Results are identical either way (enforced by the
+        engine tests); per-document kernel dispatch is amortised, which
+        is a large serial win on corpora of small documents (see
+        ``benchmarks/bench_engine_scaling.py``).  ``None`` (default)
+        keeps per-document dispatch.
 
     Examples
     --------
@@ -157,6 +189,7 @@ class CorpusEngine:
         calibration: CalibrationCache | None = None,
         correction: str = "bh",
         alpha: float = 0.05,
+        batch_docs: int | None = None,
     ) -> None:
         if correction not in CORRECTIONS:
             raise ValueError(
@@ -168,6 +201,7 @@ class CorpusEngine:
         self.calibration = calibration
         self.correction = correction
         self.alpha = alpha
+        self.batch_docs = _validate_batch_docs(batch_docs)
 
     def run(
         self,
@@ -175,17 +209,23 @@ class CorpusEngine:
         *,
         correction: str | None = None,
         alpha: float | None = None,
+        batch_docs: int | None = None,
     ) -> CorpusResult:
         """Mine every job; correct p-values across the corpus.
 
-        Results come back in job order regardless of executor. Per-call
-        ``correction``/``alpha`` override the engine defaults.
+        Results come back in job order regardless of executor (and of
+        ``batch_docs``).  Per-call ``correction``/``alpha``/
+        ``batch_docs`` override the engine defaults.
         """
         job_list = list(jobs)
         if not job_list:
             raise ValueError("no jobs to run")
         correction = self.correction if correction is None else correction
         alpha = self.alpha if alpha is None else alpha
+        batch_docs = (
+            self.batch_docs if batch_docs is None
+            else _validate_batch_docs(batch_docs)
+        )
         if correction not in CORRECTIONS:
             raise ValueError(
                 f"unknown correction {correction!r}; expected one of {CORRECTIONS}"
@@ -194,7 +234,18 @@ class CorpusEngine:
             raise ValueError(f"alpha must be in (0, 1), got {alpha!r}")
 
         started = time.perf_counter()
-        documents = self.executor.map(run_job, job_list)
+        if batch_docs is None:
+            documents = self.executor.map(run_job, job_list)
+        else:
+            chunks = [
+                job_list[i : i + batch_docs]
+                for i in range(0, len(job_list), batch_docs)
+            ]
+            documents = [
+                doc
+                for chunk in self.executor.map(run_job_batch, chunks)
+                for doc in chunk
+            ]
 
         if self.calibration is not None:
             for job, doc in zip(job_list, documents):
@@ -215,6 +266,7 @@ class CorpusEngine:
             calibrated=self.calibration is not None,
             executor=getattr(self.executor, "name", type(self.executor).__name__),
             workers=getattr(self.executor, "workers", 1),
+            batch_docs=batch_docs,
             elapsed_seconds=elapsed,
             calibration_summary=(
                 self.calibration.summary() if self.calibration is not None else None
@@ -230,6 +282,7 @@ class CorpusEngine:
         ids: Sequence[str] | None = None,
         correction: str | None = None,
         alpha: float | None = None,
+        batch_docs: int | None = None,
     ) -> CorpusResult:
         """Convenience wrapper: one shared model + spec over raw texts.
 
@@ -246,11 +299,14 @@ class CorpusEngine:
             MiningJob(doc_id, text, spec, model)
             for doc_id, text in zip(ids, texts)
         ]
-        return self.run(jobs, correction=correction, alpha=alpha)
+        return self.run(
+            jobs, correction=correction, alpha=alpha, batch_docs=batch_docs
+        )
 
     def __repr__(self) -> str:
         return (
             f"CorpusEngine(executor={self.executor!r}, "
             f"calibration={self.calibration!r}, "
-            f"correction={self.correction!r}, alpha={self.alpha})"
+            f"correction={self.correction!r}, alpha={self.alpha}, "
+            f"batch_docs={self.batch_docs})"
         )

@@ -16,9 +16,12 @@ engine later replaces (Monte-Carlo calibration) and corrects
 
 from __future__ import annotations
 
+import itertools
+import time
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+from repro.core.counts import PrefixCountIndex
 from repro.core.minlength import find_mss_min_length
 from repro.core.model import BernoulliModel
 from repro.core.mss import find_mss
@@ -26,7 +29,14 @@ from repro.core.results import ScanStats, SignificantSubstring
 from repro.core.threshold import find_above_threshold
 from repro.core.topt import find_top_t
 
-__all__ = ["PROBLEMS", "JobSpec", "MiningJob", "DocumentResult", "run_job"]
+__all__ = [
+    "PROBLEMS",
+    "JobSpec",
+    "MiningJob",
+    "DocumentResult",
+    "run_job",
+    "run_job_batch",
+]
 
 #: The paper's four problems, by CLI/API name.
 PROBLEMS = ("mss", "top", "threshold", "minlength")
@@ -85,6 +95,14 @@ class JobSpec:
             raise ValueError(f"threshold must be >= 0, got {self.threshold!r}")
         if self.problem == "minlength" and self.min_length < 1:
             raise ValueError(f"min_length must be >= 1, got {self.min_length!r}")
+        if (
+            self.problem == "threshold"
+            and self.limit is not None
+            and self.limit <= 0
+        ):
+            raise ValueError(
+                f"limit must be positive when given, got {self.limit!r}"
+            )
         if self.backend is not None and not isinstance(self.backend, str):
             raise TypeError(
                 f"backend must be a registered backend name (str) or None, "
@@ -240,3 +258,109 @@ def run_job(job: MiningJob) -> DocumentResult:
         p_value=best_p,
         truncated=truncated,
     )
+
+
+def _document_from_scan(job, index, spec, raw, elapsed):
+    """Build a :class:`DocumentResult` from a raw ``mine_batch`` tuple.
+
+    Mirrors exactly what the ``find_*`` wrappers (and hence
+    :func:`run_job`) do with the same kernel output: sentinel filtering,
+    the ``(-X², start)`` result ordering, counter placement, and the
+    document p-value rule.  ``elapsed`` is this document's share of the
+    batched kernel call's wall time.
+    """
+    model = job.model
+    n = index.n
+    problem = spec.problem
+    truncated = False
+    if problem in ("mss", "minlength"):
+        best, (start, end), evaluated, skipped = raw
+        found = [(best, start, end)]
+        start_positions = n if problem == "mss" else n - spec.min_length + 1
+    elif problem == "top":
+        heap, evaluated, skipped = raw
+        found = [entry for entry in heap if entry[1] >= 0]
+        found.sort(key=lambda entry: (-entry[0], entry[1]))
+        start_positions = n
+    else:  # threshold
+        found, _match_count, truncated, evaluated, skipped = raw
+        found = sorted(found, key=lambda entry: (-entry[0], entry[1]))
+        start_positions = n
+    substrings = tuple(
+        SignificantSubstring(
+            start=start,
+            end=end,
+            chi_square=x2,
+            counts=index.counts(start, end),
+            alphabet_size=model.k,
+        )
+        for x2, start, end in found
+    )
+    stats = ScanStats(
+        n=n,
+        substrings_evaluated=evaluated,
+        positions_skipped=skipped,
+        start_positions=start_positions,
+        elapsed_seconds=elapsed,
+    )
+    return DocumentResult(
+        doc_id=job.doc_id,
+        n=n,
+        substrings=substrings,
+        stats=stats,
+        p_value=substrings[0].p_value if substrings else 1.0,
+        truncated=truncated,
+    )
+
+
+def run_job_batch(jobs: Sequence[MiningJob]) -> list[DocumentResult]:
+    """Mine a chunk of jobs with one kernel call per (spec, model) group.
+
+    The engine's batched path: consecutive jobs sharing a spec and model
+    (the common case -- :meth:`CorpusEngine.run_texts` corpora share one
+    of each) are encoded, indexed, and handed to the backend's
+    ``mine_batch`` as a single call, amortising per-document kernel
+    dispatch.  Module-level so process pools can pickle it.
+
+    The results are identical to ``[run_job(job) for job in jobs]`` --
+    scores, intervals, counters and orderings, enforced by the engine
+    test-suite -- except for ``stats.elapsed_seconds``, which becomes
+    each document's even share of its batch's kernel wall time (the
+    per-document split of one fused call is unobservable).
+
+    ``minlength`` documents shorter than the floor never reach the
+    kernel: as in :meth:`JobSpec.mine`, an empty result is the answer.
+    """
+    from repro.kernels import get_backend
+
+    results: list[DocumentResult] = []
+    for (spec, model), group_iter in itertools.groupby(
+        jobs, key=lambda job: (job.spec, job.model)
+    ):
+        group = list(group_iter)
+        out: list[DocumentResult | None] = [None] * len(group)
+        pending: list[tuple[int, MiningJob, PrefixCountIndex]] = []
+        for pos, job in enumerate(group):
+            codes = model.encode(job.text)
+            n = len(codes)
+            if spec.problem == "minlength" and spec.min_length > n:
+                out[pos] = DocumentResult(
+                    doc_id=job.doc_id,
+                    n=n,
+                    substrings=(),
+                    stats=ScanStats(n=n),
+                    p_value=1.0,
+                    truncated=False,
+                )
+            else:
+                pending.append((pos, job, PrefixCountIndex(codes, model.k)))
+        if pending:
+            kernel = get_backend(spec.backend)
+            indexes = [index for _, _, index in pending]
+            started = time.perf_counter()
+            raws = kernel.mine_batch(indexes, model, spec)
+            share = (time.perf_counter() - started) / len(pending)
+            for (pos, job, index), raw in zip(pending, raws):
+                out[pos] = _document_from_scan(job, index, spec, raw, share)
+        results.extend(out)
+    return results

@@ -1,7 +1,8 @@
 """Pluggable scan/calibration kernel backends.
 
-Every hot loop in the library -- the four problem scanners and the
-Monte-Carlo X²max simulation -- runs through a *kernel backend*:
+Every numeric hot loop in the library -- the four problem scanners, the
+corpus batch path, the Monte-Carlo X²max simulation, the baselines' pair
+scans and the skip profiler -- runs through a *kernel backend*:
 
 * ``"python"`` -- the interpreted reference implementation
   (:class:`~repro.kernels.python_backend.PythonBackend`), the seed
@@ -21,6 +22,71 @@ Selection, most specific wins:
 
 Third-party backends (a C extension, a GPU port) register with
 :func:`register_backend` and become selectable everywhere by name.
+
+The backend contract
+--------------------
+
+A backend is any object with a non-empty string ``name`` and the
+methods below.  ``index`` is always a
+:class:`~repro.core.counts.PrefixCountIndex`, ``model`` a
+:class:`~repro.core.model.BernoulliModel`; positions are half-open
+``[start, end)`` over the encoded string.
+
+**Exact parity is mandatory, not aspirational.**  Every method must
+reproduce the ``"python"`` reference *bit for bit*: scores compare with
+``==`` (same IEEE-754 operations in the same order -- eq. 5 with the
+character accumulation in alphabet order), intervals and tie-breaks
+match the reference's scan order, and the work counters are those of
+the reference's sequential scan: ``evaluated`` counts substrings whose
+X² was actually computed, ``skipped`` counts end positions the
+chain-cover bound provably pruned (for any row entered at ``e0`` the
+identity ``evaluated + skipped == n + 1 - e0`` holds).  The suite under
+``tests/kernels/`` enforces all of this against the reference.
+
+Scan methods:
+
+``scan_mss(index, model)``
+    -> ``(best, (start, end), evaluated, skipped)``.
+``scan_mss_min_length(index, model, min_length)``
+    -> same shape; rows start at length ``min_length``; degenerate
+    ``(-1.0, (0, min_length), 0, 0)`` when ``n < min_length``.
+``scan_top_t(index, model, t)``
+    -> ``(heap, evaluated, skipped)``: the raw size-``t`` min-heap,
+    zero-seeded with ``(0.0, -1, -1)`` sentinels (callers filter).
+``scan_threshold(index, model, alpha0, limit=None, count_only=False)``
+    -> ``(found, match_count, truncated, evaluated, skipped)``;
+    ``found`` holds ``(x2, start, end)`` in scan order (starts
+    descending, ends ascending); with ``limit`` the truncated prefix and
+    stopping point must equal the reference's.
+``mine_batch(indexes, model, spec)``
+    -> one raw tuple per document (the matching single-document scan's
+    output, in input order) for a whole corpus chunk in one call.
+    ``spec`` is duck-typed (``problem``/``t``/``threshold``/
+    ``min_length``/``limit``, e.g. :class:`repro.engine.jobs.JobSpec`);
+    per-document parameter semantics are defined by
+    :func:`repro.kernels.python_backend.mine_reference`.  Documents may
+    be ragged, including empty.
+``simulate_x2max(model, n, trials, seed)``
+    -> list of ``trials`` X²max samples of null strings, consuming the
+    seeded RNG stream exactly as ``trials`` sequential length-``n``
+    multinomial draws (one per trial, row-major) so samples match the
+    reference bitwise.
+
+Auxiliary kernels (routed baselines/analysis):
+
+``best_over_pairs(counts_matrix, inv_p, starts, ends)``
+    -> ``(best_x2, (start, end), pairs_evaluated)`` over candidate
+    boundary pairs with ``start < end`` (ties: earliest pair in
+    start-major order; ``-inf`` when no pair is valid).
+``score_spans(index, model, starts, ends)``
+    -> list of per-span X² values, elementwise.
+``scan_mss_exhaustive(index, model)``
+    -> ``(best, (start, end), evaluated)`` of the unpruned O(n²) scan
+    (ties: earliest pair in start-ascending order).
+``scan_mss_skips(index, model)``
+    -> ``(records, x2max, evaluated, skipped)`` with per-visit
+    ``(length, skip)`` records in scan order -- the sequential trace, so
+    accelerated backends typically delegate to the reference.
 
 >>> get_backend("python").name
 'python'

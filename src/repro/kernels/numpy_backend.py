@@ -53,13 +53,18 @@ lanes -- the identity the commit paths use.
 
 from __future__ import annotations
 
+import concurrent.futures
 import heapq
+import math
+import os
 
 import numpy as np
 
 from repro.generators.base import resolve_rng
 from repro.kernels.python_backend import (
     _EPS,
+    PythonBackend,
+    mine_reference,
     mss_row_binary,
     mss_row_generic,
     threshold_row,
@@ -67,6 +72,13 @@ from repro.kernels.python_backend import (
 )
 
 __all__ = ["NumpyBackend"]
+
+#: Environment variable selecting how many worker processes the numpy
+#: backend's Monte-Carlo calibration fans its trial chunks over.  Unset
+#: or ``1`` keeps the simulation in-process; ``auto`` uses every core.
+#: Samples are bit-identical at any worker count (chunks are drawn from
+#: the RNG stream up front, in order, and only the scans parallelise).
+CALIB_WORKERS_ENV = "REPRO_CALIB_WORKERS"
 
 #: Rows walked by the scalar reference before vectorising: the pruning
 #: bound does most of its climbing in the first (shortest) rows, and a
@@ -96,18 +108,24 @@ _EMPTY_F = np.empty(0, dtype=np.float64)
 
 
 def _lane_pass_binary(pref1, n, i_arr, e_arr, off, bound, p0, p1,
-                      *, collect, lane_tag=None):
+                      *, collect, lane_tag=None, eval_by_tag=None):
     """Advance binary-MSS lanes to completion under a frozen bound.
 
     ``pref1`` is the flat ``int64`` prefix-count array of symbol 1 --
     ``(n + 1,)`` for a single string (``off is None``) or the
     concatenation of ``T`` such arrays with ``off`` holding each lane's
-    base offset.  ``bound`` is a float or a per-lane float64 array.
+    base offset.  ``n`` is the string length -- a scalar, or a per-lane
+    ``int64`` array when lanes span ragged documents (``mine_batch``).
+    ``bound`` is a float or a per-lane float64 array.
 
     With ``collect`` the pass records every visit whose X² exceeds the
     bound (using ``max(bound, x2)`` -- a legal chain-cover bound -- for
     that visit's own skip); without it the caller guarantees no visit
     exceeds, making the pass an exact replay.
+
+    ``eval_by_tag``, when given alongside ``lane_tag``, is an ``int64``
+    array accumulating each tag's evaluation count in place -- how the
+    batched corpus sweep splits the lane identity per document.
 
     Returns ``(evaluated, cand_i, cand_e, cand_x, cand_tag)``.
     """
@@ -115,6 +133,7 @@ def _lane_pass_binary(pref1, n, i_arr, e_arr, off, bound, p0, p1,
     two_p0 = 2.0 * p0
     two_p1 = 2.0 * p1
     bound_is_array = isinstance(bound, np.ndarray)
+    n_is_array = isinstance(n, np.ndarray)
     base = pref1[i_arr if off is None else off + i_arr]
     cand_i: list[np.ndarray] = []
     cand_e: list[np.ndarray] = []
@@ -127,6 +146,8 @@ def _lane_pass_binary(pref1, n, i_arr, e_arr, off, bound, p0, p1,
         d = y1 - L * p1
         x2 = (d * d) * inv_lp / L
         evaluated += e_arr.size
+        if eval_by_tag is not None:
+            eval_by_tag += np.bincount(lane_tag, minlength=eval_by_tag.size)
         if collect:
             exceed = x2 > bound
             if exceed.any():
@@ -164,6 +185,8 @@ def _lane_pass_binary(pref1, n, i_arr, e_arr, off, bound, p0, p1,
                 off = off[alive]
             if bound_is_array:
                 bound = bound[alive]
+            if n_is_array:
+                n = n[alive]
             if lane_tag is not None:
                 lane_tag = lane_tag[alive]
     return (
@@ -177,15 +200,18 @@ def _lane_pass_binary(pref1, n, i_arr, e_arr, off, bound, p0, p1,
 
 def _lane_pass_generic(mat, n, i_arr, e_arr, off, bound, probabilities,
                        *, collect, exceed_unit=False, store=True,
-                       lane_tag=None):
+                       lane_tag=None, eval_by_tag=None):
     """Advance generic-alphabet lanes to completion under a frozen bound.
 
     ``mat`` is the ``(k, m)`` flat prefix matrix (``m = n + 1`` for a
-    single string).  ``exceed_unit`` selects the threshold semantics at
+    single string; ragged documents concatenate their matrices and pass
+    per-lane ``off`` base offsets and a per-lane ``n`` array).
+    ``exceed_unit`` selects the threshold semantics at
     exceeding visits -- advance one position, no skip -- instead of the
     discovery semantics (skip with the visit's own X² as bound);
     ``store=False`` counts exceedances without materialising them
-    (``count_only`` threshold scans).
+    (``count_only`` threshold scans).  ``eval_by_tag`` (with
+    ``lane_tag``) accumulates per-tag evaluation counts in place.
 
     Returns ``(evaluated, exceed_count, cand_i, cand_e, cand_x, cand_tag)``.
     """
@@ -196,6 +222,7 @@ def _lane_pass_generic(mat, n, i_arr, e_arr, off, bound, probabilities,
     two_a = 2.0 * a_col
     inv_p = [1.0 / p for p in probabilities]
     bound_is_array = isinstance(bound, np.ndarray)
+    n_is_array = isinstance(n, np.ndarray)
     bases = mat[:, i_arr if off is None else off + i_arr]
     cand_i: list[np.ndarray] = []
     cand_e: list[np.ndarray] = []
@@ -212,6 +239,8 @@ def _lane_pass_generic(mat, n, i_arr, e_arr, off, bound, probabilities,
                 total = total + (y[j] * y[j]) * inv_p[j]
             x2 = total / L - L
             evaluated += e_arr.size
+            if eval_by_tag is not None:
+                eval_by_tag += np.bincount(lane_tag, minlength=eval_by_tag.size)
             exceed = None
             if collect:
                 exceed = x2 > bound
@@ -253,6 +282,8 @@ def _lane_pass_generic(mat, n, i_arr, e_arr, off, bound, probabilities,
                     off = off[alive]
                 if bound_is_array:
                     bound = bound[alive]
+                if n_is_array:
+                    n = n[alive]
                 if lane_tag is not None:
                     lane_tag = lane_tag[alive]
     return (
@@ -368,6 +399,224 @@ def _sweep(n, top_row, e_offset, lane_pass, scalar_row, find_update_rows):
     return evaluated, skipped
 
 
+def _x2max_chunk(sub, n, k, probabilities):
+    """X²max of each row of one ``(t, n)`` chunk of encoded null draws.
+
+    Module-level (and free of backend state) so calibration can ship
+    chunks to worker processes; see ``NumpyBackend.simulate_x2max``.
+    """
+    t = sub.shape[0]
+    width = n + 1
+    mat = np.zeros((k, t * width), dtype=np.int64)
+    for j in range(k):
+        rows = mat[j].reshape(t, width)
+        np.cumsum(sub == j, axis=1, out=rows[:, 1:])
+    best = np.full(t, -1.0)
+    trial_ids = np.arange(t, dtype=np.int64)
+    trial_off = trial_ids * width
+    if k == 2:
+        p0, p1 = probabilities
+        pref1 = mat[1]
+    i_hi = n - 1
+    size = _CALIB_FIRST_BLOCK
+    while i_hi >= 0:
+        count = min(size, i_hi + 1)
+        rows = np.arange(i_hi, i_hi - count, -1, dtype=np.int64)
+        i_arr = np.tile(rows, t)
+        tags = np.repeat(trial_ids, count)
+        off = np.repeat(trial_off, count)
+        e_arr = i_arr + 1
+        bound = best[tags]
+        if k == 2:
+            _, _, _, cx, ct = _lane_pass_binary(
+                pref1, n, i_arr, e_arr, off, bound, p0, p1,
+                collect=True, lane_tag=tags,
+            )
+        else:
+            _, _, _, _, cx, ct = _lane_pass_generic(
+                mat, n, i_arr, e_arr, off, bound, probabilities,
+                collect=True, lane_tag=tags,
+            )
+        if cx.size:
+            np.maximum.at(best, ct, cx)
+        i_hi -= count
+        size *= 2
+    return best.tolist()
+
+
+def _calibration_workers() -> int:
+    """Worker-process count for calibration, from :data:`CALIB_WORKERS_ENV`."""
+    raw = os.environ.get(CALIB_WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    if raw.lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+class _BatchCorpus:
+    """Many documents' prefix matrices concatenated into one flat matrix.
+
+    ``mat`` is ``(k, sum(n_d + 1))``; lane gathers into it use
+    ``offsets[d] + position``.  Holding one matrix (rather than one per
+    document) is what lets a single wavefront step advance lanes of every
+    document at once.
+    """
+
+    __slots__ = ("indexes", "n_arr", "offsets", "mat")
+
+    def __init__(self, indexes):
+        self.indexes = list(indexes)
+        self.n_arr = np.array([index.n for index in self.indexes],
+                              dtype=np.int64)
+        widths = self.n_arr + 1
+        self.offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(widths)[:-1])
+        )
+        self.mat = np.concatenate(
+            [index.counts_matrix() for index in self.indexes], axis=1
+        )
+
+
+def _run_batched_sweep(corpus, e_offset, bounds, scalar_row, update_rows,
+                       lane_pass):
+    """The multi-document discovery/replay sweep behind ``mine_batch``.
+
+    The schedule is the single-document :func:`_sweep` applied to every
+    document simultaneously: each document walks its own scalar head,
+    then the doubling blocks advance in lockstep -- block ``b`` of every
+    still-active document runs as *one* wavefront (per-lane document tag,
+    offset, length and bound), which is where the per-document kernel
+    dispatch of a corpus loop is amortised away.  Everyone whose block
+    surfaced no bound-update candidates commits the discovery counters
+    via the lane identity; the rest replay the block exactly -- and the
+    replays batch across documents too, in *phases*: every replaying
+    document's next gap run (rows between bound updates, whose bounds
+    are now known constants) joins one shared frozen wavefront, then
+    each walks its next update row scalar, and so on until all replays
+    drain.  The result is bit-identical to running :func:`_sweep` per
+    document.
+
+    Callbacks (all per document ``d``):
+
+    ``scalar_row(d, i)``
+        walk one row with the reference walker, updating the caller's
+        per-document state *and* ``bounds[d]``; returns ``(ev, sk)``;
+    ``update_rows(d, ci, ce, cx)``
+        scan-ordered discovery candidates -> rows where the sequential
+        scan truly updates its bound;
+    ``lane_pass(i_arr, e_arr, off, n_lane, bound, tags, eval_by_tag,
+    collect)``
+        run a wavefront over many documents' lanes -- discovery when
+        ``collect``, exact frozen replay otherwise -- returning
+        ``(cand_i, cand_e, cand_x, cand_tag)``.
+
+    Returns per-document ``(evaluated, skipped)`` int64 arrays.
+    """
+    docs = len(corpus.indexes)
+    n_arr = corpus.n_arr
+    offsets = corpus.offsets
+    evaluated = np.zeros(docs, dtype=np.int64)
+    skipped = np.zeros(docs, dtype=np.int64)
+
+    def scalar_rows(d, hi, lo):
+        for i in range(hi, lo - 1, -1):
+            d_ev, d_sk = scalar_row(d, i)
+            evaluated[d] += d_ev
+            skipped[d] += d_sk
+
+    def frozen_pass(specs):
+        """One exact wavefront over every (d, hi, lo) gap at once."""
+        total = sum(hi - lo + 1 for _, hi, lo in specs)
+        if total < _SCALAR_GAP:
+            for d, hi, lo in specs:
+                scalar_rows(d, hi, lo)
+            return
+        i_arr = np.concatenate([
+            np.arange(hi, lo - 1, -1, dtype=np.int64) for _, hi, lo in specs
+        ])
+        tags = np.concatenate([
+            np.full(hi - lo + 1, d, dtype=np.int64) for d, hi, lo in specs
+        ])
+        eval_by_tag = np.zeros(docs, dtype=np.int64)
+        lane_pass(i_arr, i_arr + e_offset, offsets[tags], n_arr[tags],
+                  bounds[tags], tags, eval_by_tag, False)
+        for d, hi, lo in specs:
+            ev = int(eval_by_tag[d])
+            evaluated[d] += ev
+            skipped[d] += _row_span(int(n_arr[d]), lo, hi, e_offset) - ev
+
+    i_hi = np.empty(docs, dtype=np.int64)
+    for d in range(docs):
+        top = int(n_arr[d]) - e_offset
+        head = min(top + 1, _HEAD_ROWS)
+        scalar_rows(d, top, top - head + 1)
+        i_hi[d] = top - head
+
+    size = _FIRST_BLOCK
+    while True:
+        alive = np.nonzero(i_hi >= 0)[0]
+        if alive.size == 0:
+            break
+        parts_i: list[np.ndarray] = []
+        parts_t: list[np.ndarray] = []
+        i_lo: dict[int, int] = {}
+        for d in alive.tolist():
+            count = min(size, int(i_hi[d]) + 1)
+            lo = int(i_hi[d]) - count + 1
+            i_lo[d] = lo
+            parts_i.append(np.arange(int(i_hi[d]), lo - 1, -1, dtype=np.int64))
+            parts_t.append(np.full(count, d, dtype=np.int64))
+        i_arr = np.concatenate(parts_i)
+        tags = np.concatenate(parts_t)
+        eval_by_tag = np.zeros(docs, dtype=np.int64)
+        ci, ce, cx, ct = lane_pass(i_arr, i_arr + e_offset, offsets[tags],
+                                   n_arr[tags], bounds[tags], tags,
+                                   eval_by_tag, True)
+        # prev row, true update rows, next-update cursor per replaying doc
+        replay: dict[int, list] = {}
+        for d in alive.tolist():
+            hi = int(i_hi[d])
+            lo = i_lo[d]
+            mask = ct == d
+            if not mask.any():
+                # No visit of this document beat its bound: the discovery
+                # pass was its exact sequential scan.  Commit it.
+                ev = int(eval_by_tag[d])
+                evaluated[d] += ev
+                skipped[d] += _row_span(int(n_arr[d]), lo, hi, e_offset) - ev
+            else:
+                rows = update_rows(d, *_scan_order(ci[mask], ce[mask],
+                                                   cx[mask]))
+                replay[d] = [hi, rows, 0]
+            i_hi[d] = lo - 1
+        while replay:
+            specs = []
+            for d, state in replay.items():
+                prev, rows, cursor = state
+                gap_lo = rows[cursor] + 1 if cursor < len(rows) else i_lo[d]
+                if prev >= gap_lo:
+                    specs.append((d, prev, gap_lo))
+            if specs:
+                frozen_pass(specs)
+            drained = []
+            for d, state in replay.items():
+                prev, rows, cursor = state
+                if cursor < len(rows):
+                    scalar_rows(d, rows[cursor], rows[cursor])
+                    state[0] = rows[cursor] - 1
+                    state[2] = cursor + 1
+                else:
+                    drained.append(d)
+            for d in drained:
+                del replay[d]
+        size *= 2
+    return evaluated, skipped
+
+
 class NumpyBackend:
     """Vectorised kernels, bit-identical to :class:`PythonBackend`."""
 
@@ -378,6 +627,11 @@ class NumpyBackend:
     # ------------------------------------------------------------------
 
     def scan_mss(self, index, model):
+        """Full MSS scan as a block sweep of wavefront lane passes.
+
+        Same contract as :meth:`PythonBackend.scan_mss`: returns
+        ``(best, (start, end), evaluated, skipped)``, bit-identical.
+        """
         n = index.n
         binary = model.k == 2
         probabilities = model.probabilities
@@ -431,6 +685,9 @@ class NumpyBackend:
     # ------------------------------------------------------------------
 
     def scan_mss_min_length(self, index, model, min_length):
+        """Problem 4 scan (generic arithmetic for every ``k``, as the
+        reference does); same contract as
+        :meth:`PythonBackend.scan_mss_min_length`, bit-identical."""
         n = index.n
         prefix = index.prefix_lists
         probabilities = model.probabilities
@@ -468,6 +725,10 @@ class NumpyBackend:
     # ------------------------------------------------------------------
 
     def scan_top_t(self, index, model, t):
+        """Top-t scan; the replay simulates the heap over scan-ordered
+        exceedances to find the true update rows.  Same contract as
+        :meth:`PythonBackend.scan_top_t` -- returns the raw size-t heap --
+        and bit-identical to it."""
         n = index.n
         prefix = index.prefix_lists
         probabilities = model.probabilities
@@ -515,6 +776,10 @@ class NumpyBackend:
     # ------------------------------------------------------------------
 
     def scan_threshold(self, index, model, alpha0, limit=None, count_only=False):
+        """Threshold scan.  The bound never moves, so every wavefront
+        pass is exact and only ``limit`` truncation needs scan-order
+        care.  Same contract as :meth:`PythonBackend.scan_threshold`,
+        bit-identical including the truncated prefix of matches."""
         if limit is not None and limit < 1:
             # The reference walker truncates right after appending match
             # number max(limit, 1); clamping keeps the kernels agreeing
@@ -596,6 +861,315 @@ class NumpyBackend:
         return found, match_count, truncated, evaluated, skipped
 
     # ------------------------------------------------------------------
+    # Corpus batching
+    # ------------------------------------------------------------------
+
+    def mine_batch(self, indexes, model, spec):
+        """Mine many (ragged) documents as one multi-document wavefront.
+
+        Same contract as :meth:`PythonBackend.mine_batch` -- one raw
+        single-document scan tuple per document, in input order,
+        bit-identical to the per-document loop -- but a corpus chunk runs
+        as *one* batched sweep: all documents' prefix matrices
+        concatenate into one flat matrix, every document contributes
+        lanes (tagged with its id, masked at its true length) to shared
+        wavefront passes, and only documents whose pruning bound truly
+        moves inside a block replay that block alone.  This is the same
+        trial-sharing idea as :meth:`simulate_x2max`, with the full
+        exactness machinery kept per document.
+
+        ``"threshold"`` with a ``limit`` falls back to the per-document
+        scan inside this one call: truncation stops a document's scan at
+        an arbitrary point in *its* scan order, which a shared wavefront
+        cannot honour without replaying essentially everything.
+        """
+        problem = spec.problem
+        if problem in ("mss", "minlength"):
+            e_offset = 1 if problem == "mss" else spec.min_length
+            return self._mine_batch_best(indexes, model, e_offset)
+        if problem == "top":
+            return self._mine_batch_top(indexes, model, spec.t)
+        if problem == "threshold":
+            if spec.limit is not None:
+                return [mine_reference(self, index, model, spec)
+                        for index in indexes]
+            return self._mine_batch_threshold(indexes, model, spec.threshold)
+        raise ValueError(f"unknown problem {problem!r}")
+
+    def _mine_batch_best(self, indexes, model, e_offset):
+        """Batched running-maximum scans (``mss`` / ``minlength``)."""
+        corpus = _BatchCorpus(indexes)
+        docs = len(corpus.indexes)
+        probabilities = model.probabilities
+        binary = model.k == 2 and e_offset == 1
+        bounds = np.full(docs, -1.0)
+        best_start = [0] * docs
+        best_end = [e_offset] * docs
+        if binary:
+            p0, p1 = probabilities
+            pref1 = corpus.mat[1]
+        else:
+            inv_p = [1.0 / p for p in probabilities]
+
+        def scalar_row(d, i):
+            index = corpus.indexes[d]
+            n = index.n
+            if binary:
+                best, bs, be, d_ev, d_sk = mss_row_binary(
+                    index.prefix_lists[1], n, i, i + 1,
+                    float(bounds[d]), best_start[d], best_end[d], p0, p1,
+                )
+            else:
+                best, bs, be, d_ev, d_sk = mss_row_generic(
+                    index.prefix_lists, n, i, i + e_offset,
+                    float(bounds[d]), best_start[d], best_end[d],
+                    probabilities, inv_p,
+                )
+            bounds[d] = best
+            best_start[d] = bs
+            best_end[d] = be
+            return d_ev, d_sk
+
+        def update_rows(d, ci, ce, cx):
+            return _running_max_rows(ci, cx, float(bounds[d]))
+
+        def lane_pass(i_arr, e_arr, off, n_lane, bound, tags, eval_by_tag,
+                      collect):
+            if binary:
+                _, ci, ce, cx, ct = _lane_pass_binary(
+                    pref1, n_lane, i_arr, e_arr, off, bound, p0, p1,
+                    collect=collect, lane_tag=tags, eval_by_tag=eval_by_tag,
+                )
+            else:
+                _, _, ci, ce, cx, ct = _lane_pass_generic(
+                    corpus.mat, n_lane, i_arr, e_arr, off, bound,
+                    probabilities, collect=collect, lane_tag=tags,
+                    eval_by_tag=eval_by_tag,
+                )
+            return ci, ce, cx, ct
+
+        evaluated, skipped = _run_batched_sweep(
+            corpus, e_offset, bounds, scalar_row, update_rows, lane_pass,
+        )
+        return [
+            (float(bounds[d]), (best_start[d], best_end[d]),
+             int(evaluated[d]), int(skipped[d]))
+            for d in range(docs)
+        ]
+
+    def _mine_batch_top(self, indexes, model, t):
+        """Batched top-t scans: one heap and heap-root bound per document."""
+        corpus = _BatchCorpus(indexes)
+        docs = len(corpus.indexes)
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        heaps: list[list[tuple[float, int, int]]] = [
+            [(0.0, -1, -1)] * min(t, index.n * (index.n + 1) // 2)
+            for index in corpus.indexes
+        ]
+        bounds = np.zeros(docs)
+
+        def scalar_row(d, i):
+            index = corpus.indexes[d]
+            bound, d_ev, d_sk = topt_row(
+                index.prefix_lists, index.n, i, i + 1, heaps[d],
+                float(bounds[d]), probabilities, inv_p,
+            )
+            bounds[d] = bound
+            return d_ev, d_sk
+
+        def update_rows(d, ci, ce, cx):
+            sim = list(heaps[d])
+            rows: list[int] = []
+            for row, end, value in zip(ci.tolist(), ce.tolist(), cx.tolist()):
+                if value > sim[0][0]:
+                    heapq.heapreplace(sim, (value, row, end))
+                    if not rows or rows[-1] != row:
+                        rows.append(row)
+            return rows
+
+        def lane_pass(i_arr, e_arr, off, n_lane, bound, tags, eval_by_tag,
+                      collect):
+            _, _, ci, ce, cx, ct = _lane_pass_generic(
+                corpus.mat, n_lane, i_arr, e_arr, off, bound, probabilities,
+                collect=collect, lane_tag=tags, eval_by_tag=eval_by_tag,
+            )
+            return ci, ce, cx, ct
+
+        evaluated, skipped = _run_batched_sweep(
+            corpus, 1, bounds, scalar_row, update_rows, lane_pass
+        )
+        return [
+            (heaps[d], int(evaluated[d]), int(skipped[d]))
+            for d in range(docs)
+        ]
+
+    def _mine_batch_threshold(self, indexes, model, alpha0):
+        """Batched unlimited threshold scans: fixed bound, no replay ever."""
+        corpus = _BatchCorpus(indexes)
+        docs = len(corpus.indexes)
+        n_arr = corpus.n_arr
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        found: list[list[tuple[float, int, int]]] = [[] for _ in range(docs)]
+        match_count = [0] * docs
+        evaluated = np.zeros(docs, dtype=np.int64)
+        skipped = np.zeros(docs, dtype=np.int64)
+        i_hi = np.empty(docs, dtype=np.int64)
+        for d, index in enumerate(corpus.indexes):
+            n = index.n
+            head = min(n, _HEAD_ROWS)
+            for i in range(n - 1, n - head - 1, -1):
+                d_ev, d_sk, d_match, _ = threshold_row(
+                    index.prefix_lists, n, i, i + 1, alpha0, probabilities,
+                    inv_p, found[d], None, False,
+                )
+                evaluated[d] += d_ev
+                skipped[d] += d_sk
+                match_count[d] += d_match
+            i_hi[d] = n - head - 1
+
+        size = _FIRST_BLOCK
+        while True:
+            alive = np.nonzero(i_hi >= 0)[0]
+            if alive.size == 0:
+                break
+            parts_i: list[np.ndarray] = []
+            parts_t: list[np.ndarray] = []
+            i_lo: dict[int, int] = {}
+            for d in alive.tolist():
+                count = min(size, int(i_hi[d]) + 1)
+                lo = int(i_hi[d]) - count + 1
+                i_lo[d] = lo
+                parts_i.append(
+                    np.arange(int(i_hi[d]), lo - 1, -1, dtype=np.int64)
+                )
+                parts_t.append(np.full(count, d, dtype=np.int64))
+            i_arr = np.concatenate(parts_i)
+            tags = np.concatenate(parts_t)
+            eval_by_tag = np.zeros(docs, dtype=np.int64)
+            _, _, ci, ce, cx, ct = _lane_pass_generic(
+                corpus.mat, n_arr[tags], i_arr, i_arr + 1,
+                corpus.offsets[tags], alpha0, probabilities,
+                collect=True, exceed_unit=True, store=True, lane_tag=tags,
+                eval_by_tag=eval_by_tag,
+            )
+            for d in alive.tolist():
+                mask = ct == d
+                if mask.any():
+                    oi, oe, ox = _scan_order(ci[mask], ce[mask], cx[mask])
+                    for value, row, end in zip(ox.tolist(), oi.tolist(),
+                                               oe.tolist()):
+                        found[d].append((value, row, end))
+                    match_count[d] += int(mask.sum())
+                ev = int(eval_by_tag[d])
+                evaluated[d] += ev
+                skipped[d] += _row_span(int(n_arr[d]), i_lo[d], int(i_hi[d]),
+                                        1) - ev
+                i_hi[d] = i_lo[d] - 1
+            size *= 2
+        return [
+            (found[d], match_count[d], False, int(evaluated[d]),
+             int(skipped[d]))
+            for d in range(docs)
+        ]
+
+    # ------------------------------------------------------------------
+    # Routed auxiliary kernels
+    # ------------------------------------------------------------------
+
+    def best_over_pairs(self, counts_matrix, inv_p, starts, ends):
+        """Vectorised candidate-pair search (one pass per start).
+
+        Same contract and bit-identical results as
+        :meth:`PythonBackend.best_over_pairs`: the character accumulation
+        runs as an explicit ``j``-loop so the summation order matches the
+        reference exactly.
+        """
+        starts = np.unique(np.asarray(starts, dtype=np.int64))
+        ends = np.unique(np.asarray(ends, dtype=np.int64))
+        counts_matrix = np.asarray(counts_matrix)
+        k = counts_matrix.shape[0]
+        inv = [float(v) for v in inv_p]
+        end_counts = counts_matrix[:, ends].astype(np.float64)
+        end_positions = ends.astype(np.float64)
+        best = -math.inf
+        best_pair = (0, 0)
+        evaluated = 0
+        for s in starts.tolist():
+            lengths = end_positions - s
+            valid = lengths > 0
+            if not valid.any():
+                continue
+            window = end_counts[:, valid] - counts_matrix[:, s : s + 1]
+            lengths = lengths[valid]
+            total = (window[0] * window[0]) * inv[0]
+            for j in range(1, k):
+                total = total + (window[j] * window[j]) * inv[j]
+            x2 = total / lengths - lengths
+            evaluated += int(x2.size)
+            offset = int(np.argmax(x2))
+            value = float(x2[offset])
+            if value > best:
+                best = value
+                best_pair = (s, int(ends[valid][offset]))
+        return best, best_pair, evaluated
+
+    def score_spans(self, index, model, starts, ends):
+        """Elementwise span X² (same contract as
+        :meth:`PythonBackend.score_spans`, bit-identical)."""
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        mat = index.counts_matrix()
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        y = mat[:, ends] - mat[:, starts]
+        total = (y[0] * y[0]) * inv_p[0]
+        for j in range(1, len(probabilities)):
+            total = total + (y[j] * y[j]) * inv_p[j]
+        lengths = (ends - starts).astype(np.float64)
+        return (total / lengths - lengths).tolist()
+
+    def scan_mss_exhaustive(self, index, model):
+        """Exhaustive O(n²) scan, one vectorised profile per start row.
+
+        Same contract and bit-identical results as
+        :meth:`PythonBackend.scan_mss_exhaustive` (explicit character
+        loop, first-maximum tie-breaking).
+        """
+        n = index.n
+        mat = index.counts_matrix()
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        k = len(probabilities)
+        best = -1.0
+        best_start, best_end = 0, 1
+        for i in range(n):
+            window = mat[:, i + 1 :] - mat[:, i : i + 1]
+            total = (window[0] * window[0]) * inv_p[0]
+            for j in range(1, k):
+                total = total + (window[j] * window[j]) * inv_p[j]
+            lengths = np.arange(1, n - i + 1, dtype=np.float64)
+            profile = total / lengths - lengths
+            offset = int(np.argmax(profile))
+            value = float(profile[offset])
+            if value > best:
+                best = value
+                best_start, best_end = i, i + offset + 1
+        return best, (best_start, best_end), n * (n + 1) // 2
+
+    def scan_mss_skips(self, index, model):
+        """Instrumented skip-profile scan.
+
+        Profiling instruments the *sequential* scan -- its records are
+        the sequential trace itself, so there is nothing to vectorise
+        without replaying every visit scalar anyway.  The numpy backend
+        therefore shares the reference implementation (see
+        :meth:`PythonBackend.scan_mss_skips`); parity is by construction.
+        """
+        return PythonBackend().scan_mss_skips(index, model)
+
+    # ------------------------------------------------------------------
     # Monte-Carlo calibration
     # ------------------------------------------------------------------
 
@@ -611,60 +1185,79 @@ class NumpyBackend:
         carries its own trial's running-maximum bound), and only the
         maxima matter -- exceedances fold into the per-trial best via a
         scatter-max, with no replay machinery at all.
+
+        Multi-core: set ``REPRO_CALIB_WORKERS`` (an integer, or ``auto``
+        for every core) to fan the trial chunks over a process pool.
+        Draws still happen in the driver, sequentially, from the one RNG
+        stream -- only the chunk scans parallelise -- so the samples stay
+        bit-identical at any worker count (with an in-process fallback
+        when the pool cannot start).  Chunks are submitted with a
+        bounded in-flight window, so the serial path's
+        :data:`_CALIB_CHUNK_ELEMS` peak-memory bound still holds, times
+        the worker count rather than the trial count.
         """
         rng = resolve_rng(seed)
         k = model.k
         probabilities = model.probabilities
         p_arr = np.asarray(probabilities)
         chunk = max(1, _CALIB_CHUNK_ELEMS // (k * (n + 1)))
+        starts = range(0, trials, chunk)
+        workers = _calibration_workers()
         samples: list[float] = []
-        for start in range(0, trials, chunk):
+        if workers > 1 and len(starts) > 1:
+            window = min(workers, len(starts))
+            try:
+                pool_cm = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=window
+                )
+            except OSError:
+                pool_cm = None  # no draws consumed yet: serial path below
+
+            def finish(entry):
+                # Collect one chunk's samples; if its worker died (or the
+                # pool never started -- sandboxed environments), rescan
+                # the retained draw in-process.  Either way the samples
+                # are the draw's, so the stream stays bit-identical.
+                future, sub = entry
+                if future is not None:
+                    try:
+                        return future.result()
+                    except (OSError, RuntimeError):
+                        pass
+                return _x2max_chunk(sub, n, k, probabilities)
+
+            # Draws stay sequential in the driver (one RNG stream); each
+            # drawn chunk is retained alongside its future until its
+            # result lands, and at most 2 * window chunks are in flight --
+            # the serial path's peak-memory bound times the worker count,
+            # not the trial count.
+            if pool_cm is not None:
+                in_flight: list = []
+                with pool_cm as pool:
+                    for start in starts:
+                        sub = rng.choice(
+                            k, size=(min(chunk, trials - start), n), p=p_arr
+                        )
+                        try:
+                            future = pool.submit(
+                                _x2max_chunk, sub, n, k, probabilities
+                            )
+                        except (OSError, RuntimeError):
+                            future = None
+                        in_flight.append((future, sub))
+                        if len(in_flight) >= 2 * window:
+                            samples.extend(finish(in_flight.pop(0)))
+                    for entry in in_flight:
+                        samples.extend(finish(entry))
+                return samples
+        for start in starts:
             # Chunked draws consume the Generator stream in the same
             # row-major order as one (trials, n) call -- and as the
             # reference backend's per-trial draws -- so chunking bounds
             # peak memory without touching the samples.
             sub = rng.choice(k, size=(min(chunk, trials - start), n), p=p_arr)
-            samples.extend(self._x2max_chunk(sub, n, k, probabilities))
+            samples.extend(_x2max_chunk(sub, n, k, probabilities))
         return samples
-
-    def _x2max_chunk(self, sub, n, k, probabilities):
-        t = sub.shape[0]
-        width = n + 1
-        mat = np.zeros((k, t * width), dtype=np.int64)
-        for j in range(k):
-            rows = mat[j].reshape(t, width)
-            np.cumsum(sub == j, axis=1, out=rows[:, 1:])
-        best = np.full(t, -1.0)
-        trial_ids = np.arange(t, dtype=np.int64)
-        trial_off = trial_ids * width
-        if k == 2:
-            p0, p1 = probabilities
-            pref1 = mat[1]
-        i_hi = n - 1
-        size = _CALIB_FIRST_BLOCK
-        while i_hi >= 0:
-            count = min(size, i_hi + 1)
-            rows = np.arange(i_hi, i_hi - count, -1, dtype=np.int64)
-            i_arr = np.tile(rows, t)
-            tags = np.repeat(trial_ids, count)
-            off = np.repeat(trial_off, count)
-            e_arr = i_arr + 1
-            bound = best[tags]
-            if k == 2:
-                _, _, _, cx, ct = _lane_pass_binary(
-                    pref1, n, i_arr, e_arr, off, bound, p0, p1,
-                    collect=True, lane_tag=tags,
-                )
-            else:
-                _, _, _, _, cx, ct = _lane_pass_generic(
-                    mat, n, i_arr, e_arr, off, bound, probabilities,
-                    collect=True, lane_tag=tags,
-                )
-            if cx.size:
-                np.maximum.at(best, ct, cx)
-            i_hi -= count
-            size *= 2
-        return best.tolist()
 
     def __repr__(self) -> str:
         return "NumpyBackend()"

@@ -28,10 +28,46 @@ import heapq
 import math
 
 from repro.core.skip import ROOT_EPSILON as _EPS
+from repro.core.skip import max_safe_skip
 from repro.generators.base import resolve_rng
 from repro.generators.null import generate_null
 
-__all__ = ["PythonBackend"]
+__all__ = ["PythonBackend", "mine_reference"]
+
+
+def mine_reference(backend, index, model, spec):
+    """Run one document's configured problem through ``backend``'s scans.
+
+    This is the shared per-document dispatch used by every backend's
+    ``mine_batch``: given a duck-typed ``spec`` (any object exposing
+    ``problem``/``t``/``threshold``/``min_length``/``limit``, e.g.
+    :class:`repro.engine.jobs.JobSpec`), it calls the matching
+    single-document scan and returns its raw output tuple unchanged.
+
+    Per-document parameter semantics (part of the ``mine_batch``
+    contract):
+
+    * ``"top"`` caps the heap size at the document's substring count,
+      ``t_d = min(spec.t, n (n + 1) / 2)``;
+    * ``"minlength"`` runs the scan even when the floor exceeds the
+      document length, yielding the scan's degenerate
+      ``(-1.0, (0, min_length), 0, 0)`` -- callers that want "no
+      qualifying substring" filter such documents before batching;
+    * ``"threshold"`` forwards ``spec.limit`` verbatim (``None`` means
+      unlimited) and always materialises matches.
+    """
+    problem = spec.problem
+    if problem == "mss":
+        return backend.scan_mss(index, model)
+    if problem == "top":
+        n = index.n
+        return backend.scan_top_t(index, model, min(spec.t, n * (n + 1) // 2))
+    if problem == "threshold":
+        return backend.scan_threshold(index, model, spec.threshold,
+                                      limit=spec.limit)
+    if problem == "minlength":
+        return backend.scan_mss_min_length(index, model, spec.min_length)
+    raise ValueError(f"unknown problem {problem!r}")
 
 
 # ----------------------------------------------------------------------
@@ -342,6 +378,154 @@ class PythonBackend:
             if truncated:
                 break
         return found, match_count, truncated, evaluated, skipped
+
+    def mine_batch(self, indexes, model, spec):
+        """Mine many documents in one call: the per-document reference loop.
+
+        ``indexes`` is a sequence of
+        :class:`~repro.core.counts.PrefixCountIndex` values (documents may
+        be ragged, including empty); ``spec`` is any object exposing
+        ``problem``/``t``/``threshold``/``min_length``/``limit`` (see
+        :func:`mine_reference`).  Returns one raw scan tuple per document,
+        in input order -- exactly what the matching single-document scan
+        would have returned, because that is literally what runs.  The
+        vectorised backends must reproduce this output bit for bit.
+        """
+        return [mine_reference(self, index, model, spec) for index in indexes]
+
+    def best_over_pairs(self, counts_matrix, inv_p, starts, ends):
+        """Reference maximum-X² search over candidate boundary pairs.
+
+        ``counts_matrix`` is the ``(k, n + 1)`` prefix matrix, ``inv_p``
+        the per-character ``1 / p_j`` weights; ``starts``/``ends`` are
+        candidate positions (deduplicated and sorted here).  Returns
+        ``(best_x2, (start, end), pairs_evaluated)`` with ``best_x2 =
+        -inf`` when no pair satisfies ``start < end``.  Ties resolve to
+        the earliest pair in (start, end) iteration order.
+        """
+        import numpy as np
+
+        start_list = np.unique(np.asarray(starts, dtype=np.int64)).tolist()
+        end_list = np.unique(np.asarray(ends, dtype=np.int64)).tolist()
+        rows = np.asarray(counts_matrix).tolist()
+        inv = [float(v) for v in inv_p]
+        k = len(rows)
+        best = -math.inf
+        best_pair = (0, 0)
+        evaluated = 0
+        for s in start_list:
+            for e in end_list:
+                length = e - s
+                if length <= 0:
+                    continue
+                total = 0.0
+                for j in range(k):
+                    y = rows[j][e] - rows[j][s]
+                    total += y * y * inv[j]
+                x2 = total / length - length
+                evaluated += 1
+                if x2 > best:
+                    best = x2
+                    best_pair = (s, e)
+        return best, best_pair, evaluated
+
+    def score_spans(self, index, model, starts, ends):
+        """X² of each span ``(starts[m], ends[m])``, elementwise.
+
+        Spans must satisfy ``start < end``.  Returns a list of floats in
+        input order; the arithmetic is the scanners' (eq. 5 with the
+        character loop in alphabet order), so the values are bit-equal to
+        what a scan evaluating the same spans would produce.
+        """
+        prefix = index.prefix_lists
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        char_range = range(len(probabilities))
+        out: list[float] = []
+        for s, e in zip(list(starts), list(ends)):
+            s = int(s)
+            e = int(e)
+            length = e - s
+            total = 0.0
+            for j in char_range:
+                y = prefix[j][e] - prefix[j][s]
+                total += y * y * inv_p[j]
+            out.append(total / length - length)
+        return out
+
+    def scan_mss_exhaustive(self, index, model):
+        """Exhaustive O(n²) MSS scan (no pruning): the trivial baseline.
+
+        Returns ``(best, (start, end), evaluated)`` with ``evaluated =
+        n (n + 1) / 2``.  Ties resolve to the earliest (start, end) in
+        start-ascending, end-ascending order -- the trivial scan's own
+        rule, which differs from the pruned scanners' reverse-start
+        order.
+        """
+        n = index.n
+        prefix = index.prefix_lists
+        probabilities = model.probabilities
+        inv_p = [1.0 / p for p in probabilities]
+        char_range = range(len(probabilities))
+        best = -1.0
+        best_start, best_end = 0, 1
+        evaluated = 0
+        for i in range(n):
+            bases = [prefix[j][i] for j in char_range]
+            for e in range(i + 1, n + 1):
+                length = e - i
+                total = 0.0
+                for j in char_range:
+                    y = prefix[j][e] - bases[j]
+                    total += y * y * inv_p[j]
+                x2 = total / length - length
+                evaluated += 1
+                if x2 > best:
+                    best = x2
+                    best_start, best_end = i, e
+        return best, (best_start, best_end), evaluated
+
+    def scan_mss_skips(self, index, model):
+        """Instrumented MSS scan recording every skip decision.
+
+        Returns ``(records, x2max, evaluated, skipped)`` where
+        ``records`` lists ``(substring length, skip taken)`` for every
+        evaluated substring, in scan order.  The skip algebra is
+        :func:`repro.core.skip.max_safe_skip` (clarity over speed); the
+        visit set equals the production scanner's.  Profiling is
+        inherently sequential -- the records *are* the sequential trace --
+        so every backend shares this reference implementation.
+        """
+        n = index.n
+        prefix = index.prefix_lists
+        probabilities = model.probabilities
+        k = len(probabilities)
+        inv_p = [1.0 / p for p in probabilities]
+        char_range = range(k)
+        best = -1.0
+        evaluated = 0
+        skipped = 0
+        records: list[tuple[int, int]] = []
+        for i in range(n - 1, -1, -1):
+            bases = [prefix[j][i] for j in char_range]
+            e = i + 1
+            while e <= n:
+                length = e - i
+                counts = [prefix[j][e] - bases[j] for j in char_range]
+                total = 0.0
+                for j in char_range:
+                    total += counts[j] * counts[j] * inv_p[j]
+                x2 = total / length - length
+                evaluated += 1
+                if x2 > best:
+                    best = x2
+                skip = max_safe_skip(counts, length, probabilities, x2, best)
+                if e + skip > n:
+                    skip = n - e
+                records.append((length, skip))
+                skipped += skip
+                e += skip + 1
+        return records, best, evaluated, skipped
 
     def simulate_x2max(self, model, n, trials, seed):
         """Monte-Carlo X²max samples: ``trials`` sequential null scans.

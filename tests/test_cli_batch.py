@@ -99,6 +99,23 @@ class TestEndToEnd:
         ]
         assert strip(parallel) == strip(serial)
 
+    def test_batch_docs_results_match_per_document(self, corpus_dir, capsys):
+        reference = _run_json(["batch", str(corpus_dir)], capsys)
+        batched = _run_json(
+            ["batch", str(corpus_dir), "--batch-docs", "4"], capsys
+        )
+        strip = lambda p: [
+            {key: value for key, value in r.items() if key != "elapsed_seconds"}
+            for r in p["results"]
+        ]
+        assert strip(batched) == strip(reference)
+        assert batched["batch_docs"] == 4
+        assert reference["batch_docs"] is None
+
+    def test_batch_docs_must_be_positive(self, corpus_dir):
+        with pytest.raises(SystemExit, match="batch-docs"):
+            main(["batch", str(corpus_dir), "--batch-docs", "0"])
+
     def test_corrected_p_values_match_hand_bh(self, corpus_dir, capsys):
         """Recompute Benjamini-Hochberg from the raw p-values by hand."""
         payload = _run_json(

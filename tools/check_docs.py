@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Documentation gate: intra-repo markdown links + public-API docstrings.
+
+Run from the repository root (CI's ``docs`` job does, and
+``tests/test_docs.py`` runs it as part of tier-1):
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two checks, both hard failures:
+
+1. **Markdown links.**  Every relative link target in every tracked
+   ``*.md`` file must exist on disk (anchors are stripped; external
+   ``http(s)``/``mailto`` links are out of scope).
+2. **Docstrings.**  Every symbol exported from ``repro`` (its
+   ``__all__``), every name in ``repro.kernels.__all__``, and both
+   kernel backend classes must carry a docstring -- including the
+   public methods and properties the classes define themselves.  This
+   is the "a third-party backend can be written from the docs alone"
+   guarantee of ``docs/ARCHITECTURE.md``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {
+    ".git", "__pycache__", ".pytest_cache", "node_modules", ".hypothesis",
+    ".venv", "venv", ".tox", ".eggs", ".claude",
+}
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_markdown_files():
+    """Tracked ``*.md`` files (``git ls-files``), so a local virtualenv's
+    vendored READMEs can never fail the gate; falls back to a filtered
+    walk outside a git checkout."""
+    try:
+        listed = subprocess.run(
+            ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+             "*.md"],
+            capture_output=True, text=True, cwd=REPO_ROOT, check=True,
+        ).stdout.splitlines()
+        candidates = [REPO_ROOT / name for name in sorted(listed)]
+    except (OSError, subprocess.CalledProcessError):
+        candidates = sorted(REPO_ROOT.rglob("*.md"))
+    for path in candidates:
+        if path.exists() and not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_markdown_links() -> list[str]:
+    """Return one error string per broken relative link."""
+    errors = []
+    for path in iter_markdown_files():
+        for line_number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for target in LINK_PATTERN.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                resolved = (path.parent / relative).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{path.relative_to(REPO_ROOT)}:{line_number}: "
+                        f"broken link -> {target}"
+                    )
+    return errors
+
+
+def _missing_docstring(obj) -> bool:
+    return not (inspect.getdoc(obj) or "").strip()
+
+
+def _class_member_errors(cls, label: str) -> list[str]:
+    """Public methods/properties *defined by* ``cls`` need docstrings."""
+    errors = []
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        target = member.fget if isinstance(member, property) else member
+        if not callable(target) and not isinstance(member, property):
+            continue
+        if _missing_docstring(target):
+            errors.append(f"{label}.{name} lacks a docstring")
+    return errors
+
+
+def check_docstrings() -> list[str]:
+    """Return one error string per missing public-API docstring."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import repro
+    import repro.kernels as kernels
+    from repro.kernels.numpy_backend import NumpyBackend
+    from repro.kernels.python_backend import PythonBackend
+
+    errors = []
+    for module, names in (
+        (repro, [n for n in repro.__all__ if n != "__version__"]),
+        (kernels, list(kernels.__all__)),
+    ):
+        for name in names:
+            obj = getattr(module, name)
+            if isinstance(obj, (str, int, float, tuple, frozenset)):
+                continue  # data constants document themselves in the module
+            if _missing_docstring(obj):
+                errors.append(f"{module.__name__}.{name} lacks a docstring")
+            if inspect.isclass(obj):
+                errors.extend(
+                    _class_member_errors(obj, f"{module.__name__}.{name}")
+                )
+    for cls in (PythonBackend, NumpyBackend):
+        if _missing_docstring(cls):
+            errors.append(f"{cls.__name__} lacks a docstring")
+        errors.extend(_class_member_errors(cls, cls.__name__))
+    return errors
+
+
+def main() -> int:
+    failures = 0
+    link_errors = check_markdown_links()
+    doc_errors = check_docstrings()
+    for error in link_errors + doc_errors:
+        print(f"FAIL: {error}")
+        failures += 1
+    markdown_count = len(list(iter_markdown_files()))
+    print(
+        f"check_docs: {markdown_count} markdown files, "
+        f"{len(link_errors)} broken links, "
+        f"{len(doc_errors)} missing docstrings"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
