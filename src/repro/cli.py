@@ -224,9 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--executor",
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "shm"],
         default=None,
-        help="fan-out strategy (default: process when --workers > 1)",
+        help="fan-out strategy (default: shm -- zero-copy shared-memory "
+             "workers -- when --workers > 1)",
     )
     batch.add_argument(
         "--correction",
@@ -431,7 +432,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         limit=args.limit,
         backend=args.backend,
     )
-    executor_name = args.executor or ("process" if args.workers > 1 else "serial")
+    executor_name = args.executor or ("shm" if args.workers > 1 else "serial")
     engine = CorpusEngine(
         executor=resolve_executor(executor_name, workers=args.workers),
         calibration=(

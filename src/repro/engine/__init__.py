@@ -16,6 +16,13 @@ once.  This subsystem is that layer:
   :class:`SerialExecutor`, :class:`ThreadExecutor`, and chunked
   :class:`ProcessExecutor`, all order-preserving (parallel results are
   identical to serial).
+* :mod:`repro.engine.shm` -- :class:`SharedMemoryExecutor`, the
+  multi-core mining path: each (spec, model) group's documents are
+  encoded once into flat arrays published via
+  ``multiprocessing.shared_memory``, and a persistent worker pool
+  attaches once and mines ``batch_docs``-document chunks through the
+  kernel ``mine_batch`` call, returning compact result arrays.  This is
+  the executor ``repro-mss batch --workers N`` uses by default.
 * :mod:`repro.engine.calibration` -- :class:`CalibrationCache` memoizes
   the Monte-Carlo X²max null distribution per (model, length-bucket) so
   the whole corpus shares a handful of simulations.
@@ -39,6 +46,7 @@ from repro.engine.corrections import (
 from repro.engine.executors import (
     ProcessExecutor,
     SerialExecutor,
+    SharedMemoryExecutor,
     ThreadExecutor,
     resolve_executor,
 )
@@ -47,9 +55,11 @@ from repro.engine.jobs import (
     DocumentResult,
     JobSpec,
     MiningJob,
+    ordered_scan,
     run_job,
     run_job_batch,
 )
+from repro.engine.shm import pack_jobs
 
 __all__ = [
     "CorpusEngine",
@@ -57,12 +67,15 @@ __all__ = [
     "MiningJob",
     "JobSpec",
     "DocumentResult",
+    "ordered_scan",
     "run_job",
     "run_job_batch",
+    "pack_jobs",
     "PROBLEMS",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SharedMemoryExecutor",
     "resolve_executor",
     "CalibrationCache",
     "length_bucket",

@@ -234,7 +234,12 @@ class CorpusEngine:
             raise ValueError(f"alpha must be in (0, 1), got {alpha!r}")
 
         started = time.perf_counter()
-        if batch_docs is None:
+        if hasattr(self.executor, "run_jobs"):
+            # Corpus-owning executors (the shared-memory path) take the
+            # whole job list: they pack documents into shared memory up
+            # front and pick their own chunking when batch_docs is None.
+            documents = self.executor.run_jobs(job_list, batch_docs=batch_docs)
+        elif batch_docs is None:
             documents = self.executor.map(run_job, job_list)
         else:
             chunks = [

@@ -1,6 +1,7 @@
 """Pluggable executors: how the corpus engine fans jobs out.
 
-Three strategies behind one two-method interface (``map`` + ``name``):
+Four strategies.  Three share the two-method interface (``map`` +
+``name``):
 
 * :class:`SerialExecutor` -- in-process loop; zero overhead, the
   reference for correctness (parallel executors must match it exactly).
@@ -11,9 +12,15 @@ Three strategies behind one two-method interface (``map`` + ``name``):
   with *chunked* dispatch: documents are shipped ``chunksize`` at a time
   so per-task pickling overhead amortises over many small documents.
 
-All three preserve input order, so results are deterministic regardless
-of completion order -- the engine's serial/parallel parity guarantee
-rests on this.
+The fourth, :class:`~repro.engine.shm.SharedMemoryExecutor`
+(re-exported here), replaces per-job pickling with a zero-copy
+shared-memory corpus and is the executor that actually *wins* on
+multi-core hosts -- it exposes ``run_jobs(jobs)`` and the engine hands
+it the whole job list instead of mapping a function.
+
+All of them preserve input order, so results are deterministic
+regardless of completion order -- the engine's serial/parallel parity
+guarantee rests on this.
 """
 
 from __future__ import annotations
@@ -23,10 +30,13 @@ import math
 import os
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.engine.shm import SharedMemoryExecutor
+
 __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SharedMemoryExecutor",
     "resolve_executor",
 ]
 
@@ -120,13 +130,15 @@ class ProcessExecutor:
 
 def resolve_executor(
     name: str, workers: int | None = None
-) -> SerialExecutor | ThreadExecutor | ProcessExecutor:
+) -> SerialExecutor | ThreadExecutor | ProcessExecutor | SharedMemoryExecutor:
     """Build an executor from a CLI-style name.
 
     >>> resolve_executor("serial").name
     'serial'
     >>> resolve_executor("process", workers=4).workers
     4
+    >>> resolve_executor("shm", workers=2).workers
+    2
     """
     if name == "serial":
         return SerialExecutor()
@@ -134,6 +146,9 @@ def resolve_executor(
         return ThreadExecutor(workers=workers)
     if name == "process":
         return ProcessExecutor(workers=workers)
+    if name == "shm":
+        return SharedMemoryExecutor(workers=workers)
     raise ValueError(
-        f"unknown executor {name!r}; expected 'serial', 'thread' or 'process'"
+        f"unknown executor {name!r}; expected 'serial', 'thread', 'process' "
+        f"or 'shm'"
     )

@@ -34,6 +34,7 @@ __all__ = [
     "JobSpec",
     "MiningJob",
     "DocumentResult",
+    "ordered_scan",
     "run_job",
     "run_job_batch",
 ]
@@ -260,17 +261,19 @@ def run_job(job: MiningJob) -> DocumentResult:
     )
 
 
-def _document_from_scan(job, index, spec, raw, elapsed):
-    """Build a :class:`DocumentResult` from a raw ``mine_batch`` tuple.
+def ordered_scan(spec, raw, n):
+    """Normalise a raw ``mine_batch`` tuple into result order.
 
-    Mirrors exactly what the ``find_*`` wrappers (and hence
-    :func:`run_job`) do with the same kernel output: sentinel filtering,
-    the ``(-X², start)`` result ordering, counter placement, and the
-    document p-value rule.  ``elapsed`` is this document's share of the
-    batched kernel call's wall time.
+    Returns ``(found, start_positions, truncated, evaluated, skipped)``
+    where ``found`` lists ``(x2, start, end)`` in the order the ``find_*``
+    wrappers report substrings: sentinel entries filtered, sorted by
+    ``(-X², start)`` for top-t and threshold scans, the single best pair
+    for mss / minlength.  This is the one place that ordering rule
+    lives -- :func:`run_job_batch` and the shared-memory workers
+    (:mod:`repro.engine.shm`) both build their
+    :class:`DocumentResult` values from it, which is what keeps the two
+    paths bit-identical.
     """
-    model = job.model
-    n = index.n
     problem = spec.problem
     truncated = False
     if problem in ("mss", "minlength"):
@@ -286,6 +289,23 @@ def _document_from_scan(job, index, spec, raw, elapsed):
         found, _match_count, truncated, evaluated, skipped = raw
         found = sorted(found, key=lambda entry: (-entry[0], entry[1]))
         start_positions = n
+    return found, start_positions, truncated, evaluated, skipped
+
+
+def _document_from_scan(job, index, spec, raw, elapsed):
+    """Build a :class:`DocumentResult` from a raw ``mine_batch`` tuple.
+
+    Mirrors exactly what the ``find_*`` wrappers (and hence
+    :func:`run_job`) do with the same kernel output: sentinel filtering,
+    the ``(-X², start)`` result ordering, counter placement, and the
+    document p-value rule.  ``elapsed`` is this document's share of the
+    batched kernel call's wall time.
+    """
+    model = job.model
+    n = index.n
+    found, start_positions, truncated, evaluated, skipped = ordered_scan(
+        spec, raw, n
+    )
     substrings = tuple(
         SignificantSubstring(
             start=start,

@@ -1,0 +1,549 @@
+"""Zero-copy shared-memory fan-out: the engine's multi-core mining path.
+
+The chunked :class:`~repro.engine.executors.ProcessExecutor` loses to
+serial on corpus mining because every dispatched job pickles its
+document (and every result pickles a tree of dataclasses) across the
+process boundary -- the IPC bill grows with the corpus, not with the
+number of workers.  This module removes the per-job payload entirely:
+
+1. **Pack** -- :func:`pack_jobs` encodes each (spec, model) group of
+   documents *once* in the parent into one flat ``int64`` code array
+   plus a per-document offset table (the same layout the numpy
+   backend's ``_BatchCorpus`` builds internally).
+2. **Publish** -- the flat array is copied into a
+   :class:`multiprocessing.shared_memory.SharedMemory` block; what
+   crosses the process boundary is a :class:`GroupDescriptor`, a few
+   hundred bytes naming the block and carrying the offsets, spec and
+   model.
+3. **Attach** -- a persistent :class:`concurrent.futures.ProcessPoolExecutor`
+   maps every block once per worker (pool initializer), and resolves
+   each group's kernel backend once.  Tasks after that are three
+   integers: ``(group, lo, hi)``.
+4. **Mine** -- each worker runs the backend's ``mine_batch`` over its
+   assigned slice of documents (``batch_docs`` documents per task) and
+   returns *compact result arrays* -- per-document counters plus flat
+   ``(x2, start, end, counts)`` arrays over all reported substrings --
+   instead of pickled result objects.
+5. **Aggregate** -- the parent rebuilds
+   :class:`~repro.engine.jobs.DocumentResult` values in submission
+   order from the arrays.  Scores, intervals, orderings and the
+   evaluated/skipped counters are bit-identical to
+   :class:`~repro.engine.executors.SerialExecutor` (enforced by
+   ``tests/engine/test_shm_executor.py``).
+
+Fault tolerance: any chunk whose worker dies (or whose pool cannot be
+started at all -- sandboxes without ``/dev/shm`` semantics) is re-mined
+in the parent process from the parent's own copy of the packed arrays,
+so a crashed worker degrades throughput, never results.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.counts import PrefixCountIndex
+from repro.core.results import ScanStats, SignificantSubstring
+from repro.engine.jobs import DocumentResult, MiningJob, ordered_scan
+
+__all__ = [
+    "DEFAULT_BATCH_DOCS",
+    "GroupDescriptor",
+    "PackedCorpus",
+    "SharedMemoryExecutor",
+    "pack_jobs",
+]
+
+#: Documents mined per worker task (one ``mine_batch`` call each) when
+#: neither the executor nor the engine specifies ``batch_docs``.
+DEFAULT_BATCH_DOCS = 32
+
+#: Test hook: when this environment variable is set, workers exit hard
+#: before mining -- the fault-injection switch the crashed-worker
+#: fallback test flips.  Never set outside the test-suite.
+_CRASH_ENV = "REPRO_SHM_TEST_CRASH"
+
+
+@dataclass(frozen=True)
+class GroupDescriptor:
+    """Everything a worker needs to mine one published group (picklable).
+
+    ``shm_name`` names the shared block holding the group's flat code
+    array; ``offsets`` is the ``(docs + 1,)`` int64 offset table into it
+    (document ``d`` is ``codes[offsets[d]:offsets[d + 1]]``); ``spec``
+    and ``model`` are the group's shared mining parameters.
+    """
+
+    shm_name: str
+    offsets: np.ndarray
+    spec: object
+    model: object
+
+    @property
+    def total_symbols(self) -> int:
+        """Length of the flat code array behind ``shm_name``."""
+        return int(self.offsets[-1])
+
+
+@dataclass
+class _PackedGroup:
+    """Parent-side state of one (spec, model) group."""
+
+    jobs: list
+    spec: object
+    model: object
+    codes: np.ndarray
+    offsets: np.ndarray
+    shm: shared_memory.SharedMemory | None = None
+
+    @property
+    def doc_count(self) -> int:
+        return len(self.jobs)
+
+    def descriptor(self) -> GroupDescriptor:
+        if self.shm is None:
+            raise RuntimeError("group was packed without publish=True")
+        return GroupDescriptor(
+            shm_name=self.shm.name,
+            offsets=self.offsets,
+            spec=self.spec,
+            model=self.model,
+        )
+
+
+@dataclass
+class PackedCorpus:
+    """A job list encoded once, optionally published to shared memory.
+
+    Groups follow :func:`repro.engine.jobs.run_job_batch`'s rule:
+    consecutive jobs sharing a ``(spec, model)`` pair form one group, so
+    reassembling group results in group order restores submission order.
+    Call :meth:`release` (idempotent) to close and unlink any published
+    blocks; the parent-side arrays stay usable afterwards.
+    """
+
+    groups: list = field(default_factory=list)
+
+    @property
+    def published(self) -> bool:
+        """Whether any group owns a live shared-memory block."""
+        return any(group.shm is not None for group in self.groups)
+
+    def descriptors(self) -> list[GroupDescriptor]:
+        """Per-group worker descriptors (requires ``publish=True``)."""
+        return [group.descriptor() for group in self.groups]
+
+    def release(self) -> None:
+        """Close and unlink every published block (idempotent)."""
+        for group in self.groups:
+            if group.shm is None:
+                continue
+            try:
+                group.shm.close()
+                group.shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+            group.shm = None
+
+
+def pack_jobs(jobs: Sequence[MiningJob], *, publish: bool = True) -> PackedCorpus:
+    """Encode a job list into flat per-group arrays, once.
+
+    Each consecutive ``(spec, model)`` group's documents are encoded
+    with the shared model and concatenated into one ``int64`` array;
+    with ``publish`` the arrays are then copied into shared-memory
+    blocks so worker processes can attach without any per-document
+    pickling.  Publishing is all-or-nothing: on a host whose shared
+    memory is unusable (no ``/dev/shm`` semantics, out of space) every
+    block is released and the corpus comes back unpublished -- the
+    executor then mines the parent-side arrays in-process instead of
+    failing.  The caller owns any blocks: wrap use in ``try/finally
+    release()``.
+    """
+    corpus = PackedCorpus()
+    for (spec, model), group_iter in itertools.groupby(
+        jobs, key=lambda job: (job.spec, job.model)
+    ):
+        group_jobs = list(group_iter)
+        encoded = [model.encode(job.text) for job in group_jobs]
+        lengths = np.array([arr.shape[0] for arr in encoded], dtype=np.int64)
+        offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        codes = (
+            np.concatenate(encoded)
+            if encoded
+            else np.empty(0, dtype=np.int64)
+        )
+        corpus.groups.append(_PackedGroup(
+            jobs=group_jobs, spec=spec, model=model, codes=codes,
+            offsets=offsets,
+        ))
+    if publish:
+        try:
+            for group in corpus.groups:
+                if not group.codes.size:
+                    continue
+                shm = shared_memory.SharedMemory(
+                    create=True, size=group.codes.nbytes
+                )
+                group.shm = shm
+                np.ndarray(
+                    group.codes.shape, dtype=np.int64, buffer=shm.buf
+                )[:] = group.codes
+        except (OSError, ValueError):
+            corpus.release()  # unusable shared memory: stay unpublished
+    return corpus
+
+
+# ----------------------------------------------------------------------
+# The chunk kernel: shared by workers and the parent-side fallback.
+# ----------------------------------------------------------------------
+
+def _mine_span(spec, model, codes, offsets, lo, hi):
+    """Mine documents ``lo..hi`` of one packed group into compact arrays.
+
+    Returns ``(per_doc, x2, bounds, counts, kernel_seconds, mined)``:
+
+    * ``per_doc`` -- int64 ``(hi - lo, 4)``: substring count, evaluated,
+      skipped, truncated flag per document;
+    * ``x2`` / ``bounds`` / ``counts`` -- the reported substrings of all
+      documents flattened in document order (``float64 (m,)``,
+      ``int64 (m, 2)``, ``int64 (m, k)``), already in the ``find_*``
+      wrappers' result order (:func:`~repro.engine.jobs.ordered_scan`);
+    * ``mined`` -- how many documents actually reached the kernel
+      (minlength documents shorter than the floor never do, mirroring
+      :func:`~repro.engine.jobs.run_job_batch`).
+    """
+    from repro.kernels import get_backend
+
+    k = model.k
+    span = hi - lo
+    per_doc = np.zeros((span, 4), dtype=np.int64)
+    pending: list[tuple[int, PrefixCountIndex]] = []
+    for pos in range(span):
+        doc = lo + pos
+        doc_codes = codes[int(offsets[doc]):int(offsets[doc + 1])]
+        n = doc_codes.shape[0]
+        if spec.problem == "minlength" and spec.min_length > n:
+            continue  # the empty answer; no kernel call (see run_job_batch)
+        pending.append((pos, PrefixCountIndex(doc_codes, k)))
+    x2_parts: list[float] = []
+    bounds_parts: list[tuple[int, int]] = []
+    counts_parts: list[tuple[int, ...]] = []
+    kernel_seconds = 0.0
+    if pending:
+        kernel = get_backend(spec.backend)
+        indexes = [index for _, index in pending]
+        started = time.perf_counter()
+        raws = kernel.mine_batch(indexes, model, spec)
+        kernel_seconds = time.perf_counter() - started
+        for (pos, index), raw in zip(pending, raws):
+            found, _, truncated, evaluated, skipped = ordered_scan(
+                spec, raw, index.n
+            )
+            per_doc[pos] = (len(found), evaluated, skipped, int(truncated))
+            for value, start, end in found:
+                x2_parts.append(value)
+                bounds_parts.append((start, end))
+                counts_parts.append(index.counts(start, end))
+    x2 = np.array(x2_parts, dtype=np.float64)
+    bounds = np.array(bounds_parts, dtype=np.int64).reshape(len(bounds_parts), 2)
+    counts = np.array(counts_parts, dtype=np.int64).reshape(len(counts_parts), k)
+    return per_doc, x2, bounds, counts, kernel_seconds, len(pending)
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery.
+# ----------------------------------------------------------------------
+
+#: Worker-process state set by :func:`_attach_groups`:
+#: ``(descriptor, shm)`` per group, attached once per worker.
+_WORKER_GROUPS: list[tuple[GroupDescriptor, shared_memory.SharedMemory]] = []
+
+
+def _attach_groups(descriptors):
+    """Pool initializer: map every group's block, resolve backends once."""
+    from repro.kernels import get_backend
+
+    global _WORKER_GROUPS
+    _WORKER_GROUPS = []
+    for descriptor in descriptors:
+        # Attaching re-registers the block with the resource tracker,
+        # but the whole pool shares the parent's tracker (its fd is
+        # inherited / passed through spawn) and the tracker's cache is a
+        # set -- so the parent's single unlink+unregister at release()
+        # retires the name cleanly for everyone.
+        shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+        get_backend(descriptor.spec.backend)  # warm the registry resolution
+        _WORKER_GROUPS.append((descriptor, shm))
+
+
+def _mine_chunk(group_id, lo, hi):
+    """Worker task: mine documents ``lo..hi`` of group ``group_id``.
+
+    The code view into the shared block lives only for the duration of
+    the task (``PrefixCountIndex`` copies its slice), so worker exit
+    never trips over exported buffer pointers.
+    """
+    if os.environ.get(_CRASH_ENV):
+        os._exit(3)  # fault-injection hook, see _CRASH_ENV
+    descriptor, shm = _WORKER_GROUPS[group_id]
+    codes = np.ndarray(
+        (descriptor.total_symbols,), dtype=np.int64, buffer=shm.buf
+    )
+    try:
+        return _mine_span(
+            descriptor.spec, descriptor.model, codes, descriptor.offsets,
+            lo, hi,
+        )
+    finally:
+        del codes
+
+
+# ----------------------------------------------------------------------
+# Parent-side aggregation.
+# ----------------------------------------------------------------------
+
+def _documents_from_payload(group, lo, payload):
+    """Rebuild ``DocumentResult`` values from one chunk's compact arrays."""
+    spec = group.spec
+    model = group.model
+    per_doc, x2, bounds, counts, kernel_seconds, mined = payload
+    share = kernel_seconds / mined if mined else 0.0
+    documents: list[DocumentResult] = []
+    cursor = 0
+    for pos in range(per_doc.shape[0]):
+        doc = lo + pos
+        job = group.jobs[doc]
+        n = int(group.offsets[doc + 1] - group.offsets[doc])
+        if spec.problem == "minlength" and spec.min_length > n:
+            documents.append(
+                DocumentResult(
+                    doc_id=job.doc_id,
+                    n=n,
+                    substrings=(),
+                    stats=ScanStats(n=n),
+                    p_value=1.0,
+                    truncated=False,
+                )
+            )
+            continue
+        n_subs, evaluated, skipped, truncated = (
+            int(value) for value in per_doc[pos]
+        )
+        substrings = tuple(
+            SignificantSubstring(
+                start=int(bounds[m, 0]),
+                end=int(bounds[m, 1]),
+                chi_square=float(x2[m]),
+                counts=tuple(int(c) for c in counts[m]),
+                alphabet_size=model.k,
+            )
+            for m in range(cursor, cursor + n_subs)
+        )
+        cursor += n_subs
+        start_positions = (
+            n - spec.min_length + 1 if spec.problem == "minlength" else n
+        )
+        stats = ScanStats(
+            n=n,
+            substrings_evaluated=evaluated,
+            positions_skipped=skipped,
+            start_positions=start_positions,
+            elapsed_seconds=share,
+        )
+        documents.append(
+            DocumentResult(
+                doc_id=job.doc_id,
+                n=n,
+                substrings=substrings,
+                stats=stats,
+                p_value=substrings[0].p_value if substrings else 1.0,
+                truncated=bool(truncated),
+            )
+        )
+    return documents
+
+
+class SharedMemoryExecutor:
+    """Corpus executor: shared-memory fan-out to a persistent pool.
+
+    Unlike the generic executors this one owns the whole corpus path --
+    the engine hands it the job list via :meth:`run_jobs` instead of
+    mapping a function over items -- because the zero-copy design needs
+    to see all documents up front to pack them.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count (defaults to the CPU count).  ``1`` mines
+        in-process with no shared memory or pool at all.
+    batch_docs:
+        Documents per worker task, i.e. per ``mine_batch`` kernel call
+        (default :data:`DEFAULT_BATCH_DOCS`); the engine's per-run
+        ``batch_docs`` overrides it.
+
+    Examples
+    --------
+    >>> SharedMemoryExecutor(workers=2).name
+    'shm'
+    >>> SharedMemoryExecutor(workers=2, batch_docs=16).batch_docs
+    16
+    """
+
+    name = "shm"
+
+    def __init__(
+        self, workers: int | None = None, batch_docs: int | None = None
+    ) -> None:
+        self.workers = max(
+            1, workers if workers is not None else (os.cpu_count() or 1)
+        )
+        if batch_docs is not None and batch_docs < 1:
+            raise ValueError(f"batch_docs must be >= 1, got {batch_docs!r}")
+        self.batch_docs = batch_docs
+        #: Timing/diagnostic breakdown of the most recent :meth:`run_jobs`
+        #: call: pack/mine/aggregate seconds, chunk count, and how many
+        #: chunks fell back to in-process mining.
+        self.last_run_info: dict | None = None
+
+    def map(self, fn, items):
+        """Generic in-process map (order-preserving).
+
+        The zero-copy machinery only applies to mining jobs; anything
+        else an engine maps through this executor (nothing today) runs
+        serially.
+        """
+        return [fn(item) for item in items]
+
+    def chunk_size(self, batch_docs: int | None = None) -> int:
+        """The per-task document count for a run.
+
+        >>> SharedMemoryExecutor().chunk_size()
+        32
+        >>> SharedMemoryExecutor(batch_docs=8).chunk_size()
+        8
+        >>> SharedMemoryExecutor(batch_docs=8).chunk_size(20)
+        20
+        """
+        if batch_docs is not None:
+            return batch_docs
+        if self.batch_docs is not None:
+            return self.batch_docs
+        return DEFAULT_BATCH_DOCS
+
+    def run_jobs(
+        self, jobs: Sequence[MiningJob], *, batch_docs: int | None = None
+    ) -> list[DocumentResult]:
+        """Mine every job; results in submission order, bit-identical to
+        :class:`~repro.engine.executors.SerialExecutor`.
+
+        Any worker failure -- a crashed process, a pool that cannot
+        start -- downgrades the affected chunks to in-process mining of
+        the parent-side arrays; ``last_run_info["fallback_chunks"]``
+        records how many.
+        """
+        job_list = list(jobs)
+        batch = self.chunk_size(batch_docs)
+        info = {
+            "workers": self.workers,
+            "batch_docs": batch,
+            "pack_seconds": 0.0,
+            "mine_seconds": 0.0,
+            "aggregate_seconds": 0.0,
+            "chunks": 0,
+            "fallback_chunks": 0,
+            "published": False,
+        }
+        # Publish only when the pool would actually be used: a corpus
+        # that fits one chunk (or one worker) mines in-process, so
+        # copying it into shared memory would be pure waste.
+        group_sizes = [
+            sum(1 for _ in group_iter)
+            for _, group_iter in itertools.groupby(
+                job_list, key=lambda job: (job.spec, job.model)
+            )
+        ]
+        n_chunks = sum(-(-size // batch) for size in group_sizes)
+        parallel = self.workers > 1 and n_chunks > 1
+        started = time.perf_counter()
+        corpus = pack_jobs(job_list, publish=parallel)
+        info["pack_seconds"] = time.perf_counter() - started
+        info["published"] = corpus.published
+        chunks = [
+            (group_id, lo, min(lo + batch, group.doc_count))
+            for group_id, group in enumerate(corpus.groups)
+            for lo in range(0, group.doc_count, batch)
+        ]
+        info["chunks"] = len(chunks)
+        payloads: dict[tuple[int, int, int], tuple] = {}
+        try:
+            started = time.perf_counter()
+            if parallel and corpus.published:
+                self._mine_parallel(corpus, chunks, payloads, info)
+            for chunk in chunks:
+                if chunk not in payloads:
+                    group = corpus.groups[chunk[0]]
+                    payloads[chunk] = _mine_span(
+                        group.spec, group.model, group.codes, group.offsets,
+                        chunk[1], chunk[2],
+                    )
+            info["mine_seconds"] = time.perf_counter() - started
+        finally:
+            corpus.release()
+        started = time.perf_counter()
+        documents: list[DocumentResult] = []
+        for chunk in chunks:
+            documents.extend(
+                _documents_from_payload(
+                    corpus.groups[chunk[0]], chunk[1], payloads[chunk]
+                )
+            )
+        info["aggregate_seconds"] = time.perf_counter() - started
+        self.last_run_info = info
+        return documents
+
+    def _mine_parallel(self, corpus, chunks, payloads, info):
+        """Fan chunks over the persistent pool; failures stay un-filled
+        in ``payloads`` for the caller's in-process pass."""
+        descriptors = corpus.descriptors()
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)),
+                initializer=_attach_groups,
+                initargs=(descriptors,),
+            )
+        except (OSError, ValueError, RuntimeError):
+            info["fallback_chunks"] = len(chunks)
+            return
+        futures: list[tuple[tuple[int, int, int], object]] = []
+        with pool:
+            for chunk in chunks:
+                try:
+                    futures.append((chunk, pool.submit(_mine_chunk, *chunk)))
+                except (OSError, RuntimeError):
+                    futures.append((chunk, None))
+            for chunk, future in futures:
+                if future is None:
+                    info["fallback_chunks"] += 1
+                    continue
+                try:
+                    payloads[chunk] = future.result()
+                except Exception:
+                    # Crashed worker / broken pool: leave the chunk for
+                    # the caller's in-process fallback.  Results cannot
+                    # be corrupted -- this chunk simply gets re-mined.
+                    info["fallback_chunks"] += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedMemoryExecutor(workers={self.workers}, "
+            f"batch_docs={self.batch_docs})"
+        )

@@ -65,7 +65,9 @@ Scan methods:
     ``min_length``/``limit``, e.g. :class:`repro.engine.jobs.JobSpec`);
     per-document parameter semantics are defined by
     :func:`repro.kernels.python_backend.mine_reference`.  Documents may
-    be ragged, including empty.
+    be ragged, including empty.  A ``threshold`` spec with a ``limit``
+    must truncate each document exactly where its single-document scan
+    would -- same match prefix, same stopping point, same counters.
 ``simulate_x2max(model, n, trials, seed)``
     -> list of ``trials`` X²max samples of null strings, consuming the
     seeded RNG stream exactly as ``trials`` sequential length-``n``

@@ -64,7 +64,6 @@ from repro.generators.base import resolve_rng
 from repro.kernels.python_backend import (
     _EPS,
     PythonBackend,
-    mine_reference,
     mss_row_binary,
     mss_row_generic,
     threshold_row,
@@ -878,10 +877,13 @@ class NumpyBackend:
         trial-sharing idea as :meth:`simulate_x2max`, with the full
         exactness machinery kept per document.
 
-        ``"threshold"`` with a ``limit`` falls back to the per-document
-        scan inside this one call: truncation stops a document's scan at
-        an arbitrary point in *its* scan order, which a shared wavefront
-        cannot honour without replaying essentially everything.
+        ``"threshold"`` with a ``limit`` stays inside the shared
+        wavefront too: a fixed-bound pass's matches are exact per row,
+        so when a document's running match total reaches its limit the
+        scan-order position of match number ``limit`` pins down the row
+        the sequential scan truncated in; that document alone replays
+        the rows above the cut for exact counters and walks the cut row
+        scalar, while every other document's lanes continue untouched.
         """
         problem = spec.problem
         if problem in ("mss", "minlength"):
@@ -890,10 +892,9 @@ class NumpyBackend:
         if problem == "top":
             return self._mine_batch_top(indexes, model, spec.t)
         if problem == "threshold":
-            if spec.limit is not None:
-                return [mine_reference(self, index, model, spec)
-                        for index in indexes]
-            return self._mine_batch_threshold(indexes, model, spec.threshold)
+            return self._mine_batch_threshold(
+                indexes, model, spec.threshold, spec.limit
+            )
         raise ValueError(f"unknown problem {problem!r}")
 
     def _mine_batch_best(self, indexes, model, e_offset):
@@ -1004,8 +1005,25 @@ class NumpyBackend:
             for d in range(docs)
         ]
 
-    def _mine_batch_threshold(self, indexes, model, alpha0):
-        """Batched unlimited threshold scans: fixed bound, no replay ever."""
+    def _mine_batch_threshold(self, indexes, model, alpha0, limit=None):
+        """Batched threshold scans: fixed bound, truncation per document.
+
+        Without a ``limit`` no replay ever happens (the bound never
+        moves).  With one, each document carries its own remaining
+        capacity: the moment a document's running match total reaches
+        ``limit`` inside a shared block, the scan-order position of its
+        match number ``limit`` identifies the row the sequential scan
+        stopped in (the matches of a fixed-bound pass are exact per
+        row); that document replays the rows above the cut for exact
+        counters, walks the cut row with the scalar reference walker
+        (which applies the real remaining capacity and sets
+        ``truncated``), and retires -- all other documents' lanes are
+        unaffected.  Bit-identical to the per-document
+        :meth:`scan_threshold`, including the truncated match prefix and
+        the stopping point.
+        """
+        if limit is not None and limit < 1:
+            limit = 1  # mirror scan_threshold's clamp for rogue callers
         corpus = _BatchCorpus(indexes)
         docs = len(corpus.indexes)
         n_arr = corpus.n_arr
@@ -1013,21 +1031,26 @@ class NumpyBackend:
         inv_p = [1.0 / p for p in probabilities]
         found: list[list[tuple[float, int, int]]] = [[] for _ in range(docs)]
         match_count = [0] * docs
+        truncated = [False] * docs
         evaluated = np.zeros(docs, dtype=np.int64)
         skipped = np.zeros(docs, dtype=np.int64)
         i_hi = np.empty(docs, dtype=np.int64)
         for d, index in enumerate(corpus.indexes):
             n = index.n
             head = min(n, _HEAD_ROWS)
+            i_hi[d] = n - head - 1
             for i in range(n - 1, n - head - 1, -1):
-                d_ev, d_sk, d_match, _ = threshold_row(
+                d_ev, d_sk, d_match, trunc = threshold_row(
                     index.prefix_lists, n, i, i + 1, alpha0, probabilities,
-                    inv_p, found[d], None, False,
+                    inv_p, found[d], limit, False,
                 )
                 evaluated[d] += d_ev
                 skipped[d] += d_sk
                 match_count[d] += d_match
-            i_hi[d] = n - head - 1
+                if trunc:
+                    truncated[d] = True
+                    i_hi[d] = -1
+                    break
 
         size = _FIRST_BLOCK
         while True:
@@ -1055,21 +1078,60 @@ class NumpyBackend:
                 eval_by_tag=eval_by_tag,
             )
             for d in alive.tolist():
+                hi = int(i_hi[d])
+                lo = i_lo[d]
+                n_d = int(n_arr[d])
                 mask = ct == d
-                if mask.any():
+                n_match = int(mask.sum())
+                if limit is not None and len(found[d]) + n_match >= limit:
+                    # This document truncates inside the block (see the
+                    # docstring); replay above the cut, scalar the cut
+                    # row, retire the document.
+                    oi, oe, ox = _scan_order(ci[mask], ce[mask], cx[mask])
+                    cut_row = int(oi[limit - len(found[d]) - 1])
+                    if hi > cut_row:
+                        rows = np.arange(hi, cut_row, -1, dtype=np.int64)
+                        off = np.full(
+                            rows.size, int(corpus.offsets[d]), dtype=np.int64
+                        )
+                        ev, n_above, _, _, _, _ = _lane_pass_generic(
+                            corpus.mat, n_d, rows, rows + 1, off, alpha0,
+                            probabilities, collect=True, exceed_unit=True,
+                            store=False,
+                        )
+                        keep = oi > cut_row
+                        for value, row, end in zip(
+                            ox[keep].tolist(), oi[keep].tolist(),
+                            oe[keep].tolist()
+                        ):
+                            found[d].append((value, row, end))
+                        match_count[d] += n_above
+                        evaluated[d] += ev
+                        skipped[d] += _row_span(n_d, cut_row + 1, hi, 1) - ev
+                    d_ev, d_sk, d_match, trunc = threshold_row(
+                        corpus.indexes[d].prefix_lists, n_d, cut_row,
+                        cut_row + 1, alpha0, probabilities, inv_p, found[d],
+                        limit, False,
+                    )
+                    evaluated[d] += d_ev
+                    skipped[d] += d_sk
+                    match_count[d] += d_match
+                    truncated[d] = trunc
+                    i_hi[d] = -1
+                    continue
+                if n_match:
                     oi, oe, ox = _scan_order(ci[mask], ce[mask], cx[mask])
                     for value, row, end in zip(ox.tolist(), oi.tolist(),
                                                oe.tolist()):
                         found[d].append((value, row, end))
-                    match_count[d] += int(mask.sum())
+                    match_count[d] += n_match
                 ev = int(eval_by_tag[d])
                 evaluated[d] += ev
-                skipped[d] += _row_span(int(n_arr[d]), i_lo[d], int(i_hi[d]),
-                                        1) - ev
-                i_hi[d] = i_lo[d] - 1
+                skipped[d] += _row_span(n_d, lo, hi, 1) - ev
+                i_hi[d] = lo - 1
             size *= 2
         return [
-            (found[d], match_count[d], False, int(evaluated[d]),
+            (found[d], match_count[d], truncated[d], int(evaluated[d]),
              int(skipped[d]))
             for d in range(docs)
         ]

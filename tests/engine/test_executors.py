@@ -5,6 +5,7 @@ import pytest
 from repro.engine.executors import (
     ProcessExecutor,
     SerialExecutor,
+    SharedMemoryExecutor,
     ThreadExecutor,
     resolve_executor,
 )
@@ -62,7 +63,7 @@ class TestResolve:
     @pytest.mark.parametrize(
         "name, expected",
         [("serial", SerialExecutor), ("thread", ThreadExecutor),
-         ("process", ProcessExecutor)],
+         ("process", ProcessExecutor), ("shm", SharedMemoryExecutor)],
     )
     def test_by_name(self, name, expected):
         executor = resolve_executor(name, workers=2)
@@ -72,6 +73,7 @@ class TestResolve:
     def test_worker_count_propagates(self):
         assert resolve_executor("process", workers=5).workers == 5
         assert resolve_executor("thread", workers=3).workers == 3
+        assert resolve_executor("shm", workers=2).workers == 2
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown executor"):

@@ -1,0 +1,222 @@
+"""The shared-memory executor: bit-identical to serial, fault-tolerant.
+
+``SharedMemoryExecutor`` is only allowed to exist because it is the
+serial engine, faster: every per-document payload -- scores, intervals,
+substring orderings, evaluated/skipped counters, truncation flags --
+must be byte-identical to :class:`~repro.engine.executors.SerialExecutor`
+across problems, backends, worker counts and chunk sizes, and a crashed
+worker must degrade to in-process mining without touching the results.
+"""
+
+import json
+
+import pytest
+
+from repro.core.model import BernoulliModel
+from repro.engine import (
+    CorpusEngine,
+    JobSpec,
+    MiningJob,
+    SharedMemoryExecutor,
+    resolve_executor,
+)
+from repro.engine.shm import _CRASH_ENV, DEFAULT_BATCH_DOCS, pack_jobs
+from repro.generators import generate_null_string
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BernoulliModel.uniform("ab")
+
+
+@pytest.fixture(scope="module")
+def corpus(model):
+    """Ragged corpus: lengths from 1 symbol up, bursts every sixth doc."""
+    texts = ["a", "b"]
+    for i in range(21):
+        text = generate_null_string(model, 30 + 37 * (i % 5), seed=400 + i)
+        if i % 6 == 0:
+            text = text[:15] + "a" * 12 + text[27:]
+        texts.append(text)
+    return texts
+
+
+def _canonical(result):
+    return json.dumps(
+        [doc.payload(include_timing=False) for doc in result.documents],
+        sort_keys=True,
+    )
+
+
+SPECS = [
+    JobSpec(),
+    JobSpec(problem="top", t=4),
+    JobSpec(problem="threshold", threshold=2.0),
+    JobSpec(problem="threshold", threshold=1.0, limit=5),
+    JobSpec(problem="threshold", threshold=0.5, limit=1),
+    JobSpec(problem="minlength", min_length=3),
+    JobSpec(problem="minlength", min_length=90),  # exceeds the short docs
+    JobSpec(backend="python"),
+    JobSpec(backend="numpy"),
+]
+
+
+class TestParity:
+    @pytest.mark.parametrize("spec", SPECS, ids=repr)
+    def test_bit_identical_to_serial(self, model, corpus, spec):
+        reference = CorpusEngine().run_texts(corpus, model, spec)
+        executor = SharedMemoryExecutor(workers=2, batch_docs=4)
+        shared = CorpusEngine(executor=executor).run_texts(corpus, model, spec)
+        assert _canonical(shared) == _canonical(reference)
+        # aggregate work counters ride along exactly
+        assert shared.stats.substrings_evaluated == (
+            reference.stats.substrings_evaluated
+        )
+        assert shared.stats.positions_skipped == (
+            reference.stats.positions_skipped
+        )
+        assert executor.last_run_info["fallback_chunks"] == 0
+
+    def test_single_worker_runs_inline_without_publishing(self, model, corpus):
+        reference = _canonical(CorpusEngine().run_texts(corpus, model))
+        executor = SharedMemoryExecutor(workers=1)
+        result = CorpusEngine(executor=executor).run_texts(corpus, model)
+        assert _canonical(result) == reference
+        assert executor.last_run_info["published"] is False
+
+    def test_chunk_size_is_invisible(self, model, corpus):
+        reference = _canonical(CorpusEngine().run_texts(corpus, model))
+        for batch_docs in (1, 3, len(corpus), 999):
+            executor = SharedMemoryExecutor(workers=2, batch_docs=batch_docs)
+            result = CorpusEngine(executor=executor).run_texts(corpus, model)
+            assert _canonical(result) == reference, batch_docs
+
+    def test_engine_batch_docs_overrides_executor(self, model, corpus):
+        executor = SharedMemoryExecutor(workers=2, batch_docs=50)
+        engine = CorpusEngine(executor=executor)
+        result = engine.run_texts(corpus, model, batch_docs=4)
+        assert executor.last_run_info["batch_docs"] == 4
+        assert result.batch_docs == 4
+        assert _canonical(result) == _canonical(
+            CorpusEngine().run_texts(corpus, model)
+        )
+
+    def test_mixed_spec_groups(self, model, corpus):
+        specs = [
+            JobSpec(),
+            JobSpec(problem="top", t=3),
+            JobSpec(problem="threshold", threshold=1.5, limit=4),
+        ]
+        jobs = [
+            MiningJob(f"doc-{i}", text, specs[i % 3], model)
+            for i, text in enumerate(corpus)
+        ]
+        reference = _canonical(CorpusEngine().run(jobs))
+        executor = SharedMemoryExecutor(workers=2, batch_docs=3)
+        assert _canonical(CorpusEngine(executor=executor).run(jobs)) == reference
+
+    def test_result_metadata(self, model, corpus):
+        executor = SharedMemoryExecutor(workers=2)
+        result = CorpusEngine(executor=executor).run_texts(corpus, model)
+        assert result.executor == "shm"
+        assert result.workers == 2
+
+
+class TestFaultTolerance:
+    def test_crashed_worker_falls_back_to_serial(
+        self, model, corpus, monkeypatch
+    ):
+        reference = _canonical(CorpusEngine().run_texts(corpus, model))
+        monkeypatch.setenv(_CRASH_ENV, "1")
+        executor = SharedMemoryExecutor(workers=2, batch_docs=4)
+        result = CorpusEngine(executor=executor).run_texts(corpus, model)
+        assert _canonical(result) == reference
+        info = executor.last_run_info
+        assert info["fallback_chunks"] == info["chunks"] > 0
+
+    def test_unusable_shared_memory_falls_back_in_process(
+        self, model, corpus, monkeypatch
+    ):
+        """Hosts without working /dev/shm semantics mine in-process."""
+        import repro.engine.shm as shm_module
+
+        def refuse(*args, **kwargs):
+            raise OSError("no shared memory on this host")
+
+        monkeypatch.setattr(
+            shm_module.shared_memory, "SharedMemory", refuse
+        )
+        reference = _canonical(CorpusEngine().run_texts(corpus, model))
+        executor = SharedMemoryExecutor(workers=2, batch_docs=4)
+        result = CorpusEngine(executor=executor).run_texts(corpus, model)
+        assert _canonical(result) == reference
+        assert executor.last_run_info["published"] is False
+
+    def test_single_chunk_corpus_skips_publishing(self, model):
+        """One chunk means no pool: nothing should be copied or published."""
+        executor = SharedMemoryExecutor(workers=4, batch_docs=50)
+        texts = ["ab" * 30] * 5
+        reference = _canonical(CorpusEngine().run_texts(texts, model))
+        result = CorpusEngine(executor=executor).run_texts(texts, model)
+        assert _canonical(result) == reference
+        info = executor.last_run_info
+        assert info["chunks"] == 1
+        assert info["published"] is False
+
+
+class TestPacking:
+    def test_pack_round_trips_codes(self, model):
+        texts = ["ab" * 10, "a" * 7, "ba" * 4]
+        jobs = [
+            MiningJob(f"doc-{i}", text, JobSpec(), model)
+            for i, text in enumerate(texts)
+        ]
+        corpus = pack_jobs(jobs, publish=False)
+        assert len(corpus.groups) == 1
+        group = corpus.groups[0]
+        assert group.offsets.tolist() == [0, 20, 27, 35]
+        for i, text in enumerate(texts):
+            lo, hi = int(group.offsets[i]), int(group.offsets[i + 1])
+            assert group.codes[lo:hi].tolist() == model.encode(text).tolist()
+        assert corpus.published is False
+
+    def test_publish_and_release(self, model):
+        jobs = [MiningJob("doc-0", "ab" * 20, JobSpec(), model)]
+        corpus = pack_jobs(jobs, publish=True)
+        assert corpus.published
+        descriptor = corpus.descriptors()[0]
+        assert descriptor.total_symbols == 40
+        corpus.release()
+        assert corpus.published is False
+        corpus.release()  # idempotent
+
+    def test_groups_follow_spec_boundaries(self, model):
+        specs = [JobSpec(), JobSpec(), JobSpec(problem="top", t=2), JobSpec()]
+        jobs = [
+            MiningJob(f"doc-{i}", "ab" * 5, spec, model)
+            for i, spec in enumerate(specs)
+        ]
+        corpus = pack_jobs(jobs, publish=False)
+        assert [group.doc_count for group in corpus.groups] == [2, 1, 1]
+
+
+class TestConstruction:
+    def test_resolve_executor(self):
+        executor = resolve_executor("shm", workers=3)
+        assert isinstance(executor, SharedMemoryExecutor)
+        assert executor.name == "shm"
+        assert executor.workers == 3
+
+    def test_default_chunk_size(self):
+        assert SharedMemoryExecutor().chunk_size() == DEFAULT_BATCH_DOCS
+        assert SharedMemoryExecutor(batch_docs=8).chunk_size() == 8
+        assert SharedMemoryExecutor(batch_docs=8).chunk_size(20) == 20
+
+    def test_invalid_batch_docs_rejected(self):
+        with pytest.raises(ValueError, match="batch_docs"):
+            SharedMemoryExecutor(batch_docs=0)
+
+    def test_map_is_plain_serial(self):
+        assert SharedMemoryExecutor().map(lambda x: x * 2, [1, 2, 3]) == [
+            2, 4, 6,
+        ]

@@ -33,7 +33,14 @@ SPECS = [
     JobSpec(problem="top", t=1),
     JobSpec(problem="top", t=9),
     JobSpec(problem="threshold", threshold=4.0),
+    # limit exercises per-document truncation *inside* the shared
+    # wavefront: immediately (limit=1, threshold=0), within the scalar
+    # head rows, deep inside the doubling blocks, and never (huge limit).
     JobSpec(problem="threshold", threshold=1.0, limit=7),
+    JobSpec(problem="threshold", threshold=0.0, limit=1),
+    JobSpec(problem="threshold", threshold=0.5, limit=3),
+    JobSpec(problem="threshold", threshold=1.0, limit=40),
+    JobSpec(problem="threshold", threshold=2.0, limit=100000),
 ]
 
 
@@ -108,6 +115,31 @@ def test_mine_batch_skewed_model_parity():
     spec = JobSpec()
     expected = get_backend("python").mine_batch(indexes, model, spec)
     assert get_backend("numpy").mine_batch(indexes, model, spec) == expected
+
+
+def test_mine_batch_threshold_limit_truncates_per_document():
+    """Each document truncates at its own point; neighbours are unaffected.
+
+    The long document's scan stops mid-wavefront at exactly the
+    reference scan's row, while the short all-'a' document (every
+    substring matching) truncates immediately -- and both report the
+    reference's exact match prefix, counters and truncation flags.
+    """
+    model = BernoulliModel.uniform("ab")
+    texts = [
+        "a" * 30,
+        generate_null_string(model, 500, seed=3),
+        generate_null_string(model, 200, seed=4),
+    ]
+    indexes = [PrefixCountIndex(model.encode(t), model.k) for t in texts]
+    spec = JobSpec(problem="threshold", threshold=1.0, limit=25)
+    python = get_backend("python")
+    expected = [mine_reference(python, i, model, spec) for i in indexes]
+    for name in ("python", "numpy"):
+        got = get_backend(name).mine_batch(indexes, model, spec)
+        assert got == expected, name
+    assert all(raw[2] for raw in expected)  # every document truncated
+    assert all(len(raw[0]) == 25 for raw in expected)
 
 
 def test_mine_batch_rejects_unknown_problem():

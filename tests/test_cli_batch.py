@@ -78,13 +78,24 @@ class TestEndToEnd:
         assert main(["batch", str(corpus_dir), "--workers", "4",
                      "--correction", "bh", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["executor"] == "process"
+        # --workers > 1 defaults to the zero-copy shared-memory executor
+        assert payload["executor"] == "shm"
         assert payload["workers"] == 4
         assert payload["correction"] == "bh"
         # the planted burst is the most significant document
         by_x2 = max(payload["results"], key=lambda r: r["x2_max"])
         assert by_x2["doc_id"] == "doc2.txt"
         assert by_x2["significant"] is True
+
+    def test_explicit_process_executor_still_available(
+        self, corpus_dir, capsys
+    ):
+        payload = _run_json(
+            ["batch", str(corpus_dir), "--workers", "2",
+             "--executor", "process"], capsys,
+        )
+        assert payload["executor"] == "process"
+        assert payload["workers"] == 2
 
     def test_parallel_results_match_serial(self, corpus_dir, capsys):
         serial = _run_json(

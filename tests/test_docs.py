@@ -20,6 +20,7 @@ def test_check_docs_script_passes():
     assert result.returncode == 0, result.stdout + result.stderr
     assert "0 broken links" in result.stdout
     assert "0 missing docstrings" in result.stdout
+    assert "0 tracked artifacts" in result.stdout
 
 
 def test_architecture_document_covers_the_map():

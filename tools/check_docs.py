@@ -6,7 +6,7 @@ Run from the repository root (CI's ``docs`` job does, and
 
     PYTHONPATH=src python tools/check_docs.py
 
-Two checks, both hard failures:
+Three checks, all hard failures:
 
 1. **Markdown links.**  Every relative link target in every tracked
    ``*.md`` file must exist on disk (anchors are stripped; external
@@ -17,6 +17,9 @@ Two checks, both hard failures:
    public methods and properties the classes define themselves.  This
    is the "a third-party backend can be written from the docs alone"
    guarantee of ``docs/ARCHITECTURE.md``.
+3. **Tracked build artifacts.**  No ``*.pyc`` / ``__pycache__`` (or
+   other generated artifacts) may be committed -- they once were, and
+   stale bytecode shadows real sources in subtle ways.
 """
 
 from __future__ import annotations
@@ -123,18 +126,44 @@ def check_docstrings() -> list[str]:
     return errors
 
 
+#: ``git ls-files`` pathspecs that must never match a tracked file
+#: (wildcards make them match at any depth).
+ARTIFACT_PATTERNS = (
+    "*.pyc", "*.pyo", "*__pycache__/*", "*.egg-info/*",
+    "*.pytest_cache/*", "*.hypothesis/*",
+)
+
+
+def check_tracked_artifacts() -> list[str]:
+    """Return one error string per tracked build artifact.
+
+    Outside a git checkout (an sdist, say) there is nothing to check --
+    the artifact list is exactly what ``git`` tracks.
+    """
+    try:
+        listed = subprocess.run(
+            ["git", "ls-files", "--cached", "--", *ARTIFACT_PATTERNS],
+            capture_output=True, text=True, cwd=REPO_ROOT, check=True,
+        ).stdout.splitlines()
+    except (OSError, subprocess.CalledProcessError):
+        return []
+    return [f"{name}: build artifact is tracked by git" for name in sorted(listed)]
+
+
 def main() -> int:
     failures = 0
     link_errors = check_markdown_links()
     doc_errors = check_docstrings()
-    for error in link_errors + doc_errors:
+    artifact_errors = check_tracked_artifacts()
+    for error in link_errors + doc_errors + artifact_errors:
         print(f"FAIL: {error}")
         failures += 1
     markdown_count = len(list(iter_markdown_files()))
     print(
         f"check_docs: {markdown_count} markdown files, "
         f"{len(link_errors)} broken links, "
-        f"{len(doc_errors)} missing docstrings"
+        f"{len(doc_errors)} missing docstrings, "
+        f"{len(artifact_errors)} tracked artifacts"
     )
     return 1 if failures else 0
 
