@@ -15,7 +15,7 @@ table.  Three executor families appear as rows:
   to serial on corpora of small documents;
 * ``workers-shm*`` -- the zero-copy shared-memory executor
   (:class:`repro.engine.SharedMemoryExecutor`): documents packed and
-  published once, a persistent pool attaching per worker, compact
+  published once, worker tasks attaching blocks by name, compact
   result arrays back.  These rows carry a ``phases`` sub-dict
   (pack/mine/aggregate seconds) so the dispatch overhead is visible
   next to the kernel time.

@@ -1,0 +1,273 @@
+"""Service load: closed-loop clients against the async mining service.
+
+The serving pitch (``repro-mss serve``) is that request micro-batching
+recovers the engine's batched-kernel throughput even when every client
+sends one document at a time.  This benchmark measures exactly that
+claim end-to-end -- real sockets, real HTTP framing, real concurrency --
+and emits machine-readable ``results/BENCH_service.json``.
+
+Per scenario, ``clients`` closed-loop workers (send, wait, repeat --
+each over its own keep-alive connection) fire single-document mine
+requests at an in-process :class:`~repro.service.app.MiningService`;
+each client count runs twice:
+
+* ``batch-off`` -- ``batch_docs=1``, no linger: every request is its
+  own engine pass, the no-batching control;
+* ``batch-on``  -- ``batch_docs=32`` with a 2 ms linger: concurrent
+  requests coalesce into shared ``mine_batch`` kernel calls.
+
+Reported per row: sustained docs/sec over the timed window and the
+pooled request-latency p50/p99, plus the service's own measured batch
+fill.  The acceptance gate for PR 5 is the ``batching_speedup``
+comparison: with >= 4 concurrent clients, ``batch-on`` must sustain
+more docs/sec than ``batch-off`` (single-doc requests cannot coalesce
+with fewer concurrent senders, so the 1-client rows are the honest
+baseline, not a target).
+
+Honest measurement notes:
+
+* every client performs ``WARMUP`` untimed requests first, so pool
+  spin-up, backend resolution and import costs stay out of the window;
+* responses are bit-identical to a direct ``CorpusEngine.run`` whatever
+  the batching mode (that is a *test* -- ``tests/service`` -- not a
+  benchmark claim);
+* the service runs ``workers=1`` here: micro-batching and multi-core
+  mining are independent wins, and a 1-worker service isolates the
+  batching effect on any host (``cpu_count`` is recorded regardless).
+
+Run directly (``python benchmarks/bench_service.py``, ``--smoke`` for
+the fast CI variant) or through pytest
+(``pytest benchmarks/bench_service.py``).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.core.model import BernoulliModel
+from repro.generators import generate_null_string
+from repro.kernels import get_backend
+from repro.service import MiningService, ServiceClient, ServiceThread
+
+DOC_LENGTH = 600
+CLIENT_COUNTS = [1, 4, 8]
+REQUESTS_PER_CLIENT = 40
+WARMUP = 5
+BATCH_DOCS = 32
+LINGER_SECONDS = 0.002
+
+SMOKE_DOC_LENGTH = 300
+SMOKE_CLIENT_COUNTS = [2]
+SMOKE_REQUESTS_PER_CLIENT = 12
+SMOKE_WARMUP = 2
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+MODEL = BernoulliModel.uniform("ab")
+
+
+def build_documents(count, doc_length):
+    """Deterministic per-request documents, bursts sprinkled in."""
+    documents = []
+    for i in range(count):
+        text = generate_null_string(MODEL, doc_length, seed=7000 + i)
+        if i % 7 == 0:
+            middle = doc_length // 2
+            text = text[:middle] + "a" * 40 + text[middle + 40:]
+        documents.append(text)
+    return documents
+
+
+def run_scenario(label, clients, requests_per_client, warmup, doc_length,
+                 batch_docs, linger_seconds):
+    """One (client count, batching mode) row: serve, load, measure."""
+    documents = build_documents(clients * (requests_per_client + warmup),
+                                doc_length)
+    service = MiningService(
+        MODEL,
+        workers=1,
+        batch_docs=batch_docs,
+        max_pending_docs=max(64, 4 * clients),
+        linger_seconds=linger_seconds,
+    )
+    latencies_by_client = [[] for _ in range(clients)]
+    errors = []
+    start_barrier = threading.Barrier(clients + 1)
+
+    def client_loop(client_id):
+        try:
+            with ServiceClient(*handle.address, timeout=120.0) as client:
+                base = client_id * (requests_per_client + warmup)
+                for i in range(warmup):
+                    client.mine(text=documents[base + i])
+                start_barrier.wait(timeout=60)
+                for i in range(requests_per_client):
+                    text = documents[base + warmup + i]
+                    started = time.perf_counter()
+                    response = client.mine(text=text)
+                    latencies_by_client[client_id].append(
+                        time.perf_counter() - started
+                    )
+                    if response["documents"] != 1:
+                        raise RuntimeError(f"bad response: {response}")
+        except Exception as exc:  # surfaced by the caller
+            errors.append(exc)
+            start_barrier.abort()
+
+    with ServiceThread(service) as handle:
+        threads = [
+            threading.Thread(target=client_loop, args=(client_id,))
+            for client_id in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait(timeout=60)  # all clients warmed up
+        window_started = time.perf_counter()
+        for thread in threads:
+            thread.join(600)
+        window_seconds = time.perf_counter() - window_started
+        stats = service.stats()
+    if errors:
+        raise errors[0]
+    latencies = sorted(
+        latency for per_client in latencies_by_client for latency in per_client
+    )
+    total_requests = len(latencies)
+    batcher = stats["batcher"]
+    return {
+        "mode": label,
+        "clients": clients,
+        "batching": batch_docs > 1,
+        "batch_docs": batch_docs,
+        "linger_ms": linger_seconds * 1000.0,
+        "requests": total_requests,
+        "window_seconds": window_seconds,
+        "docs_per_second": total_requests / window_seconds,
+        "p50_ms": statistics.median(latencies) * 1000.0,
+        "p99_ms": latencies[min(total_requests - 1,
+                                int(0.99 * total_requests))] * 1000.0,
+        "batch_fill": batcher["batch_fill"],
+        "batches": batcher["batches"],
+        "rejected": batcher["requests_rejected"],
+    }
+
+
+def run_service_load(smoke=False):
+    doc_length = SMOKE_DOC_LENGTH if smoke else DOC_LENGTH
+    client_counts = SMOKE_CLIENT_COUNTS if smoke else CLIENT_COUNTS
+    requests_per_client = (
+        SMOKE_REQUESTS_PER_CLIENT if smoke else REQUESTS_PER_CLIENT
+    )
+    warmup = SMOKE_WARMUP if smoke else WARMUP
+    rows = []
+    for clients in client_counts:
+        for label, batch_docs, linger in (
+            ("batch-off", 1, 0.0),
+            ("batch-on", BATCH_DOCS, LINGER_SECONDS),
+        ):
+            rows.append(run_scenario(
+                f"{label}-c{clients}", clients, requests_per_client, warmup,
+                doc_length, batch_docs, linger,
+            ))
+    comparison = []
+    for clients in client_counts:
+        off = next(r for r in rows
+                   if r["clients"] == clients and not r["batching"])
+        on = next(r for r in rows if r["clients"] == clients and r["batching"])
+        comparison.append({
+            "clients": clients,
+            "batching_speedup": on["docs_per_second"] / off["docs_per_second"],
+            "p50_ratio": on["p50_ms"] / off["p50_ms"],
+        })
+    meta = {
+        "doc_length": doc_length,
+        "requests_per_client": requests_per_client,
+        "warmup_per_client": warmup,
+        "smoke": smoke,
+    }
+    return rows, comparison, meta
+
+
+def emit_json(rows, comparison, meta):
+    """Write the JSON artifact; smoke runs get their own file so they
+    never clobber the committed full-run acceptance comparison."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "service_load",
+        "cpu_count": os.cpu_count(),
+        "backend": get_backend().name,
+        **meta,
+        "note": "closed-loop clients sending 1-document mine requests over "
+                "keep-alive HTTP to an in-process MiningService (workers=1); "
+                "batch-on coalesces concurrent requests into batch_docs-"
+                "sized mine_batch kernel calls, batch-off is the per-request "
+                "control; batching_speedup is the PR 5 acceptance metric at "
+                ">= 4 clients",
+        "results": rows,
+        "comparison": comparison,
+    }
+    name = "BENCH_service_smoke.json" if meta["smoke"] else "BENCH_service.json"
+    path = RESULTS_DIR / name
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _render(rows, comparison, meta, emit):
+    emit(f"Service load ({meta['requests_per_client']} reqs/client x 1 doc "
+         f"of {meta['doc_length']} symbols, {os.cpu_count()} cpu core(s), "
+         f"backend={get_backend().name}"
+         f"{', smoke' if meta['smoke'] else ''}):")
+    header = (f"{'mode':>14}  {'clients':>7}  {'docs/sec':>9}  "
+              f"{'p50 ms':>8}  {'p99 ms':>8}  {'fill':>5}  {'batches':>7}")
+    emit(header)
+    emit("-" * len(header))
+    for row in rows:
+        emit(f"{row['mode']:>14}  {row['clients']:>7}  "
+             f"{row['docs_per_second']:>9.1f}  {row['p50_ms']:>8.2f}  "
+             f"{row['p99_ms']:>8.2f}  {row['batch_fill']:>5.2f}  "
+             f"{row['batches']:>7}")
+    for entry in comparison:
+        emit(f"batching speedup at {entry['clients']} client(s): "
+             f"{entry['batching_speedup']:.2f}x docs/sec, "
+             f"p50 {entry['p50_ratio']:.2f}x")
+
+
+def test_service_load(benchmark, reporter):
+    rows, comparison, meta = benchmark.pedantic(
+        run_service_load, kwargs={"smoke": True}, rounds=1, iterations=1
+    )
+    path = emit_json(rows, comparison, meta)
+    _render(rows, comparison, meta, reporter.emit)
+    reporter.emit(f"JSON written to {path}")
+    assert all(row["docs_per_second"] > 0 for row in rows)
+    assert all(row["rejected"] == 0 for row in rows)  # sized under capacity
+    # with 2 concurrent clients the batch-on rows must actually coalesce
+    on_rows = [row for row in rows if row["batching"]]
+    assert all(row["batch_fill"] > 1.0 for row in on_rows)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="2 clients, few requests (the CI variant)")
+    args = parser.parse_args(argv)
+    rows, comparison, meta = run_service_load(smoke=args.smoke)
+    _render(rows, comparison, meta, lambda line="": print(line, file=sys.stdout))
+    print(f"JSON written to {emit_json(rows, comparison, meta)}")
+    if not args.smoke:
+        # the PR 5 acceptance gate: batching wins at >= 4 clients
+        gated = [entry for entry in comparison if entry["clients"] >= 4]
+        failing = [entry for entry in gated if entry["batching_speedup"] <= 1.0]
+        if failing:
+            print(f"WARNING: batching did not win: {failing}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,10 @@ their own subpackages:
 * :mod:`repro.engine` -- parallel corpus mining with batched kernel
   dispatch (``batch_docs``), cached calibration and multiple-testing
   correction (:class:`CorpusEngine`).
+* :mod:`repro.service` -- the async mining service over the engine
+  (``repro-mss serve``): request micro-batching, a persistent
+  shared-memory worker pool, deterministic backpressure, and a
+  disk-backed calibration cache for zero-trial warm restarts.
 * :mod:`repro.kernels` -- pluggable scan/calibration kernel backends
   (vectorised ``"numpy"`` default, ``"python"`` reference; selectable
   per call, via ``REPRO_BACKEND``, or ``--backend`` on the CLI).  The

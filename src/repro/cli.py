@@ -16,6 +16,10 @@ generator for experimenting:
 * ``batch``      -- mine a whole corpus (directory of files, or one
   document per line) concurrently with corrected significance
   (Bonferroni / Benjamini-Hochberg), via :mod:`repro.engine`.
+* ``serve``      -- run the async mining service (:mod:`repro.service`):
+  JSON/HTTP ``POST /mine`` with request micro-batching, a persistent
+  shared-memory worker pool, deterministic 429 backpressure, and an
+  optional disk-backed calibration cache (``--calibrate``).
 
 Input is a text file (or stdin with ``-``); the alphabet defaults to the
 distinct characters of the input with maximum-likelihood probabilities,
@@ -67,6 +71,22 @@ def _chomp(text: str) -> str:
     return text
 
 
+def _parse_probs(symbols: list, probs: str) -> list[float]:
+    """Parse a ``--probs`` CSV and check it matches the alphabet length."""
+    try:
+        values = [float(x) for x in probs.split(",")]
+    except ValueError:
+        raise SystemExit(
+            f"--probs must be comma-separated numbers, got {probs!r}"
+        ) from None
+    if len(values) != len(symbols):
+        raise SystemExit(
+            f"--probs has {len(values)} values but --alphabet has "
+            f"{len(symbols)} symbols"
+        )
+    return values
+
+
 def _build_model(text: str, alphabet: str | None, probs: str | None) -> BernoulliModel:
     if probs is not None and alphabet is None:
         raise SystemExit("--probs requires --alphabet")
@@ -75,13 +95,7 @@ def _build_model(text: str, alphabet: str | None, probs: str | None) -> Bernoull
     symbols = list(alphabet)
     if probs is None:
         return BernoulliModel.from_string(text, alphabet=symbols, laplace=1.0)
-    values = [float(x) for x in probs.split(",")]
-    if len(values) != len(symbols):
-        raise SystemExit(
-            f"--probs has {len(values)} values but --alphabet has "
-            f"{len(symbols)} symbols"
-        )
-    return BernoulliModel(symbols, values)
+    return BernoulliModel(symbols, _parse_probs(symbols, probs))
 
 
 def _substring_payload(s: SignificantSubstring, text: str, preview: int = 60) -> dict:
@@ -254,6 +268,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_backend(batch)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the async mining service (repro.service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (0 = ephemeral; default 8765)")
+    serve.add_argument(
+        "--alphabet",
+        required=True,
+        help="the service's default alphabet, e.g. 'ab' (requests may "
+             "override with their own)",
+    )
+    serve.add_argument(
+        "--probs",
+        help="comma-separated null probabilities matching --alphabet "
+             "(default: uniform)",
+    )
+    serve.add_argument("--workers", type=int, default=1,
+                       help="persistent mining worker processes "
+                            "(1 = in-process serial)")
+    serve.add_argument(
+        "--batch-docs",
+        type=int,
+        default=32,
+        metavar="N",
+        help="micro-batch target: concurrent requests coalesce into "
+             "batches of up to N documents",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="DOCS",
+        help="backpressure bound on queued documents; beyond it requests "
+             "get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--linger-ms",
+        type=float,
+        default=2.0,
+        help="how long a batch waits for companion requests (0 = "
+             "dispatch eagerly)",
+    )
+    serve.add_argument(
+        "--correction",
+        choices=["none", "bonferroni", "bh"],
+        default="bh",
+        help="default per-request multiple-testing correction",
+    )
+    serve.add_argument("--alpha", type=float, default=0.05,
+                       help="default per-request significance level")
+    serve.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="Monte-Carlo family-wise p-values via a disk-backed "
+             "calibration cache (warm restarts skip the simulation)",
+    )
+    serve.add_argument("--trials", type=int, default=100,
+                       help="Monte-Carlo trials per calibration bucket")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="calibration random seed")
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="calibration store directory (default: "
+             "$XDG_CACHE_HOME/repro-mss or ~/.cache/repro-mss)",
+    )
+    add_backend(serve)
+
     generate = sub.add_parser("generate", help="emit a synthetic string")
     generate.add_argument(
         "kind",
@@ -274,7 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     # SUPPRESS keeps the top-level value when the flag is absent here --
     # a plain default would clobber a --json given before the subcommand.
     for subparser in (mss, top, threshold, minlength, calibrate, stream,
-                      batch, generate):
+                      batch, serve, generate):
         subparser.add_argument(
             "--json",
             action="store_true",
@@ -302,6 +387,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_calibrate(args)
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "serve":
+        return _run_serve(args)
 
     text = _read_text(args.file)
     if not text:
@@ -471,6 +558,63 @@ def _run_batch(args: argparse.Namespace) -> int:
             f"  X2={best.chi_square:.4f}  p={doc.p_value:.3g}"
             f"  p_adj={doc.p_corrected:.3g}  {entry['preview']!r}"
         )
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import DiskCalibrationCache, MiningService
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.batch_docs < 1:
+        raise SystemExit("--batch-docs must be >= 1")
+    if args.max_pending < 1:
+        raise SystemExit("--max-pending must be >= 1")
+    if args.linger_ms < 0:
+        raise SystemExit("--linger-ms must be >= 0")
+    if args.calibrate and args.trials < 10:
+        raise SystemExit("--trials must be >= 10 for a usable Monte-Carlo "
+                         "null distribution")
+    symbols = list(args.alphabet)
+    if args.probs is None:
+        model = BernoulliModel.uniform(symbols)
+    else:
+        model = BernoulliModel(symbols, _parse_probs(symbols, args.probs))
+
+    calibration = (
+        DiskCalibrationCache(
+            args.cache_dir, trials=args.trials, seed=args.seed,
+            backend=args.backend,
+        )
+        if args.calibrate
+        else None
+    )
+    service = MiningService(
+        model,
+        workers=args.workers,
+        batch_docs=args.batch_docs,
+        max_pending_docs=args.max_pending,
+        linger_seconds=args.linger_ms / 1000.0,
+        correction=args.correction,
+        alpha=args.alpha,
+        calibration=calibration,
+        backend=args.backend,
+    )
+    cache_note = (
+        f"  cache={calibration.cache_dir}" if calibration is not None else ""
+    )
+
+    def announce(bound):
+        # Printed only once the socket is bound, so an ephemeral
+        # --port 0 reports the port actually chosen.
+        print(
+            f"repro-mss serve: http://{bound[0]}:{bound[1]}  "
+            f"workers={args.workers}  batch_docs={args.batch_docs}  "
+            f"max_pending={args.max_pending}{cache_note}",
+            flush=True,
+        )
+
+    service.run(args.host, args.port, on_bound=announce)
     return 0
 
 

@@ -19,10 +19,13 @@ once.  This subsystem is that layer:
 * :mod:`repro.engine.shm` -- :class:`SharedMemoryExecutor`, the
   multi-core mining path: each (spec, model) group's documents are
   encoded once into flat arrays published via
-  ``multiprocessing.shared_memory``, and a persistent worker pool
-  attaches once and mines ``batch_docs``-document chunks through the
-  kernel ``mine_batch`` call, returning compact result arrays.  This is
-  the executor ``repro-mss batch --workers N`` uses by default.
+  ``multiprocessing.shared_memory``, and a :class:`WorkerPool` whose
+  workers attach blocks per task (by name) mines
+  ``batch_docs``-document chunks through the kernel ``mine_batch``
+  call, returning compact result arrays.  The pool's lifetime is
+  decoupled from runs -- ``persistent=True`` keeps it alive across
+  corpora for service workloads (:mod:`repro.service`).  This is the
+  executor ``repro-mss batch --workers N`` uses by default.
 * :mod:`repro.engine.calibration` -- :class:`CalibrationCache` memoizes
   the Monte-Carlo X²max null distribution per (model, length-bucket) so
   the whole corpus shares a handful of simulations.
@@ -35,7 +38,11 @@ once.  This subsystem is that layer:
 The CLI front-end is ``repro-mss batch`` (see :mod:`repro.cli`).
 """
 
-from repro.engine.calibration import CalibrationCache, length_bucket
+from repro.engine.calibration import (
+    CalibrationCache,
+    length_bucket,
+    model_fingerprint,
+)
 from repro.engine.corpus import CorpusEngine, CorpusResult
 from repro.engine.corrections import (
     CORRECTIONS,
@@ -48,6 +55,7 @@ from repro.engine.executors import (
     SerialExecutor,
     SharedMemoryExecutor,
     ThreadExecutor,
+    WorkerPool,
     resolve_executor,
 )
 from repro.engine.jobs import (
@@ -76,9 +84,11 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "SharedMemoryExecutor",
+    "WorkerPool",
     "resolve_executor",
     "CalibrationCache",
     "length_bucket",
+    "model_fingerprint",
     "CORRECTIONS",
     "bonferroni",
     "benjamini_hochberg",

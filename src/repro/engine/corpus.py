@@ -216,42 +216,104 @@ class CorpusEngine:
         Results come back in job order regardless of executor (and of
         ``batch_docs``).  Per-call ``correction``/``alpha``/
         ``batch_docs`` override the engine defaults.
+
+        ``run`` is :meth:`mine_documents` followed by :meth:`finalize`;
+        callers that need to mine several request's jobs through one
+        executor pass (the service micro-batcher,
+        :mod:`repro.service.batcher`) call the two halves themselves.
         """
         job_list = list(jobs)
-        if not job_list:
-            raise ValueError("no jobs to run")
-        correction = self.correction if correction is None else correction
-        alpha = self.alpha if alpha is None else alpha
+        correction, alpha = self._resolve_correction(correction, alpha)
         batch_docs = (
             self.batch_docs if batch_docs is None
             else _validate_batch_docs(batch_docs)
         )
-        if correction not in CORRECTIONS:
-            raise ValueError(
-                f"unknown correction {correction!r}; expected one of {CORRECTIONS}"
-            )
-        if not 0.0 < alpha < 1.0:
-            raise ValueError(f"alpha must be in (0, 1), got {alpha!r}")
-
         started = time.perf_counter()
+        documents = self.mine_documents(job_list, batch_docs=batch_docs)
+        result = self.finalize(
+            job_list,
+            documents,
+            correction=correction,
+            alpha=alpha,
+            batch_docs=batch_docs,
+        )
+        # Stamp after finalize so calibration (potentially a cold
+        # Monte-Carlo simulation) stays inside the reported wall time,
+        # exactly as before the mine/finalize split.
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def mine_documents(
+        self,
+        jobs: Sequence[MiningJob],
+        *,
+        batch_docs: int | None = None,
+    ) -> list[DocumentResult]:
+        """The dispatch half of :meth:`run`: mine only, no corrections.
+
+        Returns per-document results in job order with *asymptotic*
+        p-values -- calibration and multiple-testing correction are
+        :meth:`finalize`'s job.  Per-document results are deterministic
+        and independent of how jobs are grouped, so a caller may mine
+        the concatenation of several requests' jobs in one call and
+        :meth:`finalize` each request's slice separately with results
+        bit-identical to running each request alone (enforced by
+        ``tests/service/test_service.py``).
+        """
+        job_list = list(jobs)
+        if not job_list:
+            raise ValueError("no jobs to run")
+        batch_docs = (
+            self.batch_docs if batch_docs is None
+            else _validate_batch_docs(batch_docs)
+        )
         if hasattr(self.executor, "run_jobs"):
             # Corpus-owning executors (the shared-memory path) take the
             # whole job list: they pack documents into shared memory up
             # front and pick their own chunking when batch_docs is None.
-            documents = self.executor.run_jobs(job_list, batch_docs=batch_docs)
-        elif batch_docs is None:
-            documents = self.executor.map(run_job, job_list)
-        else:
-            chunks = [
-                job_list[i : i + batch_docs]
-                for i in range(0, len(job_list), batch_docs)
-            ]
-            documents = [
-                doc
-                for chunk in self.executor.map(run_job_batch, chunks)
-                for doc in chunk
-            ]
+            return self.executor.run_jobs(job_list, batch_docs=batch_docs)
+        if batch_docs is None:
+            return self.executor.map(run_job, job_list)
+        chunks = [
+            job_list[i : i + batch_docs]
+            for i in range(0, len(job_list), batch_docs)
+        ]
+        return [
+            doc
+            for chunk in self.executor.map(run_job_batch, chunks)
+            for doc in chunk
+        ]
 
+    def finalize(
+        self,
+        jobs: Sequence[MiningJob],
+        documents: Sequence[DocumentResult],
+        *,
+        correction: str | None = None,
+        alpha: float | None = None,
+        batch_docs: int | None = None,
+        elapsed: float = 0.0,
+    ) -> CorpusResult:
+        """The significance half of :meth:`run`: calibrate and correct.
+
+        Replaces each document's asymptotic p-value with the calibrated
+        family-wise one (when the engine has a
+        :class:`~repro.engine.calibration.CalibrationCache`), applies
+        the multiple-testing correction *across exactly the documents
+        given*, and assembles the :class:`CorpusResult`.  The
+        ``documents`` are mutated in place (``p_value`` /
+        ``p_corrected`` / ``significant``), mirroring what :meth:`run`
+        does; ``jobs`` must be the matching job list (calibration needs
+        each document's model).  ``elapsed`` is the wall time reported
+        on the result.
+        """
+        job_list = list(jobs)
+        documents = list(documents)
+        if len(job_list) != len(documents):
+            raise ValueError(
+                f"got {len(documents)} documents for {len(job_list)} jobs"
+            )
+        correction, alpha = self._resolve_correction(correction, alpha)
         if self.calibration is not None:
             for job, doc in zip(job_list, documents):
                 doc.p_value = self.calibration.p_value(job.model, doc.n, doc.x2_max)
@@ -262,7 +324,6 @@ class CorpusEngine:
             doc.p_corrected = p_adj
             doc.significant = p_adj <= alpha
 
-        elapsed = time.perf_counter() - started
         return CorpusResult(
             documents=documents,
             stats=ScanStats.merged(doc.stats for doc in documents),
@@ -277,6 +338,41 @@ class CorpusEngine:
                 self.calibration.summary() if self.calibration is not None else None
             ),
         )
+
+    def _resolve_correction(
+        self, correction: str | None, alpha: float | None
+    ) -> tuple[str, float]:
+        """Apply engine defaults and validate a correction/alpha pair."""
+        correction = self.correction if correction is None else correction
+        alpha = self.alpha if alpha is None else alpha
+        if correction not in CORRECTIONS:
+            raise ValueError(
+                f"unknown correction {correction!r}; expected one of {CORRECTIONS}"
+            )
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha!r}")
+        return correction, alpha
+
+    def close(self) -> None:
+        """Release executor resources (worker pools); idempotent.
+
+        A persistent :class:`~repro.engine.shm.SharedMemoryExecutor`
+        keeps its process pool alive across runs -- this is how a
+        long-running service lets it go.  Executors without a ``close``
+        (serial, thread) make this a no-op, and the engine stays usable
+        either way (pools restart lazily on the next run).
+        """
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "CorpusEngine":
+        """Context-manager entry: returns the engine itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close` the engine."""
+        self.close()
 
     def run_texts(
         self,

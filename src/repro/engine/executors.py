@@ -30,13 +30,14 @@ import math
 import os
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.engine.shm import SharedMemoryExecutor
+from repro.engine.shm import SharedMemoryExecutor, WorkerPool
 
 __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
     "SharedMemoryExecutor",
+    "WorkerPool",
     "resolve_executor",
 ]
 

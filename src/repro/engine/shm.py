@@ -15,10 +15,14 @@ number of workers.  This module removes the per-job payload entirely:
    crosses the process boundary is a :class:`GroupDescriptor`, a few
    hundred bytes naming the block and carrying the offsets, spec and
    model.
-3. **Attach** -- a persistent :class:`concurrent.futures.ProcessPoolExecutor`
-   maps every block once per worker (pool initializer), and resolves
-   each group's kernel backend once.  Tasks after that are three
-   integers: ``(group, lo, hi)``.
+3. **Attach** -- a :class:`WorkerPool` (a restartable, reusable
+   ``ProcessPoolExecutor`` wrapper) receives one task per chunk; the
+   worker attaches the chunk's block *by name*, so the pool's lifetime
+   is fully decoupled from any single corpus.  With
+   ``SharedMemoryExecutor(persistent=True)`` the same pool serves every
+   later :meth:`~SharedMemoryExecutor.run_jobs` call -- this is what
+   lets a long-running service keep the ~100 ms pool spin-up out of
+   every request (see :mod:`repro.service`).
 4. **Mine** -- each worker runs the backend's ``mine_batch`` over its
    assigned slice of documents (``batch_docs`` documents per task) and
    returns *compact result arrays* -- per-document counters plus flat
@@ -58,6 +62,7 @@ __all__ = [
     "GroupDescriptor",
     "PackedCorpus",
     "SharedMemoryExecutor",
+    "WorkerPool",
     "pack_jobs",
 ]
 
@@ -73,12 +78,15 @@ _CRASH_ENV = "REPRO_SHM_TEST_CRASH"
 
 @dataclass(frozen=True)
 class GroupDescriptor:
-    """Everything a worker needs to mine one published group (picklable).
+    """Everything a worker needs to mine one published span (picklable).
 
     ``shm_name`` names the shared block holding the group's flat code
-    array; ``offsets`` is the ``(docs + 1,)`` int64 offset table into it
-    (document ``d`` is ``codes[offsets[d]:offsets[d + 1]]``); ``spec``
-    and ``model`` are the group's shared mining parameters.
+    array; ``offsets`` is a ``(docs + 1,)`` int64 offset table into it
+    (document ``d`` is ``codes[offsets[d]:offsets[d + 1]]``).  For a
+    chunk task this is just the task's *slice* of the group table --
+    absolute offsets preserved -- so per-task pickling stays
+    O(batch_docs), not O(group documents).  ``spec`` and ``model`` are
+    the group's shared mining parameters.
     """
 
     shm_name: str
@@ -88,8 +96,14 @@ class GroupDescriptor:
 
     @property
     def total_symbols(self) -> int:
-        """Length of the flat code array behind ``shm_name``."""
+        """One past the highest flat index these documents reach
+        (``offsets[-1]``; for a whole group, the flat array's length)."""
         return int(self.offsets[-1])
+
+    @property
+    def doc_count(self) -> int:
+        """How many documents this descriptor spans."""
+        return self.offsets.shape[0] - 1
 
 
 @dataclass
@@ -113,6 +127,18 @@ class _PackedGroup:
         return GroupDescriptor(
             shm_name=self.shm.name,
             offsets=self.offsets,
+            spec=self.spec,
+            model=self.model,
+        )
+
+    def span_descriptor(self, lo: int, hi: int) -> GroupDescriptor:
+        """A descriptor covering documents ``lo..hi`` only -- the
+        per-task unit, carrying just that span's offset slice."""
+        if self.shm is None:
+            raise RuntimeError("group was packed without publish=True")
+        return GroupDescriptor(
+            shm_name=self.shm.name,
+            offsets=self.offsets[lo : hi + 1],
             spec=self.spec,
             model=self.model,
         )
@@ -263,48 +289,155 @@ def _mine_span(spec, model, codes, offsets, lo, hi):
 # Worker-side machinery.
 # ----------------------------------------------------------------------
 
-#: Worker-process state set by :func:`_attach_groups`:
-#: ``(descriptor, shm)`` per group, attached once per worker.
-_WORKER_GROUPS: list[tuple[GroupDescriptor, shared_memory.SharedMemory]] = []
+def _noop():
+    """Trivial worker task: forces the pool to actually spawn processes
+    (:meth:`WorkerPool.warm`)."""
+    return None
 
 
-def _attach_groups(descriptors):
-    """Pool initializer: map every group's block, resolve backends once."""
-    from repro.kernels import get_backend
+def _mine_chunk(descriptor):
+    """Worker task: attach the span's block by name and mine it.
 
-    global _WORKER_GROUPS
-    _WORKER_GROUPS = []
-    for descriptor in descriptors:
-        # Attaching re-registers the block with the resource tracker,
-        # but the whole pool shares the parent's tracker (its fd is
-        # inherited / passed through spawn) and the tracker's cache is a
-        # set -- so the parent's single unlink+unregister at release()
-        # retires the name cleanly for everyone.
-        shm = shared_memory.SharedMemory(name=descriptor.shm_name)
-        get_backend(descriptor.spec.backend)  # warm the registry resolution
-        _WORKER_GROUPS.append((descriptor, shm))
-
-
-def _mine_chunk(group_id, lo, hi):
-    """Worker task: mine documents ``lo..hi`` of group ``group_id``.
-
-    The code view into the shared block lives only for the duration of
-    the task (``PrefixCountIndex`` copies its slice), so worker exit
-    never trips over exported buffer pointers.
+    ``descriptor`` is a :meth:`_PackedGroup.span_descriptor` covering
+    exactly this task's documents.  Attaching per task (a ``shm_open``
+    + ``mmap``, microseconds) instead of per pool start is what
+    decouples the pool's lifetime from any one corpus: the same worker
+    can serve blocks published long after it was spawned.  Attaching
+    re-registers the block with the resource tracker, but the whole
+    pool shares the parent's tracker (its fd is inherited / passed
+    through spawn) and the tracker's cache is a set -- so the parent's
+    single unlink+unregister at release() retires the name cleanly for
+    everyone.  The code view into the shared block lives only for the
+    duration of the task (``PrefixCountIndex`` copies its slice), so
+    closing the attachment never trips over exported buffer pointers.
     """
     if os.environ.get(_CRASH_ENV):
         os._exit(3)  # fault-injection hook, see _CRASH_ENV
-    descriptor, shm = _WORKER_GROUPS[group_id]
-    codes = np.ndarray(
-        (descriptor.total_symbols,), dtype=np.int64, buffer=shm.buf
-    )
+    shm = shared_memory.SharedMemory(name=descriptor.shm_name)
     try:
-        return _mine_span(
-            descriptor.spec, descriptor.model, codes, descriptor.offsets,
-            lo, hi,
+        # A view over the block's prefix up to the span's last offset is
+        # all the absolute offsets in the slice can reach.
+        codes = np.ndarray(
+            (descriptor.total_symbols,), dtype=np.int64, buffer=shm.buf
         )
+        try:
+            return _mine_span(
+                descriptor.spec, descriptor.model, codes, descriptor.offsets,
+                0, descriptor.doc_count,
+            )
+        finally:
+            del codes
     finally:
-        del codes
+        shm.close()
+
+
+class WorkerPool:
+    """A restartable process pool whose lifetime is decoupled from runs.
+
+    :class:`SharedMemoryExecutor` used to build (and tear down) one
+    ``ProcessPoolExecutor`` inside every ``run_jobs`` call, so the
+    ~100 ms pool spin-up was paid per corpus.  ``WorkerPool`` owns that
+    lifecycle separately: the pool is created lazily on first use, can
+    be kept alive across any number of runs, survives broken-pool
+    discard/restart cycles, and is shut down exactly once by
+    :meth:`close`.  Workers carry no per-corpus state (tasks attach
+    shared-memory blocks by name), which is what makes the reuse safe.
+
+    Examples
+    --------
+    >>> pool = WorkerPool(workers=2)
+    >>> pool.started
+    False
+    >>> pool.close()   # idempotent even when never started
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, workers)
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        #: How many times a fresh ``ProcessPoolExecutor`` was created --
+        #: a persistent executor reusing its pool keeps this at 1.
+        self.starts = 0
+
+    @property
+    def started(self) -> bool:
+        """Whether a live pool currently exists."""
+        return self._pool is not None
+
+    def ensure_started(self) -> concurrent.futures.ProcessPoolExecutor | None:
+        """Return the live pool, creating one on first use.
+
+        Returns ``None`` when the host cannot run worker processes at
+        all; callers then mine in-process.
+        """
+        if self._pool is None:
+            try:
+                # Start the parent's shared-memory resource tracker
+                # *before* forking workers.  Workers created first would
+                # each spawn a private tracker on their first attach;
+                # the parent's unlink+unregister then never reaches
+                # those trackers and they warn about "leaked" (already
+                # unlinked) blocks at exit.  A shared tracker is the
+                # invariant the per-task attach design relies on.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:
+                pass  # no tracker on this platform; attach still works
+            try:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers
+                )
+                self.starts += 1
+            except (OSError, ValueError, RuntimeError):
+                self._pool = None
+        return self._pool
+
+    def warm(self) -> bool:
+        """Spawn the worker processes now instead of at first submit.
+
+        A service calls this at startup so the first request does not
+        pay the pool spin-up.  Returns False when the pool cannot be
+        started (the executor will mine in-process).
+        """
+        pool = self.ensure_started()
+        if pool is None:
+            return False
+        try:
+            futures = [pool.submit(_noop) for _ in range(self.workers)]
+            for future in futures:
+                future.result()
+        except Exception:
+            self.discard()
+            return False
+        return True
+
+    def discard(self) -> None:
+        """Drop a broken pool so the next run starts a fresh one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the pool down and wait for workers (idempotent).
+
+        The handle stays usable: a later :meth:`ensure_started` simply
+        creates a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        """Context-manager entry: returns the pool handle itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close` the pool."""
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else "idle"
+        return f"WorkerPool(workers={self.workers}, {state}, starts={self.starts})"
 
 
 # ----------------------------------------------------------------------
@@ -389,6 +522,14 @@ class SharedMemoryExecutor:
         Documents per worker task, i.e. per ``mine_batch`` kernel call
         (default :data:`DEFAULT_BATCH_DOCS`); the engine's per-run
         ``batch_docs`` overrides it.
+    persistent:
+        Keep the worker pool alive *across* :meth:`run_jobs` calls
+        (service workloads: the pool spin-up is paid once, not per
+        request).  The default ``False`` preserves the batch-CLI
+        behaviour of shutting workers down at the end of each run.
+        Either way :meth:`close` (or the context-manager form) releases
+        the pool; published shared-memory blocks are always per-run and
+        always unlinked before ``run_jobs`` returns.
 
     Examples
     --------
@@ -396,12 +537,19 @@ class SharedMemoryExecutor:
     'shm'
     >>> SharedMemoryExecutor(workers=2, batch_docs=16).batch_docs
     16
+    >>> with SharedMemoryExecutor(workers=2, persistent=True) as executor:
+    ...     lazy = executor.pool.started
+    >>> lazy    # the pool only spins up when a run actually needs it
+    False
     """
 
     name = "shm"
 
     def __init__(
-        self, workers: int | None = None, batch_docs: int | None = None
+        self,
+        workers: int | None = None,
+        batch_docs: int | None = None,
+        persistent: bool = False,
     ) -> None:
         self.workers = max(
             1, workers if workers is not None else (os.cpu_count() or 1)
@@ -409,10 +557,32 @@ class SharedMemoryExecutor:
         if batch_docs is not None and batch_docs < 1:
             raise ValueError(f"batch_docs must be >= 1, got {batch_docs!r}")
         self.batch_docs = batch_docs
+        self.persistent = bool(persistent)
+        #: The executor's :class:`WorkerPool` (lazily started; kept
+        #: alive across runs when ``persistent``).
+        self.pool = WorkerPool(self.workers)
         #: Timing/diagnostic breakdown of the most recent :meth:`run_jobs`
-        #: call: pack/mine/aggregate seconds, chunk count, and how many
-        #: chunks fell back to in-process mining.
+        #: call: pack/mine/aggregate seconds, chunk count, published
+        #: block names, pool reuse, and how many chunks fell back to
+        #: in-process mining.
         self.last_run_info: dict | None = None
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent).
+
+        The executor stays usable -- a later :meth:`run_jobs` lazily
+        restarts the pool.  :meth:`CorpusEngine.close
+        <repro.engine.corpus.CorpusEngine.close>` delegates here.
+        """
+        self.pool.close()
+
+    def __enter__(self) -> "SharedMemoryExecutor":
+        """Context-manager entry: returns the executor itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close` the worker pool."""
+        self.close()
 
     def map(self, fn, items):
         """Generic in-process map (order-preserving).
@@ -461,6 +631,10 @@ class SharedMemoryExecutor:
             "chunks": 0,
             "fallback_chunks": 0,
             "published": False,
+            "shm_names": [],
+            "pool_persistent": self.persistent,
+            "pool_reused": False,
+            "pool_starts": self.pool.starts,
         }
         # Publish only when the pool would actually be used: a corpus
         # that fits one chunk (or one worker) mines in-process, so
@@ -477,6 +651,9 @@ class SharedMemoryExecutor:
         corpus = pack_jobs(job_list, publish=parallel)
         info["pack_seconds"] = time.perf_counter() - started
         info["published"] = corpus.published
+        info["shm_names"] = [
+            group.shm.name for group in corpus.groups if group.shm is not None
+        ]
         chunks = [
             (group_id, lo, min(lo + batch, group.doc_count))
             for group_id, group in enumerate(corpus.groups)
@@ -497,7 +674,13 @@ class SharedMemoryExecutor:
                     )
             info["mine_seconds"] = time.perf_counter() - started
         finally:
+            # Blocks are strictly per-run: whatever happens above, every
+            # published name is unlinked before run_jobs returns (the
+            # leak guarantee tests/engine/test_shm_executor.py asserts).
             corpus.release()
+            if not self.persistent:
+                self.pool.close()
+        info["pool_starts"] = self.pool.starts
         started = time.perf_counter()
         documents: list[DocumentResult] = []
         for chunk in chunks:
@@ -511,39 +694,51 @@ class SharedMemoryExecutor:
         return documents
 
     def _mine_parallel(self, corpus, chunks, payloads, info):
-        """Fan chunks over the persistent pool; failures stay un-filled
-        in ``payloads`` for the caller's in-process pass."""
-        descriptors = corpus.descriptors()
-        try:
-            pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.workers, len(chunks)),
-                initializer=_attach_groups,
-                initargs=(descriptors,),
-            )
-        except (OSError, ValueError, RuntimeError):
+        """Fan chunks over the worker pool; failures stay un-filled in
+        ``payloads`` for the caller's in-process pass."""
+        info["pool_reused"] = self.pool.started
+        pool = self.pool.ensure_started()
+        if pool is None:
             info["fallback_chunks"] = len(chunks)
             return
         futures: list[tuple[tuple[int, int, int], object]] = []
-        with pool:
-            for chunk in chunks:
-                try:
-                    futures.append((chunk, pool.submit(_mine_chunk, *chunk)))
-                except (OSError, RuntimeError):
-                    futures.append((chunk, None))
-            for chunk, future in futures:
-                if future is None:
-                    info["fallback_chunks"] += 1
-                    continue
-                try:
-                    payloads[chunk] = future.result()
-                except Exception:
-                    # Crashed worker / broken pool: leave the chunk for
-                    # the caller's in-process fallback.  Results cannot
-                    # be corrupted -- this chunk simply gets re-mined.
-                    info["fallback_chunks"] += 1
+        broken = False
+        for chunk in chunks:
+            group_id, lo, hi = chunk
+            # Per-task pickling carries only this span's offset slice --
+            # total IPC stays O(documents), not O(chunks x documents).
+            span = corpus.groups[group_id].span_descriptor(lo, hi)
+            try:
+                futures.append((chunk, pool.submit(_mine_chunk, span)))
+            except concurrent.futures.process.BrokenProcessPool:
+                # Workers died between runs (OOM kill, crash): the pool
+                # is already broken at submit time and must be discarded
+                # too, or a persistent service would silently mine
+                # in-process forever.
+                broken = True
+                futures.append((chunk, None))
+            except (OSError, RuntimeError):
+                futures.append((chunk, None))
+        for chunk, future in futures:
+            if future is None:
+                info["fallback_chunks"] += 1
+                continue
+            try:
+                payloads[chunk] = future.result()
+            except Exception as exc:
+                # Crashed worker / broken pool: leave the chunk for the
+                # caller's in-process fallback.  Results cannot be
+                # corrupted -- this chunk simply gets re-mined.
+                info["fallback_chunks"] += 1
+                if isinstance(exc, concurrent.futures.process.BrokenProcessPool):
+                    broken = True
+        if broken:
+            # A broken pool never recovers; drop it so the next run (or
+            # the next service request) starts a fresh one.
+            self.pool.discard()
 
     def __repr__(self) -> str:
         return (
             f"SharedMemoryExecutor(workers={self.workers}, "
-            f"batch_docs={self.batch_docs})"
+            f"batch_docs={self.batch_docs}, persistent={self.persistent})"
         )

@@ -1,0 +1,487 @@
+"""The async mining service: asyncio front-end over the corpus engine.
+
+This is the north-star serving layer: a long-running process that keeps
+every expensive thing warm -- the shared-memory worker pool
+(:class:`~repro.engine.shm.SharedMemoryExecutor` with
+``persistent=True``), the kernel backends, and the calibration null
+distributions (:class:`~repro.service.store.DiskCalibrationCache`, so
+even a *restart* stays warm) -- while a
+:class:`~repro.service.batcher.MicroBatcher` coalesces concurrent
+requests into batched kernel dispatch.
+
+Endpoints (JSON over a minimal HTTP/1.1 subset, stdlib only):
+
+* ``POST /mine`` -- mine one request (see
+  :mod:`repro.service.protocol` for the schema).  Responses carry the
+  full :meth:`~repro.engine.corpus.CorpusResult.payload` and are
+  bit-identical to a direct ``CorpusEngine.run`` of the same request.
+  Over capacity: ``429`` with a ``Retry-After`` hint.
+* ``GET /healthz`` -- liveness: status, uptime, pool state.
+* ``GET /stats`` -- queue depth, batch fill, cache hit rates, executor
+  diagnostics.
+
+Run it with ``repro-mss serve`` (see :mod:`repro.cli`), or in-process::
+
+    service = MiningService(BernoulliModel.uniform("ab"), workers=2)
+    with ServiceThread(service) as handle:
+        client = ServiceClient(*handle.address)
+        client.mine(text="ab" * 40)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+import time
+
+from repro.core.model import BernoulliModel
+from repro.engine.calibration import CalibrationCache
+from repro.engine.corpus import CorpusEngine
+from repro.engine.executors import SerialExecutor, SharedMemoryExecutor
+from repro.engine.shm import DEFAULT_BATCH_DOCS
+from repro.service.batcher import (
+    MicroBatcher,
+    RequestTooLarge,
+    ServiceOverloaded,
+)
+from repro.service.protocol import (
+    ProtocolError,
+    parse_mine_request,
+    read_request,
+    response_bytes,
+)
+
+__all__ = ["MiningService", "ServiceThread"]
+
+
+class MiningService:
+    """A long-running mining service over one :class:`CorpusEngine`.
+
+    Parameters
+    ----------
+    model:
+        The service's default null model (requests may override it with
+        an explicit ``alphabet``/``probs``).
+    workers:
+        Mining worker processes.  ``> 1`` builds a *persistent*
+        :class:`~repro.engine.shm.SharedMemoryExecutor`: its process
+        pool is spawned once (pre-warmed at :meth:`start`) and reused by
+        every batch until :meth:`stop`.
+    batch_docs:
+        Micro-batch target size (documents per dispatched batch, and
+        the engine's kernel batch size).
+    max_pending_docs / linger_seconds:
+        Backpressure bound and coalescing window -- see
+        :class:`~repro.service.batcher.MicroBatcher`.
+    correction / alpha:
+        Engine defaults applied when a request does not set its own.
+    calibration:
+        A :class:`~repro.engine.calibration.CalibrationCache` (typically
+        the disk-backed :class:`~repro.service.store.
+        DiskCalibrationCache`) for Monte-Carlo family-wise p-values;
+        ``None`` keeps asymptotic p-values.
+    backend:
+        Kernel backend name applied to requests that do not pick their
+        own (``repro-mss serve --backend``); ``None`` defers to
+        ``REPRO_BACKEND`` / the registry default.
+    engine:
+        Escape hatch: a fully built engine to serve with (overrides
+        ``workers``/``correction``/``alpha``/``calibration``).
+    """
+
+    def __init__(
+        self,
+        model: BernoulliModel | None = None,
+        *,
+        workers: int = 1,
+        batch_docs: int = DEFAULT_BATCH_DOCS,
+        max_pending_docs: int = 1024,
+        linger_seconds: float = 0.002,
+        correction: str = "bh",
+        alpha: float = 0.05,
+        calibration: CalibrationCache | None = None,
+        backend: str | None = None,
+        engine: CorpusEngine | None = None,
+    ) -> None:
+        if engine is None:
+            executor = (
+                SharedMemoryExecutor(workers=workers, persistent=True)
+                if workers > 1
+                else SerialExecutor()
+            )
+            engine = CorpusEngine(
+                executor=executor,
+                calibration=calibration,
+                correction=correction,
+                alpha=alpha,
+                batch_docs=batch_docs,
+            )
+        self.model = model
+        self.backend = backend
+        self.engine = engine
+        self.batcher = MicroBatcher(
+            engine,
+            batch_docs=batch_docs,
+            max_pending_docs=max_pending_docs,
+            linger_seconds=linger_seconds,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._started_at: float | None = None
+        self.address: tuple[str, int] | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._active_exchanges = 0
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Bind, warm the worker pool, start serving.
+
+        ``port=0`` binds an ephemeral port.  Returns (and stores on
+        :attr:`address`) the actual ``(host, port)`` pair.  A bind
+        failure (port in use, bad host) releases everything started
+        before it -- the batcher dispatcher and the warmed worker pool
+        do not outlive a service that never served.  A stopped service
+        cannot be restarted (its batcher and mining thread are gone):
+        build a new :class:`MiningService` instead.
+        """
+        if self.batcher.closed:
+            raise RuntimeError(
+                "this MiningService has been stopped and cannot be "
+                "restarted; build a new one"
+            )
+        await self.batcher.start()
+        pool = getattr(self.engine.executor, "pool", None)
+        if pool is not None:
+            # Spawn worker processes now, off the request path.  (Before
+            # binding: warm() races pool.ensure_started if a request
+            # could arrive concurrently.)
+            await asyncio.get_running_loop().run_in_executor(None, pool.warm)
+        try:
+            self._server = await asyncio.start_server(self._handle, host, port)
+        except BaseException:
+            await self.batcher.close()
+            self.engine.close()
+            raise
+        bound = self._server.sockets[0].getsockname()
+        self.address = (bound[0], bound[1])
+        self._started_at = time.monotonic()
+        return self.address
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, release the pool.
+
+        In-flight and already-queued requests complete and are answered;
+        new submissions are rejected while draining.  Idle keep-alive
+        connections are then dropped, and finally the engine's
+        persistent worker pool is shut down.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.close()
+        # The batcher has resolved every accepted request; wait for the
+        # handlers to flush those responses to their sockets before
+        # dropping connections (bounded, in case a peer stopped reading).
+        deadline = time.monotonic() + 10.0
+        while self._active_exchanges and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self.engine.close()
+
+    def stats(self) -> dict:
+        """JSON-ready service metrics (the ``GET /stats`` payload)."""
+        executor = self.engine.executor
+        data = {
+            "uptime_seconds": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "batcher": self.batcher.stats(),
+            "engine": {
+                "executor": getattr(executor, "name", type(executor).__name__),
+                "workers": getattr(executor, "workers", 1),
+                "batch_docs": self.engine.batch_docs,
+                "correction": self.engine.correction,
+                "alpha": self.engine.alpha,
+            },
+        }
+        pool = getattr(executor, "pool", None)
+        if pool is not None:
+            data["engine"]["pool"] = {
+                "started": pool.started,
+                "starts": pool.starts,
+                "persistent": getattr(executor, "persistent", False),
+            }
+        last_run = getattr(executor, "last_run_info", None)
+        if last_run is not None:
+            data["engine"]["last_run"] = {
+                key: value
+                for key, value in last_run.items()
+                if key != "shm_names"
+            }
+        if self.engine.calibration is not None:
+            data["calibration"] = self.engine.calibration.summary()
+        return data
+
+    def healthz(self) -> dict:
+        """JSON-ready liveness payload (the ``GET /healthz`` body)."""
+        return {
+            "status": "ok",
+            "uptime_seconds": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "queue_depth_docs": self.batcher.queue_depth_docs,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        """Serve one (keep-alive) client connection.
+
+        Connections register themselves so :meth:`stop` can first wait
+        for busy exchanges to flush their responses, then cancel the
+        idle ones parked between keep-alive requests.
+        """
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    parsed = await read_request(reader, writer)
+                except ProtocolError as exc:
+                    writer.write(
+                        response_bytes(
+                            400, {"error": str(exc)}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if parsed is None:
+                    break
+                method, target, headers, body = parsed
+                self._active_exchanges += 1
+                try:
+                    writer.write(await self._route(method, target, body))
+                    await writer.drain()
+                finally:
+                    self._active_exchanges -= 1
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            pass  # service shutdown dropped this idle connection
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _route(self, method: str, target: str, body: bytes) -> bytes:
+        """Dispatch one request to its endpoint; always returns a response."""
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return response_bytes(405, {"error": "use GET"})
+            return response_bytes(200, self.healthz())
+        if path == "/stats":
+            if method != "GET":
+                return response_bytes(405, {"error": "use GET"})
+            return response_bytes(200, self.stats())
+        if path == "/mine":
+            if method != "POST":
+                return response_bytes(405, {"error": "use POST"})
+            return await self._mine(body)
+        return response_bytes(404, {"error": f"no such endpoint {path!r}"})
+
+    #: Bodies above this size are decoded and validated on a worker
+    #: thread: json.loads plus the alphabet-membership encode pass over
+    #: a many-megabyte corpus would otherwise stall every other
+    #: connection sharing the event loop.
+    _OFFLOAD_PARSE_BYTES = 256 * 1024
+
+    async def _mine(self, body: bytes) -> bytes:
+        """The ``POST /mine`` endpoint body."""
+
+        def decode_and_validate():
+            return parse_mine_request(
+                json.loads(body), self.model, default_backend=self.backend
+            )
+
+        try:
+            if len(body) > self._OFFLOAD_PARSE_BYTES:
+                request = await asyncio.get_running_loop().run_in_executor(
+                    None, decode_and_validate
+                )
+            else:
+                request = decode_and_validate()
+        except ProtocolError as exc:
+            return response_bytes(400, {"error": str(exc)})
+        except ValueError:
+            return response_bytes(400, {"error": "body is not valid JSON"})
+        try:
+            result = await self.batcher.submit(request)
+        except RequestTooLarge as exc:
+            # Permanently too large -- retrying cannot cure this, so it
+            # must not look like a 429.  (Raised synchronously by
+            # submit, before the request is ever queued.)
+            return response_bytes(413, {"error": str(exc)})
+        except ServiceOverloaded as exc:
+            return response_bytes(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers=(("Retry-After", str(exc.retry_after)),),
+            )
+        except Exception as exc:  # mining failure: report, keep serving
+            return response_bytes(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        return response_bytes(200, result.payload())
+
+    async def serve_forever(
+        self, host: str = "127.0.0.1", port: int = 8765, on_bound=None
+    ) -> None:
+        """Start and serve until cancelled; shuts down gracefully.
+
+        ``on_bound``, when given, is called with the actual ``(host,
+        port)`` pair once the socket is bound -- the only way to learn
+        the real port of an ephemeral (``port=0``) bind.
+
+        SIGTERM (what ``docker stop`` / systemd send) triggers the same
+        graceful drain as cancellation: accepted requests are answered
+        before the process exits.  SIGINT is left to the asyncio runner
+        (Ctrl-C in a foreground ``repro-mss serve``).
+        """
+        bound = await self.start(host, port)
+        if on_bound is not None:
+            on_bound(bound)
+        loop = asyncio.get_running_loop()
+        task = asyncio.current_task()
+        sigterm_installed = False
+        try:
+            loop.add_signal_handler(signal.SIGTERM, task.cancel)
+            sigterm_installed = True
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # platforms/loops without signal-handler support
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if sigterm_installed:
+                with contextlib.suppress(Exception):
+                    loop.remove_signal_handler(signal.SIGTERM)
+            await self.stop()
+
+    def run(
+        self, host: str = "127.0.0.1", port: int = 8765, on_bound=None
+    ) -> None:
+        """Blocking convenience used by ``repro-mss serve``.
+
+        Serves until interrupted (Ctrl-C), then drains gracefully;
+        ``on_bound`` reports the actual bound address (see
+        :meth:`serve_forever`).
+        """
+        try:
+            asyncio.run(self.serve_forever(host, port, on_bound=on_bound))
+        except KeyboardInterrupt:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"MiningService(model={self.model!r}, engine={self.engine!r}, "
+            f"address={self.address!r})"
+        )
+
+
+class ServiceThread:
+    """Run a :class:`MiningService` on a background thread.
+
+    The harness tests, benchmarks and examples use to serve and call
+    from the same process: enter the context to get a live service (its
+    bound address on :attr:`address`), exit to drain and stop it.
+
+    Examples
+    --------
+    >>> service = MiningService(BernoulliModel.uniform("ab"))
+    >>> with ServiceThread(service) as handle:
+    ...     bound_port = handle.address[1]
+    >>> bound_port > 0
+    True
+    """
+
+    def __init__(
+        self,
+        service: MiningService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        startup_timeout: float = 30.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.startup_timeout = startup_timeout
+        self.address: tuple[str, int] | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+
+    def __enter__(self) -> "ServiceThread":
+        """Start the service thread; blocks until the port is bound."""
+        started = threading.Event()
+
+        def runner() -> None:
+            async def main() -> None:
+                self._stop_event = asyncio.Event()
+                try:
+                    self.address = await self.service.start(
+                        self.host, self.port
+                    )
+                except BaseException as exc:
+                    self._startup_error = exc
+                    started.set()
+                    return
+                started.set()
+                await self._stop_event.wait()
+                await self.service.stop()
+
+            self._loop = asyncio.new_event_loop()
+            try:
+                self._loop.run_until_complete(main())
+            finally:
+                self._loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(self.startup_timeout):
+            raise TimeoutError("service did not start in time")
+        if self._startup_error is not None:
+            self._thread.join(self.startup_timeout)
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Drain and stop the service, then join the thread."""
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(self.startup_timeout)
+
+    def __repr__(self) -> str:
+        return f"ServiceThread(address={self.address!r})"

@@ -1,0 +1,380 @@
+"""Request micro-batching: many concurrent requests, few kernel calls.
+
+The engine's throughput comes from batched kernel dispatch
+(``mine_batch`` over ``batch_docs`` documents) -- but a service sees
+documents one or two at a time, spread across many concurrent clients.
+:class:`MicroBatcher` converts the one into the other:
+
+1. ``submit()`` enqueues a validated
+   :class:`~repro.service.protocol.MineRequest` and awaits its result;
+   the bounded queue (``max_pending_docs``) gives deterministic
+   backpressure -- a request that would overflow it is rejected
+   *immediately* with :class:`ServiceOverloaded` (HTTP 429 +
+   ``Retry-After``), never silently delayed.
+2. A single dispatcher coroutine drains the queue into batches of up to
+   ``batch_docs`` documents, lingering ``linger_seconds`` after the
+   first arrival so concurrent requests can coalesce (set 0 to
+   dispatch eagerly).
+3. Each batch is grouped by the requests' ``(spec, model)`` key and
+   mined through **one**
+   :meth:`~repro.engine.corpus.CorpusEngine.mine_documents` call on a
+   dedicated worker thread (the engine below fans out to its persistent
+   shared-memory pool); the event loop stays responsive throughout.
+4. Each request's slice of the mined documents is then
+   :meth:`~repro.engine.corpus.CorpusEngine.finalize`-d separately --
+   calibration and the multiple-testing correction run across *that
+   request's* documents only, which is what keeps responses
+   bit-identical to a direct ``CorpusEngine.run`` of the same request
+   (enforced by ``tests/service/test_service.py``).
+
+Shutdown is graceful by construction: :meth:`close` stops intake, lets
+the dispatcher drain everything already queued, and only then returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.engine.corpus import CorpusEngine, CorpusResult
+from repro.engine.jobs import MiningJob
+from repro.engine.shm import DEFAULT_BATCH_DOCS
+from repro.service.protocol import MineRequest
+
+__all__ = ["MicroBatcher", "RequestTooLarge", "ServiceOverloaded"]
+
+
+class RequestTooLarge(ValueError):
+    """A single request that can *never* fit ``max_pending_docs``.
+
+    Deliberately not a :class:`ServiceOverloaded`: retrying cannot cure
+    it, so the HTTP front-end maps it to 413, not 429.  This is the one
+    place the condition and its message live.
+    """
+
+
+class ServiceOverloaded(Exception):
+    """The pending queue is full; retry after ``retry_after`` seconds.
+
+    The service front-end maps this to HTTP 429 with a ``Retry-After``
+    header.  Raised synchronously at submit time, so an over-capacity
+    burst fails fast instead of stacking up latency.
+    """
+
+    def __init__(self, message: str, retry_after: int = 1) -> None:
+        super().__init__(message)
+        #: Suggested client backoff in whole seconds (>= 1).
+        self.retry_after = max(1, int(retry_after))
+
+
+@dataclass
+class _Pending:
+    """One queued request: its jobs and the future its client awaits."""
+
+    request: MineRequest
+    jobs: list[MiningJob]
+    future: asyncio.Future
+    queued_at: float = field(default_factory=time.perf_counter)
+
+
+class MicroBatcher:
+    """Coalesce concurrent mine requests into batched engine dispatch.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.corpus.CorpusEngine` to drive.  For a
+        service this is built over a *persistent*
+        :class:`~repro.engine.shm.SharedMemoryExecutor`, so batch after
+        batch reuses one worker pool.
+    batch_docs:
+        Target documents per dispatched batch (a single request larger
+        than this still rides in one batch of its own).
+    max_pending_docs:
+        Bound on queued documents; the backpressure knob.
+    linger_seconds:
+        How long the dispatcher waits after the first queued request
+        for companions to arrive.  ``0`` disables coalescing delay.
+    """
+
+    def __init__(
+        self,
+        engine: CorpusEngine,
+        *,
+        batch_docs: int | None = None,
+        max_pending_docs: int = 1024,
+        linger_seconds: float = 0.002,
+    ) -> None:
+        if batch_docs is None:
+            batch_docs = engine.batch_docs or DEFAULT_BATCH_DOCS
+        if batch_docs < 1:
+            raise ValueError(f"batch_docs must be >= 1, got {batch_docs!r}")
+        if max_pending_docs < 1:
+            raise ValueError(
+                f"max_pending_docs must be >= 1, got {max_pending_docs!r}"
+            )
+        if linger_seconds < 0:
+            raise ValueError(
+                f"linger_seconds must be >= 0, got {linger_seconds!r}"
+            )
+        self.engine = engine
+        self.batch_docs = batch_docs
+        self.max_pending_docs = max_pending_docs
+        self.linger_seconds = linger_seconds
+        self._queue: collections.deque[_Pending] = collections.deque()
+        self._queued_docs = 0
+        self._in_flight_docs = 0
+        self._wakeup: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._closing = False
+        # One mining thread: batches are serialised here on purpose --
+        # parallelism lives *inside* the engine (its worker pool), and a
+        # single lane keeps dispatch order deterministic.
+        self._mine_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-mine"
+        )
+        # Counters surfaced by stats().
+        self.requests_total = 0
+        self.requests_rejected = 0
+        self.docs_total = 0
+        self.batches = 0
+        self.mine_seconds = 0.0
+
+    async def start(self) -> None:
+        """Start the dispatcher coroutine (idempotent).
+
+        A batcher that has been :meth:`close`-d stays closed -- build a
+        new one rather than restarting it.
+        """
+        if self._task is None and not self._closing:
+            self._wakeup = asyncio.Event()
+            self._task = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has begun; a closed batcher never
+        accepts again (build a new one)."""
+        return self._closing
+
+    @property
+    def queue_depth_docs(self) -> int:
+        """Documents currently queued (excludes the in-flight batch)."""
+        return self._queued_docs
+
+    @property
+    def in_flight_docs(self) -> int:
+        """Documents in the batch currently being mined."""
+        return self._in_flight_docs
+
+    def docs_per_second(self) -> float:
+        """Measured mining throughput (0.0 until the first batch lands)."""
+        if self.mine_seconds <= 0.0:
+            return 0.0
+        return self.docs_total / self.mine_seconds
+
+    def retry_after_hint(self) -> int:
+        """Deterministic backoff hint: queue depth over throughput.
+
+        Falls back to 1 second before any throughput has been measured;
+        clamped to [1, 60].
+        """
+        rate = self.docs_per_second()
+        backlog = self._queued_docs + self._in_flight_docs
+        if rate <= 0.0 or backlog <= 0:
+            return 1
+        return max(1, min(60, math.ceil(backlog / rate)))
+
+    async def submit(self, request: MineRequest) -> CorpusResult:
+        """Enqueue a request and await its :class:`CorpusResult`.
+
+        Raises :class:`ServiceOverloaded` immediately when accepting the
+        request would push the queued-document count past
+        ``max_pending_docs``, or when the batcher is shutting down.  A
+        single request larger than ``max_pending_docs`` can *never* be
+        accepted, so it raises :class:`RequestTooLarge` instead --
+        retrying it would loop forever (the HTTP front-end maps this to
+        413).
+        """
+        if request.docs > self.max_pending_docs:
+            raise RequestTooLarge(
+                f"request carries {request.docs} documents but the service "
+                f"accepts at most {self.max_pending_docs} queued documents; "
+                f"split the request"
+            )
+        if self._closing:
+            self.requests_rejected += 1
+            raise ServiceOverloaded("service is shutting down", retry_after=1)
+        if self._task is None:
+            await self.start()
+        if self._queued_docs + request.docs > self.max_pending_docs:
+            self.requests_rejected += 1
+            raise ServiceOverloaded(
+                f"pending queue is full ({self._queued_docs} of "
+                f"{self.max_pending_docs} documents queued)",
+                retry_after=self.retry_after_hint(),
+            )
+        self.requests_total += 1
+        pending = _Pending(
+            request=request,
+            jobs=request.jobs(),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._queue.append(pending)
+        self._queued_docs += request.docs
+        self._wakeup.set()
+        return await pending.future
+
+    async def close(self) -> None:
+        """Graceful drain: stop intake, mine everything queued, stop.
+
+        Every already-accepted request still gets its result (or its
+        error); only *new* submissions are rejected while draining.
+        """
+        self._closing = True
+        if self._task is not None:
+            self._wakeup.set()
+            await self._task
+            self._task = None
+        self._mine_pool.shutdown(wait=True)
+
+    def stats(self) -> dict:
+        """JSON-ready batching metrics (the ``/stats`` payload core)."""
+        return {
+            "requests_total": self.requests_total,
+            "requests_rejected": self.requests_rejected,
+            "docs_total": self.docs_total,
+            "batches": self.batches,
+            "batch_fill": (
+                self.docs_total / self.batches if self.batches else 0.0
+            ),
+            "batch_docs": self.batch_docs,
+            "max_pending_docs": self.max_pending_docs,
+            "linger_seconds": self.linger_seconds,
+            "queue_depth_docs": self._queued_docs,
+            "in_flight_docs": self._in_flight_docs,
+            "mine_seconds": self.mine_seconds,
+            "docs_per_second": self.docs_per_second(),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatcher internals.
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Drain the queue into batches until closed *and* empty."""
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self._queue and not self._closing:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            if not self._queue:
+                return  # closing and drained
+            if (
+                self.linger_seconds > 0
+                and self._queued_docs < self.batch_docs
+                and not self._closing
+            ):
+                await asyncio.sleep(self.linger_seconds)
+            batch = self._take_batch()
+            await self._run_batch(loop, batch)
+
+    def _take_batch(self) -> list[_Pending]:
+        """Pop requests until the batch reaches ``batch_docs`` documents.
+
+        Always takes at least one request, so an oversized request rides
+        in a batch of its own rather than deadlocking.
+        """
+        batch: list[_Pending] = []
+        docs = 0
+        while self._queue:
+            head_docs = self._queue[0].request.docs
+            if batch and docs + head_docs > self.batch_docs:
+                break
+            pending = self._queue.popleft()
+            docs += pending.request.docs
+            batch.append(pending)
+        self._queued_docs -= docs
+        self._in_flight_docs = docs
+        return batch
+
+    async def _run_batch(self, loop, batch: list[_Pending]) -> None:
+        """Mine *and finalize* one batch off-loop; resolve each request.
+
+        Finalize runs on the same worker thread as the mining pass --
+        it can trigger a cold Monte-Carlo calibration simulation (plus
+        a disk write, for :class:`~repro.service.store.
+        DiskCalibrationCache`), which must never stall the event loop.
+        """
+        # Order requests so equal (spec, model) keys are consecutive:
+        # mine_documents groups consecutive jobs into one kernel call.
+        groups: dict[object, list[_Pending]] = {}
+        for pending in batch:
+            key = (pending.request.spec, pending.request.model)
+            groups.setdefault(key, []).append(pending)
+        ordered = [pending for group in groups.values() for pending in group]
+        jobs = [job for pending in ordered for job in pending.jobs]
+
+        def mine_and_finalize():
+            started = time.perf_counter()
+            documents = self.engine.mine_documents(jobs)
+            mine_elapsed = time.perf_counter() - started
+            outcomes = []
+            cursor = 0
+            for pending in ordered:
+                docs = pending.request.docs
+                slice_docs = documents[cursor : cursor + docs]
+                cursor += docs
+                try:
+                    result = self.engine.finalize(
+                        pending.jobs,
+                        slice_docs,
+                        correction=pending.request.correction,
+                        alpha=pending.request.alpha,
+                        batch_docs=self.engine.batch_docs,
+                        elapsed=mine_elapsed * (docs / len(jobs)),
+                    )
+                except Exception as exc:
+                    outcomes.append((pending, exc, True))
+                else:
+                    outcomes.append((pending, result, False))
+            return mine_elapsed, outcomes
+
+        try:
+            elapsed, outcomes = await loop.run_in_executor(
+                self._mine_pool, mine_and_finalize
+            )
+        except Exception as exc:
+            self._resolve_all(ordered, exc)
+            self._in_flight_docs = 0
+            return
+        self.batches += 1
+        self.docs_total += len(jobs)
+        self.mine_seconds += elapsed
+        for pending, outcome, failed in outcomes:
+            if pending.future.done():  # client gone; nothing to deliver
+                continue
+            if failed:
+                pending.future.set_exception(outcome)
+            else:
+                pending.future.set_result(outcome)
+        self._in_flight_docs = 0
+
+    def _resolve_all(self, batch: list[_Pending], exc: Exception) -> None:
+        """Fail every request of a batch whose mining pass blew up."""
+        for pending in batch:
+            if not pending.future.done():
+                pending.future.set_exception(exc)
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatcher(batch_docs={self.batch_docs}, "
+            f"max_pending_docs={self.max_pending_docs}, "
+            f"linger_seconds={self.linger_seconds}, "
+            f"queued_docs={self._queued_docs})"
+        )

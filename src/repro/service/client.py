@@ -1,0 +1,188 @@
+"""A blocking stdlib client for the mining service.
+
+:class:`ServiceClient` wraps one keep-alive ``http.client`` connection
+to a running service (``repro-mss serve`` or an in-process
+:class:`~repro.service.app.ServiceThread`).  It exists so tests,
+benchmarks and examples never hand-roll HTTP: :meth:`ServiceClient.mine`
+takes the same vocabulary as :class:`~repro.engine.jobs.JobSpec` and
+returns the decoded :meth:`~repro.engine.corpus.CorpusResult.payload`
+dict.
+
+Error mapping: HTTP 429 raises :class:`ServiceOverloadedError` carrying
+the server's ``Retry-After`` hint; every other non-2xx status raises
+:class:`ServiceError` with the server's error message.  A dropped
+keep-alive connection is re-established once per call.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceOverloadedError"]
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error status.
+
+    ``status`` is the HTTP code; the message is the server's ``error``
+    field.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"{status}: {message}")
+        #: The HTTP status code of the failed call.
+        self.status = status
+
+
+class ServiceOverloadedError(ServiceError):
+    """HTTP 429: the service's pending queue is full.
+
+    ``retry_after`` carries the server's suggested backoff in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: int) -> None:
+        super().__init__(429, message)
+        #: Server-suggested backoff in whole seconds.
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Call a running mining service over its JSON/HTTP protocol.
+
+    Parameters
+    ----------
+    host / port:
+        Where the service listens (``ServiceThread.address`` or the
+        ``repro-mss serve`` values).
+    timeout:
+        Socket timeout per call, in seconds.
+
+    Examples
+    --------
+    >>> ServiceClient("127.0.0.1", 8765).address
+    ('127.0.0.1', 8765)
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 60.0
+    ) -> None:
+        self.address = (host, port)
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def mine(
+        self,
+        texts: list[str] | None = None,
+        *,
+        text: str | None = None,
+        ids: list[str] | None = None,
+        problem: str | None = None,
+        t: int | None = None,
+        threshold: float | None = None,
+        min_length: int | None = None,
+        limit: int | None = None,
+        backend: str | None = None,
+        alphabet: str | None = None,
+        probs: list[float] | None = None,
+        correction: str | None = None,
+        alpha: float | None = None,
+    ) -> dict:
+        """``POST /mine``: mine ``text`` (one document) or ``texts``.
+
+        Every keyword mirrors the request schema of
+        :mod:`repro.service.protocol`; ``None`` fields are simply
+        omitted and take the service defaults.  Returns the decoded
+        corpus payload (``documents``, ``significant``, ``results`` per
+        document, ...).
+        """
+        payload = {
+            name: value
+            for name, value in (
+                ("texts", texts),
+                ("text", text),
+                ("ids", ids),
+                ("problem", problem),
+                ("t", t),
+                ("threshold", threshold),
+                ("min_length", min_length),
+                ("limit", limit),
+                ("backend", backend),
+                ("alphabet", alphabet),
+                ("probs", probs),
+                ("correction", correction),
+                ("alpha", alpha),
+            )
+            if value is not None
+        }
+        return self._call("POST", "/mine", payload)
+
+    def healthz(self) -> dict:
+        """``GET /healthz``: the service's liveness payload."""
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """``GET /stats``: queue depth, batch fill, cache hit rates."""
+        return self._call("GET", "/stats")
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: returns the client itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close` the connection."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+
+    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One request/response exchange, reconnecting once if needed."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (1, 2):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    *self.address, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.HTTPException, ConnectionError, socket.timeout,
+                OSError,
+            ):
+                # A keep-alive peer may have closed between calls;
+                # retry exactly once on a fresh connection.
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            decoded = json.loads(data)
+        except ValueError:
+            raise ServiceError(
+                response.status, f"non-JSON response: {data[:200]!r}"
+            ) from None
+        if response.status == 429:
+            raise ServiceOverloadedError(
+                decoded.get("error", "overloaded"),
+                retry_after=int(response.headers.get("Retry-After", 1)),
+            )
+        if response.status >= 400:
+            raise ServiceError(
+                response.status, decoded.get("error", "unknown error")
+            )
+        return decoded
+
+    def __repr__(self) -> str:
+        return f"ServiceClient(address={self.address!r})"

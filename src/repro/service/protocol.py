@@ -1,0 +1,307 @@
+"""Wire protocol of the mining service: JSON over a small HTTP/1.1 subset.
+
+Two layers, both stdlib-only:
+
+* **Request parsing** -- :func:`parse_mine_request` turns a decoded
+  JSON body into a validated :class:`MineRequest` (documents + a
+  :class:`~repro.engine.jobs.JobSpec` + a
+  :class:`~repro.core.model.BernoulliModel`).  Everything user-supplied
+  is checked here, up front, so a malformed request is rejected with a
+  400 *before* it can poison a micro-batch shared with other clients --
+  including symbols outside the model's alphabet, which would otherwise
+  surface as a mid-batch ``KeyError`` in a worker.
+* **HTTP framing** -- :func:`read_request` / :func:`response_bytes`
+  implement exactly the slice of HTTP/1.1 the service needs
+  (``Content-Length`` framed bodies, keep-alive, no chunked encoding)
+  over raw :mod:`asyncio` streams, per the no-new-runtime-deps rule.
+  Stdlib clients (``http.client``, hence :class:`~repro.service.client.
+  ServiceClient`) speak it natively.
+
+The request JSON schema (all spec fields optional)::
+
+    {"text": "...",            # or "texts": ["...", ...]
+     "ids": ["doc-a", ...],    # optional, defaults to doc-0000...
+     "problem": "mss" | "top" | "threshold" | "minlength",
+     "t": 10, "threshold": 0.0, "min_length": 1, "limit": 100,
+     "backend": "numpy" | "python",
+     "alphabet": "ab",         # optional, else the service's model
+     "probs": [0.5, 0.5],      # optional, else uniform over alphabet
+     "correction": "bh" | "bonferroni" | "none",   # optional
+     "alpha": 0.05}                                # optional
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from repro.core.model import BernoulliModel
+from repro.engine.corrections import CORRECTIONS
+from repro.engine.jobs import JobSpec, MiningJob
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MineRequest",
+    "ProtocolError",
+    "parse_mine_request",
+    "read_request",
+    "response_bytes",
+]
+
+#: Upper bound on a request body; larger posts are rejected with 400.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: JobSpec fields a request may set directly.
+_SPEC_FIELDS = ("problem", "t", "threshold", "min_length", "limit", "backend")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable request (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class MineRequest:
+    """One validated mine request: documents plus mining parameters.
+
+    ``spec`` and ``model`` are both hashable, so ``(spec, model)`` is
+    the micro-batcher's coalescing key -- requests agreeing on both can
+    share one kernel ``mine_batch`` call.  ``correction``/``alpha`` stay
+    per-request (``None`` defers to the engine defaults): the
+    multiple-testing correction is applied across *this request's*
+    documents only, never across a shared batch.
+    """
+
+    ids: tuple[str, ...]
+    texts: tuple[str, ...] = field(repr=False)
+    spec: JobSpec
+    model: BernoulliModel
+    correction: str | None = None
+    alpha: float | None = None
+
+    @property
+    def docs(self) -> int:
+        """How many documents the request carries."""
+        return len(self.texts)
+
+    def jobs(self) -> list[MiningJob]:
+        """The request as engine jobs, in document order."""
+        return [
+            MiningJob(doc_id, text, self.spec, self.model)
+            for doc_id, text in zip(self.ids, self.texts)
+        ]
+
+
+def _parse_texts(payload: dict) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Extract and validate (ids, texts) from a request payload."""
+    has_text = "text" in payload
+    has_texts = "texts" in payload
+    if has_text == has_texts:
+        raise ProtocolError("provide exactly one of 'text' or 'texts'")
+    if has_text:
+        texts = [payload["text"]]
+    else:
+        texts = payload["texts"]
+        if not isinstance(texts, list):
+            raise ProtocolError("'texts' must be a list of strings")
+    if not texts:
+        raise ProtocolError("'texts' is empty; nothing to mine")
+    for position, text in enumerate(texts):
+        if not isinstance(text, str):
+            raise ProtocolError(
+                f"document {position} is not a string ({type(text).__name__})"
+            )
+        if not text:
+            raise ProtocolError(f"document {position} is empty")
+    ids = payload.get("ids")
+    if ids is None:
+        ids = [f"doc-{i:04d}" for i in range(len(texts))]
+    else:
+        if not isinstance(ids, list) or not all(
+            isinstance(doc_id, str) for doc_id in ids
+        ):
+            raise ProtocolError("'ids' must be a list of strings")
+        if len(ids) != len(texts):
+            raise ProtocolError(
+                f"got {len(ids)} ids for {len(texts)} documents"
+            )
+    return tuple(ids), tuple(texts)
+
+
+def _parse_model(
+    payload: dict, texts: tuple[str, ...], default_model: BernoulliModel | None
+) -> BernoulliModel:
+    """Build the request's null model (explicit, or the service default)."""
+    alphabet = payload.get("alphabet")
+    probs = payload.get("probs")
+    if alphabet is None:
+        if probs is not None:
+            raise ProtocolError("'probs' requires 'alphabet'")
+        if default_model is None:
+            raise ProtocolError(
+                "the service has no default model; pass 'alphabet'"
+            )
+        model = default_model
+    else:
+        if isinstance(alphabet, list):
+            symbols = alphabet
+        elif isinstance(alphabet, str):
+            symbols = list(alphabet)
+        else:
+            raise ProtocolError("'alphabet' must be a string or list")
+        try:
+            if probs is None:
+                model = BernoulliModel.uniform(symbols)
+            else:
+                if not isinstance(probs, list):
+                    raise ProtocolError("'probs' must be a list of numbers")
+                model = BernoulliModel(symbols, probs)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad model: {exc}") from None
+    allowed = set(model.alphabet)
+    for position, text in enumerate(texts):
+        # Set membership instead of model.encode(): same 400, without
+        # allocating a throwaway int64 array per document that the
+        # engine would only re-encode at pack time anyway.
+        extra = set(text) - allowed
+        if extra:
+            bad = next(symbol for symbol in text if symbol in extra)
+            raise ProtocolError(
+                f"document {position}: symbol {bad!r} is not in the "
+                f"alphabet {model.alphabet!r}"
+            )
+    return model
+
+
+def parse_mine_request(
+    payload: object,
+    default_model: BernoulliModel | None = None,
+    *,
+    default_backend: str | None = None,
+) -> MineRequest:
+    """Validate a decoded JSON body into a :class:`MineRequest`.
+
+    Raises :class:`ProtocolError` (an HTTP 400) on anything malformed:
+    wrong types, empty documents, unknown spec parameters' values,
+    symbols outside the alphabet, probabilities that do not sum to 1.
+    ``default_model`` is the service-level model used when the request
+    does not bring its own ``alphabet``; ``default_backend`` is the
+    service-level kernel backend applied when the request does not pick
+    one (``repro-mss serve --backend``).
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    ids, texts = _parse_texts(payload)
+    model = _parse_model(payload, texts, default_model)
+    spec_kwargs = {
+        name: payload[name] for name in _SPEC_FIELDS if payload.get(name) is not None
+    }
+    if default_backend is not None:
+        spec_kwargs.setdefault("backend", default_backend)
+    try:
+        spec = JobSpec(**spec_kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad job spec: {exc}") from None
+    correction = payload.get("correction")
+    if correction is not None and correction not in CORRECTIONS:
+        raise ProtocolError(
+            f"unknown correction {correction!r}; expected one of {CORRECTIONS}"
+        )
+    alpha = payload.get("alpha")
+    if alpha is not None:
+        if not isinstance(alpha, (int, float)) or not 0.0 < alpha < 1.0:
+            raise ProtocolError(f"alpha must be in (0, 1), got {alpha!r}")
+        alpha = float(alpha)
+    return MineRequest(
+        ids=ids, texts=texts, spec=spec, model=model,
+        correction=correction, alpha=alpha,
+    )
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter | None = None,
+) -> tuple[str, str, dict, bytes] | None:
+    """Read one HTTP request; returns (method, target, headers, body).
+
+    Returns ``None`` on a clean end-of-stream (client closed a
+    keep-alive connection between requests).  Raises
+    :class:`ProtocolError` on anything the subset does not speak:
+    over-long headers, missing ``Content-Length`` on bodied methods,
+    chunked encoding, oversized bodies.  Header names come back
+    lower-cased.  When ``writer`` is given, an ``Expect: 100-continue``
+    header is answered with the interim ``100 Continue`` before the body
+    is read -- curl sends it for bodies over ~1 KB and would otherwise
+    stall for its expect-timeout on every such request.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request head too large") from None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError("chunked transfer encoding is not supported")
+    length = headers.get("content-length", "0")
+    try:
+        length = int(length)
+    except ValueError:
+        raise ProtocolError(f"bad Content-Length {length!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(f"Content-Length {length} out of range")
+    if (
+        writer is not None
+        and length
+        and "100-continue" in headers.get("expect", "").lower()
+    ):
+        writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+        await writer.drain()
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+def response_bytes(
+    status: int,
+    payload: dict,
+    *,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one JSON response with correct framing.
+
+    >>> response_bytes(200, {"ok": True}).startswith(b"HTTP/1.1 200 OK\\r\\n")
+    True
+    """
+    body = json.dumps(payload).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

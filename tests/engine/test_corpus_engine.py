@@ -292,3 +292,67 @@ class TestJobSpecBackend:
                 doc.payload(include_timing=False) for doc in outcome.documents
             ]
         assert results["python"] == results["numpy"]
+
+
+class TestMineFinalizeSplit:
+    def test_run_equals_mine_then_finalize(self, model):
+        texts = _corpus(model, 8, 120)
+        jobs = [
+            MiningJob(f"doc-{i}", text, JobSpec(), model)
+            for i, text in enumerate(texts)
+        ]
+        whole = CorpusEngine().run(jobs)
+        engine = CorpusEngine()
+        documents = engine.mine_documents(jobs)
+        split = engine.finalize(jobs, documents)
+        assert json.dumps(
+            [doc.payload(include_timing=False) for doc in split.documents],
+            sort_keys=True,
+        ) == json.dumps(
+            [doc.payload(include_timing=False) for doc in whole.documents],
+            sort_keys=True,
+        )
+
+    def test_finalize_scope_is_per_slice(self, model):
+        """Finalizing a slice of a merged mining pass must equal running
+        that slice alone -- the service micro-batcher's contract."""
+        texts_a = _corpus(model, 5, 110, seed=40)
+        texts_b = _corpus(model, 4, 90, seed=80)
+        spec = JobSpec()
+        jobs_a = [MiningJob(f"a-{i}", t, spec, model)
+                  for i, t in enumerate(texts_a)]
+        jobs_b = [MiningJob(f"b-{i}", t, spec, model)
+                  for i, t in enumerate(texts_b)]
+        engine = CorpusEngine()
+        merged = engine.mine_documents(jobs_a + jobs_b)
+        sliced = engine.finalize(jobs_b, merged[len(jobs_a):],
+                                 correction="bonferroni", alpha=0.01)
+        alone = CorpusEngine().run(jobs_b, correction="bonferroni", alpha=0.01)
+        assert json.dumps(
+            [doc.payload(include_timing=False) for doc in sliced.documents],
+            sort_keys=True,
+        ) == json.dumps(
+            [doc.payload(include_timing=False) for doc in alone.documents],
+            sort_keys=True,
+        )
+
+    def test_finalize_rejects_mismatched_lengths(self, model):
+        jobs = [MiningJob("d", "ab" * 10, JobSpec(), model)]
+        engine = CorpusEngine()
+        documents = engine.mine_documents(jobs)
+        with pytest.raises(ValueError, match="documents"):
+            engine.finalize(jobs, documents * 2)
+
+    def test_run_elapsed_includes_calibration_time(self, model):
+        """run() wall time must cover finalize -- a cold Monte-Carlo
+        simulation is usually the dominant cost of a calibrated run."""
+        import time as time_module
+
+        class SlowCache(CalibrationCache):
+            def p_value(self, model, n, x2_max):
+                time_module.sleep(0.02)
+                return super().p_value(model, n, x2_max)
+
+        engine = CorpusEngine(calibration=SlowCache(trials=10, seed=0))
+        result = engine.run_texts(_corpus(model, 2, 80), model)
+        assert result.elapsed_seconds >= 0.04  # 2 docs x 0.02s calibration

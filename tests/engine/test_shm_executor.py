@@ -200,6 +200,96 @@ class TestPacking:
         assert [group.doc_count for group in corpus.groups] == [2, 1, 1]
 
 
+def _assert_unlinked(names):
+    """Every published block name must be gone after the run."""
+    from multiprocessing import shared_memory
+
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestPoolLifecycle:
+    def test_per_run_pool_is_torn_down_by_default(self, model, corpus):
+        executor = SharedMemoryExecutor(workers=2, batch_docs=4)
+        CorpusEngine(executor=executor).run_texts(corpus, model)
+        assert executor.persistent is False
+        assert executor.pool.started is False
+        assert executor.last_run_info["pool_reused"] is False
+
+    def test_persistent_pool_survives_across_runs(self, model, corpus):
+        with SharedMemoryExecutor(
+            workers=2, batch_docs=4, persistent=True
+        ) as executor:
+            engine = CorpusEngine(executor=executor)
+            reference = _canonical(CorpusEngine().run_texts(corpus, model))
+            for run in range(3):
+                result = engine.run_texts(corpus, model)
+                assert _canonical(result) == reference
+                info = executor.last_run_info
+                assert info["fallback_chunks"] == 0
+                assert info["pool_reused"] is (run > 0)
+            assert executor.pool.starts == 1
+            assert executor.pool.started is True
+        assert executor.pool.started is False  # context exit closed it
+
+    def test_no_shared_memory_blocks_leak(self, model, corpus):
+        """Blocks are per-run: all names unlinked before run_jobs returns,
+        pool teardown or not."""
+        persistent = SharedMemoryExecutor(workers=2, batch_docs=4, persistent=True)
+        try:
+            engine = CorpusEngine(executor=persistent)
+            for _ in range(2):
+                engine.run_texts(corpus, model)
+                names = persistent.last_run_info["shm_names"]
+                assert names  # the parallel path actually published
+                _assert_unlinked(names)
+        finally:
+            persistent.close()
+
+    def test_blocks_unlinked_even_when_workers_crash(
+        self, model, corpus, monkeypatch
+    ):
+        monkeypatch.setenv(_CRASH_ENV, "1")
+        executor = SharedMemoryExecutor(workers=2, batch_docs=4)
+        CorpusEngine(executor=executor).run_texts(corpus, model)
+        _assert_unlinked(executor.last_run_info["shm_names"])
+
+    def test_close_is_idempotent_and_restartable(self, model, corpus):
+        executor = SharedMemoryExecutor(workers=2, batch_docs=4, persistent=True)
+        reference = _canonical(CorpusEngine().run_texts(corpus, model))
+        engine = CorpusEngine(executor=executor)
+        engine.run_texts(corpus, model)
+        executor.close()
+        executor.close()
+        # the executor stays usable: the next run restarts the pool
+        assert _canonical(engine.run_texts(corpus, model)) == reference
+        assert executor.pool.starts == 2
+        executor.close()
+
+    def test_engine_context_manager_closes_executor(self, model, corpus):
+        executor = SharedMemoryExecutor(workers=2, batch_docs=4, persistent=True)
+        with CorpusEngine(executor=executor) as engine:
+            engine.run_texts(corpus, model)
+            assert executor.pool.started is True
+        assert executor.pool.started is False
+
+    def test_engine_close_is_noop_for_serial_executor(self, model):
+        with CorpusEngine() as engine:
+            engine.run_texts(["ab" * 10], model)
+        # nothing to assert beyond "does not raise": SerialExecutor has
+        # no close(), and the context manager must tolerate that
+
+    def test_warm_spawns_workers_before_first_run(self):
+        executor = SharedMemoryExecutor(workers=2, persistent=True)
+        try:
+            assert executor.pool.warm() is True
+            assert executor.pool.started is True
+            assert executor.pool.starts == 1
+        finally:
+            executor.close()
+
+
 class TestConstruction:
     def test_resolve_executor(self):
         executor = resolve_executor("shm", workers=3)

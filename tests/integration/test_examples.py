@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "sports_rivalry.py",
     "grid_hotspot.py",
     "corpus_batch.py",
+    "service_client.py",
 ]
 
 SLOW_EXAMPLES = [

@@ -1,0 +1,131 @@
+"""Request parsing and HTTP framing: every malformed input dies at 400."""
+
+import pytest
+
+from repro.core.model import BernoulliModel
+from repro.service.protocol import (
+    MineRequest,
+    ProtocolError,
+    parse_mine_request,
+    response_bytes,
+)
+
+
+@pytest.fixture
+def model():
+    return BernoulliModel.uniform("ab")
+
+
+class TestParseDocuments:
+    def test_single_text(self, model):
+        request = parse_mine_request({"text": "abab"}, model)
+        assert request.texts == ("abab",)
+        assert request.ids == ("doc-0000",)
+        assert request.docs == 1
+
+    def test_texts_with_ids(self, model):
+        request = parse_mine_request(
+            {"texts": ["ab", "ba"], "ids": ["x", "y"]}, model
+        )
+        assert request.ids == ("x", "y")
+        jobs = request.jobs()
+        assert [job.doc_id for job in jobs] == ["x", "y"]
+        assert jobs[0].model is model
+
+    @pytest.mark.parametrize("payload, message", [
+        ({}, "exactly one of"),
+        ({"text": "ab", "texts": ["ab"]}, "exactly one of"),
+        ({"texts": []}, "empty"),
+        ({"texts": "ab"}, "list of strings"),
+        ({"texts": ["ab", 7]}, "document 1 is not a string"),
+        ({"texts": ["ab", ""]}, "document 1 is empty"),
+        ({"text": "ab", "ids": ["a", "b"]}, "1 documents"),
+        ({"text": "ab", "ids": [3]}, "list of strings"),
+        (["ab"], "JSON object"),
+    ])
+    def test_malformed_documents(self, model, payload, message):
+        with pytest.raises(ProtocolError, match=message):
+            parse_mine_request(payload, model)
+
+
+class TestParseModel:
+    def test_default_model_used_when_absent(self, model):
+        assert parse_mine_request({"text": "ab"}, model).model is model
+
+    def test_explicit_alphabet_is_uniform(self, model):
+        request = parse_mine_request({"text": "abc", "alphabet": "abc"}, model)
+        assert request.model.probabilities == pytest.approx((1/3, 1/3, 1/3))
+
+    def test_explicit_probs(self, model):
+        request = parse_mine_request(
+            {"text": "ab", "alphabet": "ab", "probs": [0.75, 0.25]}, model
+        )
+        assert request.model.probabilities == (0.75, 0.25)
+
+    @pytest.mark.parametrize("payload, message", [
+        ({"text": "ab", "probs": [0.5, 0.5]}, "requires 'alphabet'"),
+        ({"text": "ab", "alphabet": 7}, "string or list"),
+        ({"text": "ab", "alphabet": "ab", "probs": [0.5]}, "bad model"),
+        ({"text": "ab", "alphabet": "ab", "probs": [0.9, 0.2]}, "bad model"),
+        ({"text": "abz"}, "document 0"),  # z outside the default alphabet
+        ({"text": "ab"}, "no default model"),
+    ])
+    def test_malformed_models(self, model, payload, message):
+        default = None if message == "no default model" else model
+        with pytest.raises(ProtocolError, match=message):
+            parse_mine_request(payload, default)
+
+
+class TestParseSpec:
+    def test_spec_fields_forwarded(self, model):
+        request = parse_mine_request(
+            {"text": "ab" * 5, "problem": "top", "t": 3, "backend": "python"},
+            model,
+        )
+        assert request.spec.problem == "top"
+        assert request.spec.t == 3
+        assert request.spec.backend == "python"
+
+    def test_correction_and_alpha(self, model):
+        request = parse_mine_request(
+            {"text": "ab", "correction": "bonferroni", "alpha": 0.01}, model
+        )
+        assert request.correction == "bonferroni"
+        assert request.alpha == 0.01
+        bare = parse_mine_request({"text": "ab"}, model)
+        assert bare.correction is None and bare.alpha is None
+
+    @pytest.mark.parametrize("payload, message", [
+        ({"text": "ab", "problem": "episode"}, "bad job spec"),
+        ({"text": "ab", "problem": "top", "t": 0}, "bad job spec"),
+        ({"text": "ab", "problem": "threshold", "limit": -1}, "bad job spec"),
+        ({"text": "ab", "correction": "fdr"}, "unknown correction"),
+        ({"text": "ab", "alpha": 1.5}, "alpha"),
+        ({"text": "ab", "alpha": "small"}, "alpha"),
+    ])
+    def test_malformed_spec(self, model, payload, message):
+        with pytest.raises(ProtocolError, match=message):
+            parse_mine_request(payload, model)
+
+    def test_requests_with_equal_spec_and_model_share_a_batch_key(self, model):
+        a = parse_mine_request({"text": "ab", "problem": "top", "t": 3}, model)
+        b = parse_mine_request({"text": "ba", "problem": "top", "t": 3}, model)
+        c = parse_mine_request({"text": "ab", "problem": "top", "t": 4}, model)
+        assert (a.spec, a.model) == (b.spec, b.model)
+        assert (a.spec, a.model) != (c.spec, c.model)
+
+
+class TestResponseBytes:
+    def test_framing(self):
+        raw = response_bytes(429, {"error": "full"},
+                             extra_headers=(("Retry-After", "2"),))
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Retry-After: 2" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert body == b'{"error": "full"}'
+
+    def test_mine_request_repr_hides_texts(self, model):
+        request = parse_mine_request({"text": "ab" * 500}, model)
+        assert isinstance(request, MineRequest)
+        assert "abab" not in repr(request)  # payloads stay out of logs
