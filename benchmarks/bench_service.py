@@ -17,12 +17,21 @@ each client count runs twice:
   requests coalesce into shared ``mine_batch`` kernel calls.
 
 Reported per row: sustained docs/sec over the timed window and the
-pooled request-latency p50/p99, plus the service's own measured batch
-fill.  The acceptance gate for PR 5 is the ``batching_speedup``
-comparison: with >= 4 concurrent clients, ``batch-on`` must sustain
-more docs/sec than ``batch-off`` (single-doc requests cannot coalesce
-with fewer concurrent senders, so the 1-client rows are the honest
-baseline, not a target).
+pooled request-latency p50/p99 -- measured twice, once by the clients'
+own clocks and once from the service's ``repro_http_request_seconds``
+histogram (the recent-window quantiles that ``GET /metrics`` and
+``/stats`` expose) -- plus the service's own measured batch fill.  The
+two latency views must agree (see ``test_service_load``): client p50
+is server p50 plus client-side overhead, so a large gap means the
+service's telemetry is lying.  The acceptance gate for PR 5 is the
+``batching_speedup`` comparison: with >= 4 concurrent clients,
+``batch-on`` must sustain more docs/sec than ``batch-off``
+(single-doc requests cannot coalesce with fewer concurrent senders, so
+the 1-client rows are the honest baseline, not a target).
+
+Each run also saves the final scenario's raw ``GET /metrics`` scrape
+(``results/metrics_smoke.txt`` / ``results/metrics.txt``); CI feeds it
+to ``tools/check_metrics.py`` to prove the exposition stays parseable.
 
 Honest measurement notes:
 
@@ -132,6 +141,15 @@ def run_scenario(label, clients, requests_per_client, warmup, doc_length,
             thread.join(600)
         window_seconds = time.perf_counter() - window_started
         stats = service.stats()
+        # The service's own latency view: recent-window quantiles off the
+        # repro_http_request_seconds histogram -- the numbers /metrics
+        # and /stats publish, compared below against client-side clocks.
+        server_histogram = service.metrics.get("repro_http_request_seconds")
+        mine_series = server_histogram.labels(endpoint="/mine")
+        server_p50 = mine_series.quantile(0.50)
+        server_p99 = mine_series.quantile(0.99)
+        with ServiceClient(*handle.address, timeout=30.0) as scraper:
+            metrics_text = scraper.metrics()
     if errors:
         raise errors[0]
     latencies = sorted(
@@ -139,7 +157,7 @@ def run_scenario(label, clients, requests_per_client, warmup, doc_length,
     )
     total_requests = len(latencies)
     batcher = stats["batcher"]
-    return {
+    return metrics_text, {
         "mode": label,
         "clients": clients,
         "batching": batch_docs > 1,
@@ -151,6 +169,8 @@ def run_scenario(label, clients, requests_per_client, warmup, doc_length,
         "p50_ms": statistics.median(latencies) * 1000.0,
         "p99_ms": latencies[min(total_requests - 1,
                                 int(0.99 * total_requests))] * 1000.0,
+        "server_p50_ms": server_p50 * 1000.0,
+        "server_p99_ms": server_p99 * 1000.0,
         "batch_fill": batcher["batch_fill"],
         "batches": batcher["batches"],
         "rejected": batcher["requests_rejected"],
@@ -165,15 +185,17 @@ def run_service_load(smoke=False):
     )
     warmup = SMOKE_WARMUP if smoke else WARMUP
     rows = []
+    metrics_text = ""
     for clients in client_counts:
         for label, batch_docs, linger in (
             ("batch-off", 1, 0.0),
             ("batch-on", BATCH_DOCS, LINGER_SECONDS),
         ):
-            rows.append(run_scenario(
+            metrics_text, row = run_scenario(
                 f"{label}-c{clients}", clients, requests_per_client, warmup,
                 doc_length, batch_docs, linger,
-            ))
+            )
+            rows.append(row)
     comparison = []
     for clients in client_counts:
         off = next(r for r in rows
@@ -189,14 +211,24 @@ def run_service_load(smoke=False):
         "requests_per_client": requests_per_client,
         "warmup_per_client": warmup,
         "smoke": smoke,
+        "metrics_text": metrics_text,
     }
     return rows, comparison, meta
 
 
 def emit_json(rows, comparison, meta):
     """Write the JSON artifact; smoke runs get their own file so they
-    never clobber the committed full-run acceptance comparison."""
+    never clobber the committed full-run acceptance comparison.
+
+    The final scenario's raw ``GET /metrics`` scrape is saved next to
+    it (``metrics_smoke.txt`` / ``metrics.txt``) for
+    ``tools/check_metrics.py`` to validate.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
+    meta = dict(meta)
+    metrics_text = meta.pop("metrics_text", "")
+    scrape_name = "metrics_smoke.txt" if meta["smoke"] else "metrics.txt"
+    (RESULTS_DIR / scrape_name).write_text(metrics_text)
     payload = {
         "benchmark": "service_load",
         "cpu_count": os.cpu_count(),
@@ -223,18 +255,34 @@ def _render(rows, comparison, meta, emit):
          f"backend={get_backend().name}"
          f"{', smoke' if meta['smoke'] else ''}):")
     header = (f"{'mode':>14}  {'clients':>7}  {'docs/sec':>9}  "
-              f"{'p50 ms':>8}  {'p99 ms':>8}  {'fill':>5}  {'batches':>7}")
+              f"{'p50 ms':>8}  {'p99 ms':>8}  {'srv p50':>8}  "
+              f"{'srv p99':>8}  {'fill':>5}  {'batches':>7}")
     emit(header)
     emit("-" * len(header))
     for row in rows:
         emit(f"{row['mode']:>14}  {row['clients']:>7}  "
              f"{row['docs_per_second']:>9.1f}  {row['p50_ms']:>8.2f}  "
-             f"{row['p99_ms']:>8.2f}  {row['batch_fill']:>5.2f}  "
+             f"{row['p99_ms']:>8.2f}  {row['server_p50_ms']:>8.2f}  "
+             f"{row['server_p99_ms']:>8.2f}  {row['batch_fill']:>5.2f}  "
              f"{row['batches']:>7}")
     for entry in comparison:
         emit(f"batching speedup at {entry['clients']} client(s): "
              f"{entry['batching_speedup']:.2f}x docs/sec, "
              f"p50 {entry['p50_ratio']:.2f}x")
+
+
+#: Client- vs server-side latency agreement: the client's clock reads
+#: server time plus client-side overhead, so server p50 must sit below
+#: the client's but within this relative band of it (plus a small
+#: absolute floor for sub-millisecond scheduling noise).
+AGREEMENT_RELATIVE = 0.5
+AGREEMENT_FLOOR_MS = 5.0
+
+
+def latency_views_agree(row) -> bool:
+    """Whether a row's client-measured and server-measured p50 agree."""
+    tolerance = max(AGREEMENT_FLOOR_MS, AGREEMENT_RELATIVE * row["p50_ms"])
+    return abs(row["p50_ms"] - row["server_p50_ms"]) <= tolerance
 
 
 def test_service_load(benchmark, reporter):
@@ -249,6 +297,10 @@ def test_service_load(benchmark, reporter):
     # with 2 concurrent clients the batch-on rows must actually coalesce
     on_rows = [row for row in rows if row["batching"]]
     assert all(row["batch_fill"] > 1.0 for row in on_rows)
+    # the service's own histogram must tell the same latency story as
+    # the clients' clocks
+    assert all(row["server_p50_ms"] > 0.0 for row in rows)
+    assert all(latency_views_agree(row) for row in rows)
 
 
 def main(argv=None):

@@ -337,6 +337,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="calibration store directory (default: "
              "$XDG_CACHE_HOME/repro-mss or ~/.cache/repro-mss)",
     )
+    serve.add_argument(
+        "--log-format",
+        choices=["text", "json"],
+        default="text",
+        help="structured log output: human-readable text or JSON lines "
+             "on stderr",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="info",
+        help="minimum level for structured log events (access logs are "
+             "'info')",
+    )
     add_backend(serve)
 
     generate = sub.add_parser("generate", help="emit a synthetic string")
@@ -562,8 +576,10 @@ def _run_batch(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    from repro.obs.log import configure as configure_logging
     from repro.service import DiskCalibrationCache, MiningService
 
+    configure_logging(format=args.log_format, level=args.log_level)
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
     if args.batch_docs < 1:

@@ -31,11 +31,14 @@ import hashlib
 import json
 import os
 import threading
+import time
 from typing import Iterator
 
 from repro._validation import ensure_positive_int
 from repro.analysis.calibration import MSSNullDistribution, mss_null_distribution
 from repro.core.model import BernoulliModel
+from repro.obs.log import get_logger
+from repro.obs.metrics import default_registry
 
 __all__ = [
     "length_bucket",
@@ -55,6 +58,8 @@ SCHEMA_VERSION = 1
 
 #: Magic string identifying our persisted-calibration JSON files.
 _FORMAT = "repro-mss-calibration"
+
+_LOG = get_logger("repro.engine.calibration")
 
 
 def _fingerprint_from_values(alphabet, probabilities, trials, seed) -> str:
@@ -175,6 +180,19 @@ class CalibrationCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: The :class:`~repro.obs.metrics.MetricsRegistry` cache events
+        #: and simulation timings are reported into; a service replaces
+        #: it with its own registry.
+        self.metrics = default_registry()
+
+    def _event(self, event: str) -> None:
+        """Count one cache event (hit/miss/simulate/disk tier) in the
+        metrics registry, labelled by kind."""
+        self.metrics.counter(
+            "repro_calibration_events_total",
+            "Calibration cache events by kind",
+            labelnames=("event",),
+        ).labels(event=event).inc()
 
     def __len__(self) -> int:
         return len(self._distributions)
@@ -190,16 +208,32 @@ class CalibrationCache:
             cached = self._distributions.get(key)
             if cached is not None:
                 self.hits += 1
-                return cached
+        if cached is not None:
+            self._event("memory_hit")
+            return cached
         loaded = self._loaded_entry(model, bucket)
         if loaded is not None:
+            self._event("loaded_hit")
             with self._lock:
                 self.hits += 1
                 return self._distributions.setdefault(key, loaded)
         # Simulate outside the lock: concurrent misses on the same key may
         # duplicate work but stay correct (the simulation is deterministic
         # per key, so whichever insert wins stores the identical result).
+        started = time.perf_counter()
         distribution = self._simulate(model, bucket)
+        elapsed = time.perf_counter() - started
+        self.metrics.histogram(
+            "repro_calibration_simulate_seconds",
+            "Wall seconds per Monte-Carlo calibration simulation",
+        ).observe(elapsed)
+        self._event("simulate")
+        _LOG.info(
+            "calibration_simulate",
+            bucket=bucket,
+            trials=self.trials,
+            seconds=round(elapsed, 6),
+        )
         with self._lock:
             self.misses += 1
             return self._distributions.setdefault(key, distribution)

@@ -44,6 +44,7 @@ from repro.engine.jobs import (
     run_job,
     run_job_batch,
 )
+from repro.obs.metrics import MetricsRegistry, default_registry
 
 __all__ = ["CorpusEngine", "CorpusResult"]
 
@@ -168,6 +169,12 @@ class CorpusEngine:
         is a large serial win on corpora of small documents (see
         ``benchmarks/bench_engine_scaling.py``).  ``None`` (default)
         keeps per-document dispatch.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` mine/finalize
+        timings and document counts are reported into.  ``None`` (the
+        default) uses the process-wide
+        :func:`~repro.obs.metrics.default_registry`; a service injects
+        its own so ``/metrics`` reflects only that service's work.
 
     Examples
     --------
@@ -190,6 +197,7 @@ class CorpusEngine:
         correction: str = "bh",
         alpha: float = 0.05,
         batch_docs: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if correction not in CORRECTIONS:
             raise ValueError(
@@ -202,6 +210,7 @@ class CorpusEngine:
         self.correction = correction
         self.alpha = alpha
         self.batch_docs = _validate_batch_docs(batch_docs)
+        self.metrics = metrics if metrics is not None else default_registry()
 
     def run(
         self,
@@ -267,22 +276,34 @@ class CorpusEngine:
             self.batch_docs if batch_docs is None
             else _validate_batch_docs(batch_docs)
         )
-        if hasattr(self.executor, "run_jobs"):
-            # Corpus-owning executors (the shared-memory path) take the
-            # whole job list: they pack documents into shared memory up
-            # front and pick their own chunking when batch_docs is None.
-            return self.executor.run_jobs(job_list, batch_docs=batch_docs)
-        if batch_docs is None:
-            return self.executor.map(run_job, job_list)
-        chunks = [
-            job_list[i : i + batch_docs]
-            for i in range(0, len(job_list), batch_docs)
-        ]
-        return [
-            doc
-            for chunk in self.executor.map(run_job_batch, chunks)
-            for doc in chunk
-        ]
+        started = time.perf_counter()
+        try:
+            if hasattr(self.executor, "run_jobs"):
+                # Corpus-owning executors (the shared-memory path) take
+                # the whole job list: they pack documents into shared
+                # memory up front and pick their own chunking when
+                # batch_docs is None.
+                return self.executor.run_jobs(job_list, batch_docs=batch_docs)
+            if batch_docs is None:
+                return self.executor.map(run_job, job_list)
+            chunks = [
+                job_list[i : i + batch_docs]
+                for i in range(0, len(job_list), batch_docs)
+            ]
+            return [
+                doc
+                for chunk in self.executor.map(run_job_batch, chunks)
+                for doc in chunk
+            ]
+        finally:
+            self.metrics.histogram(
+                "repro_engine_mine_seconds",
+                "Wall seconds per mine_documents pass",
+            ).observe(time.perf_counter() - started)
+            self.metrics.counter(
+                "repro_engine_docs_mined_total",
+                "Documents mined by the engine",
+            ).inc(len(job_list))
 
     def finalize(
         self,
@@ -307,6 +328,7 @@ class CorpusEngine:
         each document's model).  ``elapsed`` is the wall time reported
         on the result.
         """
+        finalize_started = time.perf_counter()
         job_list = list(jobs)
         documents = list(documents)
         if len(job_list) != len(documents):
@@ -324,7 +346,7 @@ class CorpusEngine:
             doc.p_corrected = p_adj
             doc.significant = p_adj <= alpha
 
-        return CorpusResult(
+        result = CorpusResult(
             documents=documents,
             stats=ScanStats.merged(doc.stats for doc in documents),
             correction=correction,
@@ -338,6 +360,11 @@ class CorpusEngine:
                 self.calibration.summary() if self.calibration is not None else None
             ),
         )
+        self.metrics.histogram(
+            "repro_engine_finalize_seconds",
+            "Wall seconds per finalize pass (calibration + correction)",
+        ).observe(time.perf_counter() - finalize_started)
+        return result
 
     def _resolve_correction(
         self, correction: str | None, alpha: float | None

@@ -56,6 +56,9 @@ import numpy as np
 from repro.core.counts import PrefixCountIndex
 from repro.core.results import ScanStats, SignificantSubstring
 from repro.engine.jobs import DocumentResult, MiningJob, ordered_scan
+from repro.obs.log import get_logger
+from repro.obs.metrics import LocalMetrics, MetricsRegistry, default_registry
+from repro.obs.tracing import active_trace_ids
 
 __all__ = [
     "DEFAULT_BATCH_DOCS",
@@ -75,6 +78,17 @@ DEFAULT_BATCH_DOCS = 32
 #: fallback test flips.  Never set outside the test-suite.
 _CRASH_ENV = "REPRO_SHM_TEST_CRASH"
 
+_LOG = get_logger("repro.engine.shm")
+
+#: Help strings for the worker-side counters merged into the parent's
+#: registry (one :class:`~repro.obs.metrics.LocalMetrics` per chunk,
+#: returned piggybacked on the chunk's result payload).
+_WORKER_HELP = {
+    "repro_worker_docs_mined_total": "Documents mined by chunk tasks",
+    "repro_worker_chunks_total": "Chunk tasks completed",
+    "repro_worker_kernel_seconds": "Kernel seconds per chunk task",
+}
+
 
 @dataclass(frozen=True)
 class GroupDescriptor:
@@ -86,13 +100,17 @@ class GroupDescriptor:
     chunk task this is just the task's *slice* of the group table --
     absolute offsets preserved -- so per-task pickling stays
     O(batch_docs), not O(group documents).  ``spec`` and ``model`` are
-    the group's shared mining parameters.
+    the group's shared mining parameters.  ``trace_ids`` carries the
+    request trace ids of the batch this chunk belongs to (see
+    :mod:`repro.obs.tracing`) -- purely diagnostic, empty outside a
+    traced service request.
     """
 
     shm_name: str
     offsets: np.ndarray
     spec: object
     model: object
+    trace_ids: tuple = ()
 
     @property
     def total_symbols(self) -> int:
@@ -131,9 +149,12 @@ class _PackedGroup:
             model=self.model,
         )
 
-    def span_descriptor(self, lo: int, hi: int) -> GroupDescriptor:
+    def span_descriptor(
+        self, lo: int, hi: int, trace_ids: tuple = ()
+    ) -> GroupDescriptor:
         """A descriptor covering documents ``lo..hi`` only -- the
-        per-task unit, carrying just that span's offset slice."""
+        per-task unit, carrying just that span's offset slice (plus the
+        batch's request trace ids, for diagnostics)."""
         if self.shm is None:
             raise RuntimeError("group was packed without publish=True")
         return GroupDescriptor(
@@ -141,6 +162,7 @@ class _PackedGroup:
             offsets=self.offsets[lo : hi + 1],
             spec=self.spec,
             model=self.model,
+            trace_ids=trace_ids,
         )
 
 
@@ -235,7 +257,8 @@ def pack_jobs(jobs: Sequence[MiningJob], *, publish: bool = True) -> PackedCorpu
 def _mine_span(spec, model, codes, offsets, lo, hi):
     """Mine documents ``lo..hi`` of one packed group into compact arrays.
 
-    Returns ``(per_doc, x2, bounds, counts, kernel_seconds, mined)``:
+    Returns ``(per_doc, x2, bounds, counts, kernel_seconds, mined,
+    local_metrics)``:
 
     * ``per_doc`` -- int64 ``(hi - lo, 4)``: substring count, evaluated,
       skipped, truncated flag per document;
@@ -245,7 +268,12 @@ def _mine_span(spec, model, codes, offsets, lo, hi):
       wrappers' result order (:func:`~repro.engine.jobs.ordered_scan`);
     * ``mined`` -- how many documents actually reached the kernel
       (minlength documents shorter than the floor never do, mirroring
-      :func:`~repro.engine.jobs.run_job_batch`).
+      :func:`~repro.engine.jobs.run_job_batch`);
+    * ``local_metrics`` -- a picklable
+      :class:`~repro.obs.metrics.LocalMetrics` of this chunk's
+      counters/timings, accumulated worker-side and merged into the
+      parent's registry during aggregation (no shared state crosses
+      the process boundary).
     """
     from repro.kernels import get_backend
 
@@ -282,7 +310,12 @@ def _mine_span(spec, model, codes, offsets, lo, hi):
     x2 = np.array(x2_parts, dtype=np.float64)
     bounds = np.array(bounds_parts, dtype=np.int64).reshape(len(bounds_parts), 2)
     counts = np.array(counts_parts, dtype=np.int64).reshape(len(counts_parts), k)
-    return per_doc, x2, bounds, counts, kernel_seconds, len(pending)
+    local = LocalMetrics()
+    local.inc("repro_worker_chunks_total")
+    local.inc("repro_worker_docs_mined_total", len(pending))
+    if pending:
+        local.observe("repro_worker_kernel_seconds", kernel_seconds)
+    return per_doc, x2, bounds, counts, kernel_seconds, len(pending), local
 
 
 # ----------------------------------------------------------------------
@@ -448,7 +481,7 @@ def _documents_from_payload(group, lo, payload):
     """Rebuild ``DocumentResult`` values from one chunk's compact arrays."""
     spec = group.spec
     model = group.model
-    per_doc, x2, bounds, counts, kernel_seconds, mined = payload
+    per_doc, x2, bounds, counts, kernel_seconds, mined, _ = payload
     share = kernel_seconds / mined if mined else 0.0
     documents: list[DocumentResult] = []
     cursor = 0
@@ -530,6 +563,11 @@ class SharedMemoryExecutor:
         Either way :meth:`close` (or the context-manager form) releases
         the pool; published shared-memory blocks are always per-run and
         always unlinked before ``run_jobs`` returns.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` pack/mine/
+        aggregate timings, chunk counters and merged worker-side
+        :class:`~repro.obs.metrics.LocalMetrics` are reported into;
+        ``None`` uses the process-wide default registry.
 
     Examples
     --------
@@ -550,6 +588,7 @@ class SharedMemoryExecutor:
         workers: int | None = None,
         batch_docs: int | None = None,
         persistent: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.workers = max(
             1, workers if workers is not None else (os.cpu_count() or 1)
@@ -558,6 +597,7 @@ class SharedMemoryExecutor:
             raise ValueError(f"batch_docs must be >= 1, got {batch_docs!r}")
         self.batch_docs = batch_docs
         self.persistent = bool(persistent)
+        self.metrics = metrics if metrics is not None else default_registry()
         #: The executor's :class:`WorkerPool` (lazily started; kept
         #: alive across runs when ``persistent``).
         self.pool = WorkerPool(self.workers)
@@ -622,6 +662,7 @@ class SharedMemoryExecutor:
         """
         job_list = list(jobs)
         batch = self.chunk_size(batch_docs)
+        starts_before = self.pool.starts
         info = {
             "workers": self.workers,
             "batch_docs": batch,
@@ -634,8 +675,14 @@ class SharedMemoryExecutor:
             "shm_names": [],
             "pool_persistent": self.persistent,
             "pool_reused": False,
-            "pool_starts": self.pool.starts,
+            "pool_starts": starts_before,
         }
+        # Request trace ids declared by the caller (the service batcher
+        # sets them around mine_documents); stamped onto chunk
+        # descriptors and the run's diagnostics.
+        trace_ids = active_trace_ids()
+        if trace_ids:
+            info["trace_ids"] = list(trace_ids)
         # Publish only when the pool would actually be used: a corpus
         # that fits one chunk (or one worker) mines in-process, so
         # copying it into shared memory would be pure waste.
@@ -661,10 +708,12 @@ class SharedMemoryExecutor:
         ]
         info["chunks"] = len(chunks)
         payloads: dict[tuple[int, int, int], tuple] = {}
+        worker_chunks: set = set()
         try:
             started = time.perf_counter()
             if parallel and corpus.published:
-                self._mine_parallel(corpus, chunks, payloads, info)
+                self._mine_parallel(corpus, chunks, payloads, info, trace_ids)
+                worker_chunks = set(payloads)
             for chunk in chunks:
                 if chunk not in payloads:
                     group = corpus.groups[chunk[0]]
@@ -690,16 +739,56 @@ class SharedMemoryExecutor:
                 )
             )
         info["aggregate_seconds"] = time.perf_counter() - started
+        # Per-chunk kernel attribution: enough for the batcher to hang
+        # worker-chunk child spans off a traced request's batch_mine.
+        info["chunk_spans"] = [
+            {
+                "docs": chunk[2] - chunk[1],
+                "kernel_seconds": payloads[chunk][4],
+                "worker": chunk in worker_chunks,
+            }
+            for chunk in chunks
+        ]
+        self._report_metrics(info, payloads, starts_before)
         self.last_run_info = info
         return documents
 
-    def _mine_parallel(self, corpus, chunks, payloads, info):
+    def _report_metrics(self, info, payloads, starts_before) -> None:
+        """Fold one run's timings and the chunks' piggybacked
+        :class:`~repro.obs.metrics.LocalMetrics` into the registry."""
+        metrics = self.metrics
+        for stage in ("pack", "mine", "aggregate"):
+            metrics.histogram(
+                f"repro_shm_{stage}_seconds",
+                f"Wall seconds of the {stage} stage per run_jobs call",
+            ).observe(info[f"{stage}_seconds"])
+        metrics.counter(
+            "repro_shm_chunks_total", "Chunk tasks dispatched"
+        ).inc(info["chunks"])
+        fallback = metrics.counter(
+            "repro_shm_fallback_chunks_total",
+            "Chunk tasks re-mined in-process after a worker failure",
+        )
+        if info["fallback_chunks"]:
+            fallback.inc(info["fallback_chunks"])
+        restarts = metrics.counter(
+            "repro_shm_pool_starts_total", "Worker pool (re)starts"
+        )
+        if self.pool.starts > starts_before:
+            restarts.inc(self.pool.starts - starts_before)
+        for payload in payloads.values():
+            payload[6].merge_into(metrics, help=_WORKER_HELP)
+
+    def _mine_parallel(self, corpus, chunks, payloads, info, trace_ids=()):
         """Fan chunks over the worker pool; failures stay un-filled in
         ``payloads`` for the caller's in-process pass."""
         info["pool_reused"] = self.pool.started
         pool = self.pool.ensure_started()
         if pool is None:
             info["fallback_chunks"] = len(chunks)
+            _LOG.warning(
+                "pool_unavailable", chunks=len(chunks), workers=self.workers
+            )
             return
         futures: list[tuple[tuple[int, int, int], object]] = []
         broken = False
@@ -707,7 +796,7 @@ class SharedMemoryExecutor:
             group_id, lo, hi = chunk
             # Per-task pickling carries only this span's offset slice --
             # total IPC stays O(documents), not O(chunks x documents).
-            span = corpus.groups[group_id].span_descriptor(lo, hi)
+            span = corpus.groups[group_id].span_descriptor(lo, hi, trace_ids)
             try:
                 futures.append((chunk, pool.submit(_mine_chunk, span)))
             except concurrent.futures.process.BrokenProcessPool:
@@ -730,12 +819,19 @@ class SharedMemoryExecutor:
                 # caller's in-process fallback.  Results cannot be
                 # corrupted -- this chunk simply gets re-mined.
                 info["fallback_chunks"] += 1
+                _LOG.warning(
+                    "worker_fallback",
+                    error=type(exc).__name__,
+                    chunk_docs=chunk[2] - chunk[1],
+                    trace_ids=list(trace_ids),
+                )
                 if isinstance(exc, concurrent.futures.process.BrokenProcessPool):
                     broken = True
         if broken:
             # A broken pool never recovers; drop it so the next run (or
             # the next service request) starts a fresh one.
             self.pool.discard()
+            _LOG.warning("pool_broken_discarded", workers=self.workers)
 
     def __repr__(self) -> str:
         return (

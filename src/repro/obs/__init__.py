@@ -1,0 +1,66 @@
+"""Observability for the mining stack: metrics, tracing, structured logs.
+
+Three stdlib-only modules, threaded through every layer of the serving
+system (HTTP front-end → micro-batcher → corpus engine → kernel
+backends → shared-memory workers):
+
+* :mod:`repro.obs.metrics` -- a thread-safe registry of counters,
+  gauges and histograms; one :meth:`~repro.obs.metrics.MetricsRegistry.
+  snapshot` feeds ``GET /stats`` and one :meth:`~repro.obs.metrics.
+  MetricsRegistry.render_prometheus` feeds ``GET /metrics``, so both
+  surfaces report the same numbers from one source of truth.  Worker
+  processes accumulate into a picklable
+  :class:`~repro.obs.metrics.LocalMetrics` returned piggybacked on
+  chunk results.
+* :mod:`repro.obs.tracing` -- per-request
+  :class:`~repro.obs.tracing.Trace` span trees (parse → queue-wait →
+  batch-mine → kernel → finalize → serialize), recorded into bounded
+  recent/slow ring buffers (:class:`~repro.obs.tracing.TraceRecorder`)
+  and served at ``GET /stats?trace=1``.
+* :mod:`repro.obs.log` -- JSON-lines structured logging (access log,
+  worker-crash/fallback events, calibration cache events), selectable
+  via ``repro-mss serve --log-format json|text --log-level``.
+
+See ``docs/ARCHITECTURE.md`` §6 for the metric catalog, the span tree
+diagram, and the log-event reference.
+"""
+
+from repro.obs.log import StructuredLogger, configure, get_logger
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LocalMetrics,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    Trace,
+    TraceRecorder,
+    active_trace,
+    active_trace_ids,
+    new_trace_id,
+    set_active_trace_ids,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LocalMetrics",
+    "MetricsRegistry",
+    "Span",
+    "StructuredLogger",
+    "Trace",
+    "TraceRecorder",
+    "active_trace",
+    "active_trace_ids",
+    "configure",
+    "default_registry",
+    "get_logger",
+    "new_trace_id",
+    "set_active_trace_ids",
+]

@@ -18,7 +18,19 @@ Endpoints (JSON over a minimal HTTP/1.1 subset, stdlib only):
   Over capacity: ``429`` with a ``Retry-After`` hint.
 * ``GET /healthz`` -- liveness: status, uptime, pool state.
 * ``GET /stats`` -- queue depth, batch fill, cache hit rates, executor
-  diagnostics.
+  diagnostics, and the full metrics snapshot; ``GET /stats?trace=1``
+  additionally returns the recent/slow request span trees (see
+  :mod:`repro.obs.tracing`).
+* ``GET /metrics`` -- the same registry in Prometheus text exposition
+  format (version 0.0.4), ready to scrape.
+
+Observability is wired through a per-service
+:class:`~repro.obs.metrics.MetricsRegistry` shared by the batcher, the
+engine, the executor and the calibration cache; every request gets a
+:class:`~repro.obs.tracing.Trace` whose id is echoed in the
+``X-Trace-Id`` response header (and inside 4xx/5xx error bodies, so a
+failing client can quote it).  Successful ``POST /mine`` bodies are
+**unchanged** -- byte-identical to an engine run, traced or not.
 
 Run it with ``repro-mss serve`` (see :mod:`repro.cli`), or in-process::
 
@@ -42,6 +54,10 @@ from repro.engine.calibration import CalibrationCache
 from repro.engine.corpus import CorpusEngine
 from repro.engine.executors import SerialExecutor, SharedMemoryExecutor
 from repro.engine.shm import DEFAULT_BATCH_DOCS
+from repro.kernels import get_backend
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Trace, TraceRecorder
 from repro.service.batcher import (
     MicroBatcher,
     RequestTooLarge,
@@ -52,9 +68,14 @@ from repro.service.protocol import (
     parse_mine_request,
     read_request,
     response_bytes,
+    text_response_bytes,
 )
 
 __all__ = ["MiningService", "ServiceThread"]
+
+#: Endpoint label values for the HTTP metrics.  Unknown paths are
+#: clamped to "other" so a scanner cannot inflate label cardinality.
+_KNOWN_ENDPOINTS = frozenset({"/mine", "/healthz", "/stats", "/metrics"})
 
 
 class MiningService:
@@ -122,11 +143,47 @@ class MiningService:
         self.model = model
         self.backend = backend
         self.engine = engine
+        # One registry for the whole service: the batcher, engine,
+        # executor and calibration cache all record into it, so /stats
+        # and GET /metrics describe the same numbers.  Fresh per service
+        # (not the process default) so two services never mix counters.
+        self.metrics = MetricsRegistry()
+        engine.metrics = self.metrics
+        if hasattr(engine.executor, "metrics"):
+            engine.executor.metrics = self.metrics
+        if engine.calibration is not None:
+            engine.calibration.metrics = self.metrics
+        self.traces = TraceRecorder()
         self.batcher = MicroBatcher(
             engine,
             batch_docs=batch_docs,
             max_pending_docs=max_pending_docs,
             linger_seconds=linger_seconds,
+            metrics=self.metrics,
+        )
+        self._log = get_logger("repro.service")
+        self._http_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint and status code.",
+            labelnames=("endpoint", "status"),
+        )
+        self._http_seconds = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "End-to-end HTTP request latency, by endpoint.",
+            labelnames=("endpoint",),
+        )
+        self._stage_seconds = self.metrics.histogram(
+            "repro_request_stage_seconds",
+            "Per-stage seconds of traced mine requests.",
+            labelnames=("stage",),
+        )
+        self._uptime_gauge = self.metrics.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since the service bound its socket.",
+        )
+        self._queue_gauge = self.metrics.gauge(
+            "repro_service_queue_depth_docs",
+            "Documents currently queued in the micro-batcher.",
         )
         self._server: asyncio.base_events.Server | None = None
         self._started_at: float | None = None
@@ -208,10 +265,12 @@ class MiningService:
             "engine": {
                 "executor": getattr(executor, "name", type(executor).__name__),
                 "workers": getattr(executor, "workers", 1),
+                "backend": get_backend(self.backend).name,
                 "batch_docs": self.engine.batch_docs,
                 "correction": self.engine.correction,
                 "alpha": self.engine.alpha,
             },
+            "metrics": self.metrics.snapshot(),
         }
         pool = getattr(executor, "pool", None)
         if pool is not None:
@@ -273,7 +332,10 @@ class MiningService:
                 method, target, headers, body = parsed
                 self._active_exchanges += 1
                 try:
-                    writer.write(await self._route(method, target, body))
+                    started = time.perf_counter()
+                    response = await self._route(method, target, body)
+                    self._count_request(target, response, started)
+                    writer.write(response)
                     await writer.drain()
                 finally:
                     self._active_exchanges -= 1
@@ -289,9 +351,44 @@ class MiningService:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
+    def _count_request(
+        self, target: str, response: bytes, started: float
+    ) -> None:
+        """Record one served exchange into the HTTP metrics.
+
+        The status code is read back off the serialized status line
+        (``HTTP/1.1 NNN ...``) so every path through :meth:`_route` is
+        counted identically; unknown endpoints share one ``other`` label
+        to keep cardinality bounded.
+        """
+        path = target.split("?", 1)[0]
+        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+        try:
+            status = response[9:12].decode("ascii")
+        except (IndexError, UnicodeDecodeError):  # pragma: no cover
+            status = "???"
+        self._http_requests.labels(endpoint=endpoint, status=status).inc()
+        self._http_seconds.labels(endpoint=endpoint).observe(
+            time.perf_counter() - started
+        )
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition 0.0.4.
+
+        Point-in-time gauges (uptime, queue depth) are refreshed at
+        scrape time; everything else is already live in the registry.
+        """
+        self._uptime_gauge.set(
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        self._queue_gauge.set(float(self.batcher.queue_depth_docs))
+        return self.metrics.render_prometheus()
+
     async def _route(self, method: str, target: str, body: bytes) -> bytes:
         """Dispatch one request to its endpoint; always returns a response."""
-        path = target.split("?", 1)[0]
+        path, _, query = target.partition("?")
         if path == "/healthz":
             if method != "GET":
                 return response_bytes(405, {"error": "use GET"})
@@ -299,7 +396,14 @@ class MiningService:
         if path == "/stats":
             if method != "GET":
                 return response_bytes(405, {"error": "use GET"})
-            return response_bytes(200, self.stats())
+            data = self.stats()
+            if "trace=1" in query.split("&"):
+                data["traces"] = self.traces.snapshot()
+            return response_bytes(200, data)
+        if path == "/metrics":
+            if method != "GET":
+                return response_bytes(405, {"error": "use GET"})
+            return text_response_bytes(200, self.render_metrics())
         if path == "/mine":
             if method != "POST":
                 return response_bytes(405, {"error": "use POST"})
@@ -313,13 +417,21 @@ class MiningService:
     _OFFLOAD_PARSE_BYTES = 256 * 1024
 
     async def _mine(self, body: bytes) -> bytes:
-        """The ``POST /mine`` endpoint body."""
+        """The ``POST /mine`` endpoint body.
+
+        Every request gets a :class:`~repro.obs.tracing.Trace`; its id
+        rides the ``X-Trace-Id`` header on all outcomes and inside the
+        JSON body of error responses.  Successful bodies stay
+        byte-identical to an untraced engine run.
+        """
+        trace = Trace()
 
         def decode_and_validate():
             return parse_mine_request(
                 json.loads(body), self.model, default_backend=self.backend
             )
 
+        parse_started = time.perf_counter()
         try:
             if len(body) > self._OFFLOAD_PARSE_BYTES:
                 request = await asyncio.get_running_loop().run_in_executor(
@@ -328,27 +440,79 @@ class MiningService:
             else:
                 request = decode_and_validate()
         except ProtocolError as exc:
-            return response_bytes(400, {"error": str(exc)})
+            return self._error(trace, None, 400, {"error": str(exc)})
         except ValueError:
-            return response_bytes(400, {"error": "body is not valid JSON"})
+            return self._error(
+                trace, None, 400, {"error": "body is not valid JSON"}
+            )
+        trace.add(
+            "parse", parse_started, time.perf_counter(), bytes=len(body)
+        )
         try:
-            result = await self.batcher.submit(request)
+            result = await self.batcher.submit(request, trace=trace)
         except RequestTooLarge as exc:
             # Permanently too large -- retrying cannot cure this, so it
             # must not look like a 429.  (Raised synchronously by
             # submit, before the request is ever queued.)
-            return response_bytes(413, {"error": str(exc)})
+            return self._error(trace, request, 413, {"error": str(exc)})
         except ServiceOverloaded as exc:
-            return response_bytes(
+            return self._error(
+                trace,
+                request,
                 429,
                 {"error": str(exc), "retry_after": exc.retry_after},
                 extra_headers=(("Retry-After", str(exc.retry_after)),),
             )
         except Exception as exc:  # mining failure: report, keep serving
-            return response_bytes(
-                500, {"error": f"{type(exc).__name__}: {exc}"}
+            return self._error(
+                trace, request, 500,
+                {"error": f"{type(exc).__name__}: {exc}"},
             )
-        return response_bytes(200, result.payload())
+        serialize_started = time.perf_counter()
+        response = response_bytes(
+            200,
+            result.payload(),
+            extra_headers=(("X-Trace-Id", trace.trace_id),),
+        )
+        trace.add("serialize", serialize_started, time.perf_counter())
+        self._finish_request(trace, request, 200)
+        return response
+
+    def _error(
+        self, trace, request, status: int, payload: dict, *, extra_headers=()
+    ) -> bytes:
+        """Serialize one error outcome, stamping the trace id into it."""
+        payload = dict(payload)
+        payload["trace_id"] = trace.trace_id
+        response = response_bytes(
+            status,
+            payload,
+            extra_headers=(
+                ("X-Trace-Id", trace.trace_id),
+                *extra_headers,
+            ),
+        )
+        self._finish_request(trace, request, status)
+        return response
+
+    def _finish_request(self, trace, request, status: int) -> None:
+        """Close out one traced request: histograms, ring buffer, log."""
+        trace.finish()
+        stages = trace.stage_seconds()
+        for stage, seconds in stages.items():
+            self._stage_seconds.labels(stage=stage).observe(seconds)
+        self.traces.record(trace)
+        self._log.info(
+            "access",
+            trace_id=trace.trace_id,
+            status=status,
+            docs=request.docs if request is not None else 0,
+            tenant=request.tenant_key if request is not None else None,
+            spec=request.spec_hash if request is not None else None,
+            queue_ms=round(stages.get("queue_wait", 0.0) * 1000.0, 3),
+            mine_ms=round(stages.get("batch_mine", 0.0) * 1000.0, 3),
+            total_ms=round(trace.total_seconds * 1000.0, 3),
+        )
 
     async def serve_forever(
         self, host: str = "127.0.0.1", port: int = 8765, on_bound=None

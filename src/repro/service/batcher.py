@@ -43,9 +43,19 @@ from dataclasses import dataclass, field
 from repro.engine.corpus import CorpusEngine, CorpusResult
 from repro.engine.jobs import MiningJob
 from repro.engine.shm import DEFAULT_BATCH_DOCS
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    Trace,
+    reset_active_trace_ids,
+    set_active_trace_ids,
+)
 from repro.service.protocol import MineRequest
 
 __all__ = ["MicroBatcher", "RequestTooLarge", "ServiceOverloaded"]
+
+#: Document-count buckets for the batch-fill histogram (how full each
+#: dispatched batch was, in documents).
+_FILL_BUCKETS = tuple(float(2**i) for i in range(10))
 
 
 class RequestTooLarge(ValueError):
@@ -79,6 +89,8 @@ class _Pending:
     jobs: list[MiningJob]
     future: asyncio.Future
     queued_at: float = field(default_factory=time.perf_counter)
+    #: Request trace to append batching/mining spans to (optional).
+    trace: Trace | None = None
 
 
 class MicroBatcher:
@@ -99,6 +111,12 @@ class MicroBatcher:
     linger_seconds:
         How long the dispatcher waits after the first queued request
         for companions to arrive.  ``0`` disables coalescing delay.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` backing the
+        batcher's counters and histograms.  Defaults to a **fresh**
+        registry per batcher (not the process default) so that stats
+        start at zero for each instance; the service injects its own
+        registry to aggregate across components.
     """
 
     def __init__(
@@ -108,6 +126,7 @@ class MicroBatcher:
         batch_docs: int | None = None,
         max_pending_docs: int = 1024,
         linger_seconds: float = 0.002,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if batch_docs is None:
             batch_docs = engine.batch_docs or DEFAULT_BATCH_DOCS
@@ -137,12 +156,94 @@ class MicroBatcher:
         self._mine_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-mine"
         )
-        # Counters surfaced by stats().
-        self.requests_total = 0
-        self.requests_rejected = 0
-        self.docs_total = 0
-        self.batches = 0
-        self.mine_seconds = 0.0
+        # Counters surfaced by stats() and GET /metrics: registry-backed
+        # so /stats and the Prometheus exposition share one source of
+        # truth.  The attribute-style views below stay assignable for
+        # tests and callers that seed them.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "repro_batcher_requests_total",
+            "Mine requests accepted by the micro-batcher.",
+        )
+        self._requests_rejected = self.metrics.counter(
+            "repro_batcher_requests_rejected_total",
+            "Mine requests rejected with backpressure (queue full or closing).",
+        )
+        self._docs_total = self.metrics.counter(
+            "repro_batcher_docs_total",
+            "Documents mined through dispatched batches.",
+        )
+        self._batches = self.metrics.counter(
+            "repro_batcher_batches_total",
+            "Batches dispatched to the engine.",
+        )
+        self._mine_seconds = self.metrics.counter(
+            "repro_batcher_mine_seconds_total",
+            "Wall seconds spent in batched mining passes.",
+        )
+        self._mine_histogram = self.metrics.histogram(
+            "repro_batch_mine_seconds",
+            "Wall seconds per dispatched batch mining pass.",
+        )
+        self._fill_histogram = self.metrics.histogram(
+            "repro_batch_fill_docs",
+            "Documents per dispatched batch.",
+            buckets=_FILL_BUCKETS,
+        )
+        self._queue_wait_histogram = self.metrics.histogram(
+            "repro_batch_queue_wait_seconds",
+            "Seconds a request waited queued before its batch started.",
+        )
+
+    # ------------------------------------------------------------------
+    # Registry-backed counter views (readable *and* assignable, so
+    # existing callers and tests that seed them keep working).
+    # ------------------------------------------------------------------
+
+    @property
+    def requests_total(self) -> int:
+        """Requests accepted (registry-backed)."""
+        return int(self._requests_total.value)
+
+    @requests_total.setter
+    def requests_total(self, value) -> None:
+        self._requests_total.reset(value)
+
+    @property
+    def requests_rejected(self) -> int:
+        """Requests rejected with backpressure (registry-backed)."""
+        return int(self._requests_rejected.value)
+
+    @requests_rejected.setter
+    def requests_rejected(self, value) -> None:
+        self._requests_rejected.reset(value)
+
+    @property
+    def docs_total(self) -> int:
+        """Documents mined through batches (registry-backed)."""
+        return int(self._docs_total.value)
+
+    @docs_total.setter
+    def docs_total(self, value) -> None:
+        self._docs_total.reset(value)
+
+    @property
+    def batches(self) -> int:
+        """Batches dispatched (registry-backed)."""
+        return int(self._batches.value)
+
+    @batches.setter
+    def batches(self, value) -> None:
+        self._batches.reset(value)
+
+    @property
+    def mine_seconds(self) -> float:
+        """Wall seconds spent mining (registry-backed)."""
+        return self._mine_seconds.value
+
+    @mine_seconds.setter
+    def mine_seconds(self, value) -> None:
+        self._mine_seconds.reset(value)
 
     async def start(self) -> None:
         """Start the dispatcher coroutine (idempotent).
@@ -190,7 +291,9 @@ class MicroBatcher:
             return 1
         return max(1, min(60, math.ceil(backlog / rate)))
 
-    async def submit(self, request: MineRequest) -> CorpusResult:
+    async def submit(
+        self, request: MineRequest, *, trace: Trace | None = None
+    ) -> CorpusResult:
         """Enqueue a request and await its :class:`CorpusResult`.
 
         Raises :class:`ServiceOverloaded` immediately when accepting the
@@ -200,6 +303,11 @@ class MicroBatcher:
         accepted, so it raises :class:`RequestTooLarge` instead --
         retrying it would loop forever (the HTTP front-end maps this to
         413).
+
+        When a :class:`~repro.obs.tracing.Trace` is supplied, the
+        batcher appends queue-wait, batch-mine (with kernel / shm
+        children) and finalize spans to it as the request moves through
+        the pipeline.
         """
         if request.docs > self.max_pending_docs:
             raise RequestTooLarge(
@@ -208,22 +316,23 @@ class MicroBatcher:
                 f"split the request"
             )
         if self._closing:
-            self.requests_rejected += 1
+            self._requests_rejected.inc()
             raise ServiceOverloaded("service is shutting down", retry_after=1)
         if self._task is None:
             await self.start()
         if self._queued_docs + request.docs > self.max_pending_docs:
-            self.requests_rejected += 1
+            self._requests_rejected.inc()
             raise ServiceOverloaded(
                 f"pending queue is full ({self._queued_docs} of "
                 f"{self.max_pending_docs} documents queued)",
                 retry_after=self.retry_after_hint(),
             )
-        self.requests_total += 1
+        self._requests_total.inc()
         pending = _Pending(
             request=request,
             jobs=request.jobs(),
             future=asyncio.get_running_loop().create_future(),
+            trace=trace,
         )
         self._queue.append(pending)
         self._queued_docs += request.docs
@@ -321,15 +430,42 @@ class MicroBatcher:
         jobs = [job for pending in ordered for job in pending.jobs]
 
         def mine_and_finalize():
+            trace_ids = tuple(
+                pending.trace.trace_id
+                for pending in ordered
+                if pending.trace is not None
+            )
             started = time.perf_counter()
-            documents = self.engine.mine_documents(jobs)
-            mine_elapsed = time.perf_counter() - started
+            # Tunnel the batch's trace ids to the shm executor through a
+            # contextvar: mine_documents keeps its signature (test fakes
+            # override it), yet worker-fallback logs can still name the
+            # requests a crashed chunk belonged to.
+            token = set_active_trace_ids(trace_ids) if trace_ids else None
+            try:
+                documents = self.engine.mine_documents(jobs)
+            finally:
+                if token is not None:
+                    reset_active_trace_ids(token)
+            mine_done = time.perf_counter()
+            mine_elapsed = mine_done - started
+            self._mine_histogram.observe(mine_elapsed)
+            self._fill_histogram.observe(float(len(jobs)))
+            run_info = getattr(self.engine.executor, "last_run_info", None)
+            run_info = run_info if isinstance(run_info, dict) else {}
             outcomes = []
             cursor = 0
             for pending in ordered:
                 docs = pending.request.docs
                 slice_docs = documents[cursor : cursor + docs]
                 cursor += docs
+                self._queue_wait_histogram.observe(
+                    max(0.0, started - pending.queued_at)
+                )
+                if pending.trace is not None:
+                    self._record_spans(
+                        pending, slice_docs, started, mine_done, run_info
+                    )
+                finalize_started = time.perf_counter()
                 try:
                     result = self.engine.finalize(
                         pending.jobs,
@@ -343,6 +479,10 @@ class MicroBatcher:
                     outcomes.append((pending, exc, True))
                 else:
                     outcomes.append((pending, result, False))
+                if pending.trace is not None:
+                    pending.trace.add(
+                        "finalize", finalize_started, time.perf_counter()
+                    )
             return mine_elapsed, outcomes
 
         try:
@@ -353,9 +493,9 @@ class MicroBatcher:
             self._resolve_all(ordered, exc)
             self._in_flight_docs = 0
             return
-        self.batches += 1
-        self.docs_total += len(jobs)
-        self.mine_seconds += elapsed
+        self._batches.inc()
+        self._docs_total.inc(len(jobs))
+        self._mine_seconds.inc(elapsed)
         for pending, outcome, failed in outcomes:
             if pending.future.done():  # client gone; nothing to deliver
                 continue
@@ -364,6 +504,59 @@ class MicroBatcher:
             else:
                 pending.future.set_result(outcome)
         self._in_flight_docs = 0
+
+    def _record_spans(
+        self, pending: _Pending, slice_docs, started, mine_done, run_info
+    ) -> None:
+        """Append batching spans for one request to its trace.
+
+        ``queue_wait`` and ``batch_mine`` are measured directly; the
+        ``kernel`` / ``shm_pack`` / ``replay`` children are synthesised
+        from the engine's per-document scan stats and the executor's
+        ``last_run_info`` timings (their positions inside ``batch_mine``
+        are approximate, their durations are measured).
+        """
+        trace = pending.trace
+        trace.add(
+            "queue_wait",
+            min(pending.queued_at, started),
+            started,
+            docs=pending.request.docs,
+        )
+        trace.add(
+            "batch_mine",
+            started,
+            mine_done,
+            batch_docs=len(slice_docs),
+        )
+        kernel_seconds = sum(
+            document.stats.elapsed_seconds for document in slice_docs
+        )
+        pack_seconds = float(run_info.get("pack_seconds") or 0.0)
+        if pack_seconds > 0.0:
+            trace.add(
+                "shm_pack",
+                started,
+                min(mine_done, started + pack_seconds),
+                parent="batch_mine",
+            )
+        if kernel_seconds > 0.0:
+            kernel_start = min(mine_done, started + pack_seconds)
+            trace.add(
+                "kernel",
+                kernel_start,
+                min(mine_done, kernel_start + kernel_seconds),
+                parent="batch_mine",
+                docs=len(slice_docs),
+            )
+        replay_seconds = float(run_info.get("aggregate_seconds") or 0.0)
+        if replay_seconds > 0.0:
+            trace.add(
+                "replay",
+                max(started, mine_done - replay_seconds),
+                mine_done,
+                parent="batch_mine",
+            )
 
     def _resolve_all(self, batch: list[_Pending], exc: Exception) -> None:
         """Fail every request of a batch whose mining pass blew up."""

@@ -122,9 +122,18 @@ class ServiceClient:
         """``GET /healthz``: the service's liveness payload."""
         return self._call("GET", "/healthz")
 
-    def stats(self) -> dict:
-        """``GET /stats``: queue depth, batch fill, cache hit rates."""
-        return self._call("GET", "/stats")
+    def stats(self, *, trace: bool = False) -> dict:
+        """``GET /stats``: queue depth, batch fill, cache hit rates.
+
+        ``trace=True`` asks for ``/stats?trace=1``, which additionally
+        returns the recent and slow request span trees under
+        ``"traces"``.
+        """
+        return self._call("GET", "/stats?trace=1" if trace else "/stats")
+
+    def metrics(self) -> str:
+        """``GET /metrics``: the Prometheus text exposition (raw text)."""
+        return self._call("GET", "/metrics", expect_json=False)
 
     def close(self) -> None:
         """Close the underlying connection (idempotent)."""
@@ -144,7 +153,14 @@ class ServiceClient:
     # Transport.
     # ------------------------------------------------------------------
 
-    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        expect_json: bool = True,
+    ):
         """One request/response exchange, reconnecting once if needed."""
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
@@ -167,6 +183,12 @@ class ServiceClient:
                 self.close()
                 if attempt == 2:
                     raise
+        if not expect_json:
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, data.decode("utf-8", "replace")[:200]
+                )
+            return data.decode("utf-8")
         try:
             decoded = json.loads(data)
         except ValueError:

@@ -33,6 +33,7 @@ The request JSON schema (all spec fields optional)::
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 from dataclasses import dataclass, field
 
@@ -47,6 +48,7 @@ __all__ = [
     "parse_mine_request",
     "read_request",
     "response_bytes",
+    "text_response_bytes",
 ]
 
 #: Upper bound on a request body; larger posts are rejected with 400.
@@ -94,6 +96,33 @@ class MineRequest:
     def docs(self) -> int:
         """How many documents the request carries."""
         return len(self.texts)
+
+    @property
+    def tenant_key(self) -> str:
+        """Short stable hash of the request's null model.
+
+        Requests sharing an (alphabet, probabilities) pair share a
+        tenant key -- the per-tenant accounting handle the access log
+        records (and the eventual per-tenant quota layer will key on).
+        Deliberately *not* derived from any client identity: the model
+        is what distinguishes tenants of a shared mining service.
+        """
+        payload = json.dumps(
+            [
+                [str(symbol) for symbol in self.model.alphabet],
+                [float(p) for p in self.model.probabilities],
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+    @property
+    def spec_hash(self) -> str:
+        """Short stable hash of the job spec (problem + parameters),
+        for correlating access-log lines with request shapes."""
+        return hashlib.sha256(
+            repr(self.spec).encode("utf-8")
+        ).hexdigest()[:12]
 
     def jobs(self) -> list[MiningJob]:
         """The request as engine jobs, in document order."""
@@ -304,4 +333,28 @@ def response_bytes(
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
     lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def text_response_bytes(
+    status: int,
+    text: str,
+    *,
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one plain-text response (the ``GET /metrics`` body).
+
+    The default content type is the Prometheus text exposition format's.
+
+    >>> text_response_bytes(200, "x 1\\n").endswith(b"x 1\\n")
+    True
+    """
+    body = text.encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -36,8 +36,11 @@ from repro.engine.calibration import (
     model_fingerprint,
 )
 from repro.analysis.calibration import MSSNullDistribution
+from repro.obs.log import get_logger
 
 __all__ = ["DiskCalibrationCache", "default_cache_dir"]
+
+_LOG = get_logger("repro.service.store")
 
 #: Magic string identifying per-bucket entry files on disk.
 _ENTRY_FORMAT = "repro-mss-calibration-entry"
@@ -120,12 +123,17 @@ class DiskCalibrationCache(CalibrationCache):
             cached = self._distributions.get(key)
             if cached is not None:
                 self.hits += 1
-                return cached
+        if cached is not None:
+            self._event("memory_hit")
+            return cached
         loaded = self._read_entry(model, bucket)
         if loaded is not None:
+            self._event("disk_hit")
+            _LOG.debug("calibration_disk_hit", bucket=bucket)
             with self._lock:
                 self.disk_hits += 1
                 return self._distributions.setdefault(key, loaded)
+        self._event("disk_miss")
         with self._lock:
             self.disk_misses += 1
         distribution = super().distribution_for(model, n)
@@ -136,13 +144,20 @@ class DiskCalibrationCache(CalibrationCache):
         """Load one entry, or None when absent/corrupt/mismatched.
 
         Unusable files are a miss, not an error: the caller re-simulates
-        and overwrites them, which self-heals a damaged store.
+        and overwrites them, which self-heals a damaged store.  A file
+        that *exists* but cannot be used (torn JSON, schema or
+        fingerprint mismatch, wrong sample count) is additionally
+        counted and logged as a ``disk_corrupt`` event -- an absent file
+        is an ordinary cold miss and stays silent.
         """
         path = self.entry_path(model, bucket)
         try:
             with open(path, encoding="utf-8") as handle:
                 entry = json.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
+            self._corrupt(path, bucket, "unreadable or invalid JSON")
             return None
         expected = model_fingerprint(model, self.trials, self.seed)
         try:
@@ -154,13 +169,25 @@ class DiskCalibrationCache(CalibrationCache):
                 and len(entry["samples"]) == self.trials
             )
             if not usable:
+                self._corrupt(path, bucket, "schema or fingerprint mismatch")
                 return None
             samples = tuple(float(value) for value in entry["samples"])
             return MSSNullDistribution(
                 n=bucket, alphabet_size=model.k, samples=samples
             )
         except (KeyError, TypeError, ValueError):
+            self._corrupt(path, bucket, "malformed entry fields")
             return None
+
+    def _corrupt(self, path, bucket, reason: str) -> None:
+        """Count and log one unusable on-disk entry."""
+        self._event("disk_corrupt")
+        _LOG.warning(
+            "calibration_disk_corrupt",
+            path=str(path),
+            bucket=bucket,
+            reason=reason,
+        )
 
     def _write_entry(self, model, bucket, distribution) -> None:
         """Persist one freshly simulated entry (atomic, best-effort).
@@ -186,13 +213,20 @@ class DiskCalibrationCache(CalibrationCache):
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle)
             os.replace(tmp, path)
-        except OSError:
+        except OSError as exc:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            _LOG.warning(
+                "calibration_disk_write_failed",
+                path=str(path),
+                error=type(exc).__name__,
+            )
             return
         self.disk_writes += 1
+        self._event("disk_write")
+        _LOG.debug("calibration_disk_write", path=str(path), bucket=bucket)
 
     def summary(self) -> dict:
         """JSON-ready view including the disk tier (for ``/stats``)."""

@@ -1,0 +1,89 @@
+"""Structured logs: JSON/text formats, level gating, global config.
+
+The logger is the service's only speaking channel besides HTTP, so the
+format contract matters: one line per event, machine-parseable in JSON
+mode, and a misconfigured level name must fail loudly at configure
+time, not silently swallow events.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _restore_config():
+    """Each test configures freely; restore the defaults afterwards."""
+    yield
+    configure(format="text", level="warning", stream=None)
+
+
+def capture(fmt="json", level="debug"):
+    stream = io.StringIO()
+    configure(format=fmt, level=level, stream=stream)
+    return stream
+
+
+class TestJsonFormat:
+    def test_event_is_one_json_line(self):
+        stream = capture()
+        get_logger("repro.test").info("access", status=200, docs=3)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+        assert record["event"] == "access"
+        assert record["status"] == 200
+        assert record["docs"] == 3
+        assert "ts" in record
+
+    def test_non_json_safe_fields_are_stringified(self):
+        stream = capture()
+        get_logger("repro.test").warning("odd", value={1, 2})
+        record = json.loads(stream.getvalue())
+        assert isinstance(record["value"], str)
+
+
+class TestTextFormat:
+    def test_event_renders_key_value_pairs(self):
+        stream = capture(fmt="text")
+        get_logger("repro.test").error("worker_fallback", chunk=4)
+        line = stream.getvalue().strip()
+        assert "repro.test" in line
+        assert "worker_fallback" in line
+        assert "chunk=4" in line
+
+
+class TestLevels:
+    def test_below_threshold_is_dropped(self):
+        stream = capture(level="warning")
+        logger = get_logger("repro.test")
+        logger.debug("noise")
+        logger.info("noise")
+        logger.warning("kept")
+        assert stream.getvalue().count("\n") == 1
+
+    def test_default_level_is_warning(self):
+        stream = io.StringIO()
+        configure(format="json", stream=stream)  # level untouched -> warning
+        configure(level="warning")
+        get_logger("repro.test").info("hidden")
+        get_logger("repro.test").warning("shown")
+        assert "hidden" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_bad_level_rejected_at_configure_time(self):
+        with pytest.raises(ValueError):
+            configure(level="loud")
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            configure(format="xml")
+
+
+def test_logger_instances_are_cached_by_name():
+    assert get_logger("repro.x") is get_logger("repro.x")

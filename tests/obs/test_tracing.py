@@ -1,0 +1,141 @@
+"""Request tracing: span trees, context propagation, the slow ring.
+
+The tracing contract the service relies on: spans recorded from any
+thread land in one tree, parent links nest, only top-level spans feed
+the per-stage histograms (no double billing), and the recorder keeps a
+slow request inspectable long after fast ones have rotated it out of
+the recent ring.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    Trace,
+    TraceRecorder,
+    active_trace_ids,
+    new_trace_id,
+    reset_active_trace_ids,
+    set_active_trace_ids,
+)
+
+
+class TestTrace:
+    def test_span_context_manager_times_the_body(self):
+        trace = Trace("t1")
+        with trace.span("parse"):
+            pass
+        spans = trace.spans()
+        assert [span.name for span in spans] == ["parse"]
+        assert spans[0].seconds >= 0.0
+
+    def test_add_records_explicit_intervals_with_notes(self):
+        trace = Trace()
+        span = trace.add("queue_wait", 1.0, 1.5, docs=3)
+        assert span.seconds == pytest.approx(0.5)
+        assert span.notes == {"docs": 3}
+
+    def test_tree_nests_children_under_parents(self):
+        trace = Trace("t2")
+        trace.add("batch_mine", 0.0, 1.0)
+        trace.add("kernel", 0.1, 0.6, parent="batch_mine")
+        trace.add("replay", 0.6, 0.9, parent="batch_mine")
+        tree = trace.tree()
+        assert tree["trace_id"] == "t2"
+        (root,) = tree["spans"]
+        assert root["name"] == "batch_mine"
+        assert [child["name"] for child in root["children"]] == [
+            "kernel",
+            "replay",
+        ]
+
+    def test_stage_seconds_skips_children(self):
+        trace = Trace()
+        trace.add("batch_mine", 0.0, 1.0)
+        trace.add("kernel", 0.0, 0.8, parent="batch_mine")
+        trace.add("finalize", 1.0, 1.25)
+        stages = trace.stage_seconds()
+        assert stages == pytest.approx(
+            {"batch_mine": 1.0, "finalize": 0.25}
+        )
+
+    def test_spans_recorded_from_another_thread_are_visible(self):
+        trace = Trace()
+
+        def worker():
+            trace.add("kernel", 0.0, 0.5)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert [span.name for span in trace.spans()] == ["kernel"]
+
+    def test_finish_is_idempotent(self):
+        trace = Trace()
+        trace.finish()
+        first = trace.ended
+        trace.finish()
+        assert trace.ended == first
+
+    def test_new_trace_ids_are_distinct(self):
+        assert new_trace_id() != new_trace_id()
+
+
+class TestActiveTraceIds:
+    def test_set_and_reset_roundtrip(self):
+        assert active_trace_ids() == ()
+        token = set_active_trace_ids(("abc", "def"))
+        try:
+            assert active_trace_ids() == ("abc", "def")
+        finally:
+            reset_active_trace_ids(token)
+        assert active_trace_ids() == ()
+
+    def test_ids_do_not_leak_across_threads(self):
+        token = set_active_trace_ids(("abc",))
+        seen = []
+
+        def worker():
+            seen.append(active_trace_ids())
+
+        try:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        finally:
+            reset_active_trace_ids(token)
+        assert seen == [()]
+
+
+class TestTraceRecorder:
+    def test_recent_ring_is_bounded(self):
+        recorder = TraceRecorder(capacity=2, slow_ms=10_000.0)
+        for _ in range(5):
+            trace = Trace()
+            trace.finish()
+            recorder.record(trace)
+        snapshot = recorder.snapshot()
+        assert snapshot["recorded"] == 5
+        assert len(snapshot["recent"]) == 2
+        assert snapshot["slow"] == []
+
+    def test_slow_trace_survives_fast_churn(self):
+        recorder = TraceRecorder(capacity=2, slow_ms=0.0)
+        slow = Trace("slowone")
+        slow.add("batch_mine", 0.0, 1.0)
+        slow.finish()
+        recorder.record(slow)
+        # churn the recent ring far past capacity with threshold raised
+        recorder.slow_ms = 10_000.0
+        for _ in range(10):
+            fast = Trace()
+            fast.finish()
+            recorder.record(fast)
+        snapshot = recorder.snapshot()
+        assert [t["trace_id"] for t in snapshot["slow"]] == ["slowone"]
+        assert "slowone" not in [t["trace_id"] for t in snapshot["recent"]]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)

@@ -1,0 +1,234 @@
+"""Observability end-to-end: /metrics, /stats schema, traces, logs.
+
+The contract under test, per the observability PR:
+
+* ``GET /metrics`` is valid Prometheus text exposition (the same
+  validator CI runs over the benchmark's scrape gates it here) and
+  carries the request-latency histograms, per-stage timings, cache
+  hit/miss counters and -- with ``workers > 1`` -- the worker-side
+  counters merged back from the shm pool;
+* the ``/stats`` payload keeps one schema across executor variants
+  (serial vs shared-memory, persistent or not), now including the
+  resolved kernel backend and the full metrics snapshot;
+* a request's span tree is retrievable afterwards from
+  ``GET /stats?trace=1``, and error responses carry their trace id in
+  both the JSON body and the ``X-Trace-Id`` header;
+* none of it perturbs responses: a mined 200 body is byte-identical
+  to the pre-observability payload shape (covered by the parity tests
+  in ``test_service.py``, which this file deliberately leaves alone).
+"""
+
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core.model import BernoulliModel
+from repro.generators import generate_null_string
+from repro.service import MiningService, ServiceClient, ServiceThread
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+sys.path.insert(0, str(_TOOLS))
+from check_metrics import check_exposition  # noqa: E402
+
+MODEL = BernoulliModel.uniform("ab")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [
+        generate_null_string(MODEL, 60 + 10 * (i % 3), seed=4200 + i)
+        for i in range(6)
+    ]
+
+
+def _serve(**kwargs):
+    return ServiceThread(MiningService(MODEL, **kwargs))
+
+
+def _post(address, body_bytes):
+    """Raw POST /mine, returning (status, headers, decoded body)."""
+    request = urllib.request.Request(
+        f"http://{address[0]}:{address[1]}/mine",
+        data=body_bytes,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.headers, json.load(response)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers, json.loads(exc.read())
+
+
+#: Executor variants the /stats schema must hold across.
+VARIANTS = [
+    pytest.param({"workers": 1}, id="serial"),
+    pytest.param({"workers": 2}, id="shm-persistent"),
+]
+
+
+class TestStatsSchema:
+    @pytest.mark.parametrize("kwargs", VARIANTS)
+    def test_schema_is_stable_across_executors(self, corpus, kwargs):
+        with _serve(batch_docs=4, linger_seconds=0.0, **kwargs) as handle:
+            with ServiceClient(*handle.address) as client:
+                client.mine(texts=corpus)
+                stats = client.stats()
+        assert stats["uptime_seconds"] > 0.0
+        engine = stats["engine"]
+        # the resolved kernel backend, not None, whatever the executor
+        assert engine["backend"] in ("numpy", "python")
+        for key in ("executor", "workers", "batch_docs", "correction",
+                    "alpha"):
+            assert key in engine
+        batcher = stats["batcher"]
+        assert batcher["requests_total"] == 1
+        assert batcher["docs_total"] == len(corpus)
+        # the metrics snapshot rides /stats and tells the same story
+        metrics = stats["metrics"]
+        assert (
+            metrics["repro_batcher_docs_total"]["value"] == len(corpus)
+        )
+        assert metrics["repro_engine_mine_seconds"]["count"] >= 1
+        http = metrics["repro_http_requests_total"]["series"]
+        mined = [
+            series for series in http
+            if series["labels"] == {"endpoint": "/mine", "status": "200"}
+        ]
+        assert mined and mined[0]["value"] == 1
+
+    def test_shm_variant_reports_worker_counters(self, corpus):
+        with _serve(workers=2, batch_docs=4, linger_seconds=0.0) as handle:
+            with ServiceClient(*handle.address) as client:
+                client.mine(texts=corpus)
+                metrics = client.stats()["metrics"]
+        # counters accumulated inside worker processes, merged by the
+        # parent off the chunk result payloads
+        assert metrics["repro_worker_chunks_total"]["value"] >= 1
+        assert (
+            metrics["repro_worker_docs_mined_total"]["value"] == len(corpus)
+        )
+        assert metrics["repro_shm_chunks_total"]["value"] >= 1
+        # created at zero so dashboards can rate() it before any crash
+        assert metrics["repro_shm_fallback_chunks_total"]["value"] == 0
+
+
+class TestMetricsEndpoint:
+    @pytest.mark.parametrize("kwargs", VARIANTS)
+    def test_exposition_is_valid_prometheus_text(self, corpus, kwargs):
+        with _serve(batch_docs=4, linger_seconds=0.0, **kwargs) as handle:
+            with ServiceClient(*handle.address) as client:
+                client.mine(texts=corpus)
+                text = client.metrics()
+        assert check_exposition(text) == []
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert "# TYPE repro_request_stage_seconds histogram" in text
+
+    def test_two_services_do_not_share_counters(self, corpus):
+        with _serve(batch_docs=4, linger_seconds=0.0) as first:
+            with ServiceClient(*first.address) as client:
+                client.mine(texts=corpus)
+        with _serve(batch_docs=4, linger_seconds=0.0) as second:
+            with ServiceClient(*second.address) as client:
+                client.mine(texts=corpus[:2])
+                stats = client.stats()
+        assert stats["batcher"]["docs_total"] == 2
+
+    def test_calibration_cache_events_are_counted(self, corpus, tmp_path):
+        from repro.service import DiskCalibrationCache
+
+        cache = DiskCalibrationCache(tmp_path, trials=20)
+        service = MiningService(
+            MODEL, batch_docs=4, linger_seconds=0.0, calibration=cache
+        )
+        with ServiceThread(service) as handle:
+            with ServiceClient(*handle.address) as client:
+                client.mine(texts=corpus)
+                client.mine(texts=corpus)
+                metrics = client.stats()["metrics"]
+        events = {
+            tuple(series["labels"].items()): series["value"]
+            for series in metrics["repro_calibration_events_total"]["series"]
+        }
+        assert events[(("event", "simulate"),)] >= 1
+        assert events[(("event", "memory_hit"),)] >= 1
+
+
+class TestTracing:
+    def test_span_tree_is_retrievable_after_the_request(self, corpus):
+        with _serve(batch_docs=4, linger_seconds=0.0) as handle:
+            with ServiceClient(*handle.address) as client:
+                client.mine(texts=corpus)
+                traces = client.stats(trace=True)["traces"]
+        assert traces["recorded"] == 1
+        (tree,) = traces["recent"]
+        names = [span["name"] for span in tree["spans"]]
+        assert names == [
+            "parse", "queue_wait", "batch_mine", "finalize", "serialize",
+        ]
+        batch_mine = tree["spans"][2]
+        children = [c["name"] for c in batch_mine.get("children", ())]
+        assert "kernel" in children
+        assert tree["total_ms"] > 0.0
+
+    def test_plain_stats_omits_traces(self, corpus):
+        with _serve(batch_docs=4, linger_seconds=0.0) as handle:
+            with ServiceClient(*handle.address) as client:
+                client.mine(texts=corpus[:1])
+                assert "traces" not in client.stats()
+
+    def test_success_carries_trace_header_but_clean_body(self, corpus):
+        with _serve(batch_docs=4, linger_seconds=0.0) as handle:
+            body = json.dumps({"texts": corpus[:1]}).encode()
+            status, headers, payload = _post(handle.address, body)
+        assert status == 200
+        assert len(headers["X-Trace-Id"]) == 16
+        assert "trace_id" not in payload  # 200 bodies stay bit-identical
+
+
+class TestErrorTraceIds:
+    def test_400_body_carries_trace_id(self):
+        with _serve() as handle:
+            status, headers, payload = _post(handle.address, b"{not json")
+        assert status == 400
+        assert payload["trace_id"] == headers["X-Trace-Id"]
+
+    def test_413_body_carries_trace_id(self, corpus):
+        with _serve(max_pending_docs=2) as handle:
+            body = json.dumps({"texts": corpus[:4]}).encode()
+            status, headers, payload = _post(handle.address, body)
+        assert status == 413
+        assert payload["trace_id"] == headers["X-Trace-Id"]
+        assert "error" in payload
+
+
+class TestAccessLog:
+    def test_mine_request_emits_one_access_line(self, corpus):
+        import io
+
+        from repro.obs.log import configure
+
+        stream = io.StringIO()
+        configure(format="json", level="info", stream=stream)
+        try:
+            with _serve(batch_docs=4, linger_seconds=0.0) as handle:
+                with ServiceClient(*handle.address) as client:
+                    client.mine(texts=corpus[:2])
+        finally:
+            configure(format="text", level="warning", stream=sys.stderr)
+        records = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+            if '"event":"access"' in line
+        ]
+        assert len(records) == 1
+        record = records[0]
+        assert record["status"] == 200
+        assert record["docs"] == 2
+        assert len(record["trace_id"]) == 16
+        assert record["total_ms"] >= record["mine_ms"] >= 0.0
+        assert len(record["tenant"]) == 12
+        assert len(record["spec"]) == 12

@@ -12,8 +12,9 @@ Three checks, all hard failures:
    ``*.md`` file must exist on disk (anchors are stripped; external
    ``http(s)``/``mailto`` links are out of scope).
 2. **Docstrings.**  Every symbol exported from ``repro`` (its
-   ``__all__``), every name in ``repro.kernels.__all__`` and
-   ``repro.service.__all__``, and both kernel backend classes must
+   ``__all__``), every name in ``repro.kernels.__all__``,
+   ``repro.service.__all__`` and ``repro.obs.__all__``, and both
+   kernel backend classes must
    carry a docstring -- including the public methods and properties the
    classes define themselves.  This is the "a third-party backend can
    be written from the docs alone" guarantee of
@@ -103,6 +104,7 @@ def check_docstrings() -> list[str]:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     import repro
     import repro.kernels as kernels
+    import repro.obs as obs
     import repro.service as service
     from repro.kernels.numpy_backend import NumpyBackend
     from repro.kernels.python_backend import PythonBackend
@@ -112,6 +114,7 @@ def check_docstrings() -> list[str]:
         (repro, [n for n in repro.__all__ if n != "__version__"]),
         (kernels, list(kernels.__all__)),
         (service, list(service.__all__)),
+        (obs, list(obs.__all__)),
     ):
         for name in names:
             obj = getattr(module, name)
