@@ -47,6 +47,13 @@ Honest measurement notes:
 Run directly (``python benchmarks/bench_service.py``, ``--smoke`` for
 the fast CI variant) or through pytest
 (``pytest benchmarks/bench_service.py``).
+
+``--fault SPEC`` (e.g. ``--fault worker_crash:0.3``) switches to the
+chaos smoke: a ``REPRO_FAULTS`` spec is injected, multi-chunk batches
+are driven through a 2-worker pool, and the run fails unless every
+response stayed bit-identical to a direct engine run *and* the injected
+fault actually bit (nonzero ``repro_shm_fallback_chunks_total`` for
+worker-facing faults).  CI's ``chaos-smoke`` job runs exactly this.
 """
 
 import argparse
@@ -59,6 +66,8 @@ import time
 from pathlib import Path
 
 from repro.core.model import BernoulliModel
+from repro.engine import CorpusEngine
+from repro.faults import FAULTS_ENV, reset_faults
 from repro.generators import generate_null_string
 from repro.kernels import get_backend
 from repro.service import MiningService, ServiceClient, ServiceThread
@@ -303,11 +312,118 @@ def test_service_load(benchmark, reporter):
     assert all(latency_views_agree(row) for row in rows)
 
 
+#: Chaos smoke shape: requests of FAULT_DOCS documents against a
+#: batch_docs=FAULT_BATCH_DOCS engine produce FAULT_DOCS/FAULT_BATCH_DOCS
+#: chunks per batch -- multiple chunks is what routes work through the
+#: worker pool so injected worker faults can actually bite.
+FAULT_DOCS = 16
+FAULT_BATCH_DOCS = 4
+FAULT_ROUNDS = 6
+
+
+def _metric_total(metrics_text, name):
+    """Sum every sample of one family in a Prometheus exposition."""
+    total = 0.0
+    for line in metrics_text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            head = line.split(" ")[0]
+            if head == name or head.startswith(name + "{"):
+                total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def run_fault_smoke(fault_spec, emit=print):
+    """The chaos smoke: mine under ``REPRO_FAULTS=fault_spec``.
+
+    Drives ``FAULT_ROUNDS`` multi-chunk batches through a 2-worker
+    service while the fault fires, then checks the two resilience
+    claims end to end: every response is bit-identical to a direct
+    ``CorpusEngine.run`` of the same documents, and (for worker-facing
+    faults) ``repro_shm_fallback_chunks_total`` is nonzero -- the fault
+    actually bit and the fallback path absorbed it.  The final metrics
+    scrape is saved to ``results/metrics_fault_smoke.txt``.
+
+    Returns the number of hard failures (0 = pass).
+    """
+    previous = os.environ.get(FAULTS_ENV)
+    os.environ[FAULTS_ENV] = fault_spec
+    reset_faults()
+    try:
+        documents = build_documents(FAULT_DOCS, SMOKE_DOC_LENGTH)
+        expected = [
+            {k: v for k, v in doc.payload(include_timing=False).items()
+             if k != "elapsed_seconds"}
+            for doc in CorpusEngine().run_texts(documents, MODEL).documents
+        ]
+        service = MiningService(
+            MODEL,
+            workers=2,
+            batch_docs=FAULT_BATCH_DOCS,
+            linger_seconds=0.0,
+        )
+        mismatches = 0
+        with ServiceThread(service) as handle:
+            with ServiceClient(*handle.address, timeout=120.0) as client:
+                for _ in range(FAULT_ROUNDS):
+                    response = client.mine(texts=documents)
+                    got = [
+                        {k: v for k, v in doc.items()
+                         if k != "elapsed_seconds"}
+                        for doc in response["results"]
+                    ]
+                    if got != expected:
+                        mismatches += 1
+                metrics_text = client.metrics()
+                health = client.healthz()
+        fallbacks = _metric_total(metrics_text,
+                                  "repro_shm_fallback_chunks_total")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "metrics_fault_smoke.txt").write_text(metrics_text)
+        emit(f"Chaos smoke (REPRO_FAULTS={fault_spec}): "
+             f"{FAULT_ROUNDS} rounds x {FAULT_DOCS} docs, "
+             f"fallback_chunks={fallbacks:.0f}, "
+             f"breaker={health.get('pool_breaker', {}).get('state', 'n/a')}, "
+             f"mismatches={mismatches}")
+        failures = mismatches
+        if mismatches:
+            emit(f"FAIL: {mismatches} response(s) diverged from the direct "
+                 f"engine run under fault injection", file=sys.stderr)
+        worker_facing = any(
+            site in fault_spec
+            for site in ("worker_crash", "pool_start_fail")
+        )
+        if worker_facing and fallbacks <= 0:
+            failures += 1
+            emit("FAIL: injected worker fault never produced a fallback "
+                 "chunk (repro_shm_fallback_chunks_total == 0)",
+                 file=sys.stderr)
+        return failures
+    finally:
+        if previous is None:
+            os.environ.pop(FAULTS_ENV, None)
+        else:
+            os.environ[FAULTS_ENV] = previous
+        reset_faults()
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="2 clients, few requests (the CI variant)")
+    parser.add_argument(
+        "--fault",
+        default=None,
+        metavar="SPEC",
+        help="run the chaos smoke instead: a REPRO_FAULTS spec, e.g. "
+             "worker_crash:0.3 (asserts bit-identical responses and a "
+             "nonzero fallback-chunk metric)",
+    )
     args = parser.parse_args(argv)
+    if args.fault:
+        def emit(message="", file=sys.stdout):
+            print(message, file=file)
+
+        return 1 if run_fault_smoke(args.fault, emit=emit) else 0
     rows, comparison, meta = run_service_load(smoke=args.smoke)
     _render(rows, comparison, meta, lambda line="": print(line, file=sys.stdout))
     print(f"JSON written to {emit_json(rows, comparison, meta)}")

@@ -314,6 +314,23 @@ def build_parser() -> argparse.ArgumentParser:
              "dispatch eagerly)",
     )
     serve.add_argument(
+        "--default-timeout-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="deadline applied to requests that do not send their own "
+             "timeout_ms; expired requests are answered 504 "
+             "(default: no deadline)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long shutdown waits for in-flight requests while new "
+             "ones are refused with 503 (default 10s)",
+    )
+    serve.add_argument(
         "--correction",
         choices=["none", "bonferroni", "bh"],
         default="bh",
@@ -588,6 +605,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--max-pending must be >= 1")
     if args.linger_ms < 0:
         raise SystemExit("--linger-ms must be >= 0")
+    if args.default_timeout_ms is not None and args.default_timeout_ms < 1:
+        raise SystemExit("--default-timeout-ms must be >= 1")
+    if args.drain_timeout < 0:
+        raise SystemExit("--drain-timeout must be >= 0")
     if args.calibrate and args.trials < 10:
         raise SystemExit("--trials must be >= 10 for a usable Monte-Carlo "
                          "null distribution")
@@ -615,6 +636,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         calibration=calibration,
         backend=args.backend,
+        default_timeout_ms=args.default_timeout_ms,
+        drain_timeout=args.drain_timeout,
     )
     cache_note = (
         f"  cache={calibration.cache_dir}" if calibration is not None else ""

@@ -26,6 +26,12 @@ once.  This subsystem is that layer:
   decoupled from runs -- ``persistent=True`` keeps it alive across
   corpora for service workloads (:mod:`repro.service`).  This is the
   executor ``repro-mss batch --workers N`` uses by default.
+* :mod:`repro.engine.deadline` / :mod:`repro.engine.supervisor` -- the
+  resilience primitives: request :class:`Deadline` objects tunnelled to
+  executors via a contextvar (expired batches stop mining between chunk
+  dispatches with :class:`DeadlineExceeded`), and the
+  :class:`PoolSupervisor` circuit breaker that stops pool restart churn
+  after consecutive failures (open -> half-open probe -> closed).
 * :mod:`repro.engine.calibration` -- :class:`CalibrationCache` memoizes
   the Monte-Carlo X²max null distribution per (model, length-bucket) so
   the whole corpus shares a handful of simulations.
@@ -44,6 +50,13 @@ from repro.engine.calibration import (
     model_fingerprint,
 )
 from repro.engine.corpus import CorpusEngine, CorpusResult
+from repro.engine.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    active_deadline,
+    reset_active_deadline,
+    set_active_deadline,
+)
 from repro.engine.corrections import (
     CORRECTIONS,
     adjust_p_values,
@@ -68,10 +81,17 @@ from repro.engine.jobs import (
     run_job_batch,
 )
 from repro.engine.shm import pack_jobs
+from repro.engine.supervisor import PoolSupervisor
 
 __all__ = [
     "CorpusEngine",
     "CorpusResult",
+    "Deadline",
+    "DeadlineExceeded",
+    "active_deadline",
+    "set_active_deadline",
+    "reset_active_deadline",
+    "PoolSupervisor",
     "MiningJob",
     "JobSpec",
     "DocumentResult",

@@ -38,7 +38,15 @@ number of workers.  This module removes the per-job payload entirely:
 Fault tolerance: any chunk whose worker dies (or whose pool cannot be
 started at all -- sandboxes without ``/dev/shm`` semantics) is re-mined
 in the parent process from the parent's own copy of the packed arrays,
-so a crashed worker degrades throughput, never results.
+so a crashed worker degrades throughput, never results.  A
+:class:`~repro.engine.supervisor.PoolSupervisor` circuit breaker sits
+in front of the pool: after enough consecutive failing runs it stops
+publishing/dispatching entirely (serial mining, no restart churn) for a
+cooldown, then probes with a single chunk.  Batch deadlines installed
+via :func:`repro.engine.deadline.set_active_deadline` are honoured
+between chunk dispatches; the ``worker_crash`` / ``pool_start_fail``
+fault sites (:mod:`repro.faults`) make all of it testable on a healthy
+host.
 """
 
 from __future__ import annotations
@@ -55,7 +63,10 @@ import numpy as np
 
 from repro.core.counts import PrefixCountIndex
 from repro.core.results import ScanStats, SignificantSubstring
+from repro.engine.deadline import DeadlineExceeded, active_deadline
 from repro.engine.jobs import DocumentResult, MiningJob, ordered_scan
+from repro.engine.supervisor import PoolSupervisor
+from repro.faults import get_faults
 from repro.obs.log import get_logger
 from repro.obs.metrics import LocalMetrics, MetricsRegistry, default_registry
 from repro.obs.tracing import active_trace_ids
@@ -72,11 +83,6 @@ __all__ = [
 #: Documents mined per worker task (one ``mine_batch`` call each) when
 #: neither the executor nor the engine specifies ``batch_docs``.
 DEFAULT_BATCH_DOCS = 32
-
-#: Test hook: when this environment variable is set, workers exit hard
-#: before mining -- the fault-injection switch the crashed-worker
-#: fallback test flips.  Never set outside the test-suite.
-_CRASH_ENV = "REPRO_SHM_TEST_CRASH"
 
 _LOG = get_logger("repro.engine.shm")
 
@@ -343,9 +349,14 @@ def _mine_chunk(descriptor):
     everyone.  The code view into the shared block lives only for the
     duration of the task (``PrefixCountIndex`` copies its slice), so
     closing the attachment never trips over exported buffer pointers.
+
+    The ``worker_crash`` fault site (:mod:`repro.faults`, configured
+    via ``REPRO_FAULTS`` which worker processes inherit) exits the
+    worker hard before mining -- the switch the crashed-worker fallback
+    and chaos tests flip.
     """
-    if os.environ.get(_CRASH_ENV):
-        os._exit(3)  # fault-injection hook, see _CRASH_ENV
+    if get_faults().should_fire("worker_crash"):
+        os._exit(3)  # fault injection: die before touching the block
     shm = shared_memory.SharedMemory(name=descriptor.shm_name)
     try:
         # A view over the block's prefix up to the span's last offset is
@@ -400,8 +411,13 @@ class WorkerPool:
         """Return the live pool, creating one on first use.
 
         Returns ``None`` when the host cannot run worker processes at
-        all; callers then mine in-process.
+        all; callers then mine in-process.  The ``pool_start_fail``
+        fault site (:mod:`repro.faults`) simulates exactly that host,
+        so chaos tests can drive the serial fallback and the circuit
+        breaker without an actually-broken machine.
         """
+        if self._pool is None and get_faults().should_fire("pool_start_fail"):
+            return None
         if self._pool is None:
             try:
                 # Start the parent's shared-memory resource tracker
@@ -568,6 +584,12 @@ class SharedMemoryExecutor:
         aggregate timings, chunk counters and merged worker-side
         :class:`~repro.obs.metrics.LocalMetrics` are reported into;
         ``None`` uses the process-wide default registry.
+    supervisor:
+        The :class:`~repro.engine.supervisor.PoolSupervisor` circuit
+        breaker gating pool use.  ``None`` builds one with default
+        thresholds; tests inject one with a fake clock.  While the
+        breaker is open every chunk mines in-process with no pool
+        (re)start attempts; a half-open breaker sends one probe chunk.
 
     Examples
     --------
@@ -589,6 +611,7 @@ class SharedMemoryExecutor:
         batch_docs: int | None = None,
         persistent: bool = False,
         metrics: MetricsRegistry | None = None,
+        supervisor: PoolSupervisor | None = None,
     ) -> None:
         self.workers = max(
             1, workers if workers is not None else (os.cpu_count() or 1)
@@ -598,6 +621,13 @@ class SharedMemoryExecutor:
         self.batch_docs = batch_docs
         self.persistent = bool(persistent)
         self.metrics = metrics if metrics is not None else default_registry()
+        #: The circuit breaker deciding whether chunks may use the pool.
+        #: Its transition hook reads ``self.metrics`` at call time --
+        #: services inject their registry after construction.
+        self.supervisor = (
+            supervisor if supervisor is not None else PoolSupervisor()
+        )
+        self.supervisor.on_transition = self._record_breaker_transition
         #: The executor's :class:`WorkerPool` (lazily started; kept
         #: alive across runs when ``persistent``).
         self.pool = WorkerPool(self.workers)
@@ -658,11 +688,22 @@ class SharedMemoryExecutor:
         Any worker failure -- a crashed process, a pool that cannot
         start -- downgrades the affected chunks to in-process mining of
         the parent-side arrays; ``last_run_info["fallback_chunks"]``
-        records how many.
+        records how many.  The :class:`PoolSupervisor` breaker decides
+        up front how many chunks may use the pool at all (zero while
+        open, one probe while half-open); breaker-withheld chunks mine
+        in-process but are *not* counted as fallbacks.
+
+        When the caller installed a batch deadline
+        (:func:`~repro.engine.deadline.set_active_deadline`), expiry is
+        checked between chunk dispatches and the run stops with
+        :class:`~repro.engine.deadline.DeadlineExceeded` instead of
+        mining the remaining chunks -- published blocks are still
+        released on the way out.
         """
         job_list = list(jobs)
         batch = self.chunk_size(batch_docs)
         starts_before = self.pool.starts
+        deadline = active_deadline()
         info = {
             "workers": self.workers,
             "batch_docs": batch,
@@ -693,7 +734,15 @@ class SharedMemoryExecutor:
             )
         ]
         n_chunks = sum(-(-size // batch) for size in group_sizes)
-        parallel = self.workers > 1 and n_chunks > 1
+        # The breaker gates pool use *before* publish: an open breaker
+        # means serial mining with no shared-memory copy and no pool
+        # restart attempts at all.
+        pool_budget = 0
+        if self.workers > 1 and n_chunks > 1:
+            pool_budget = self.supervisor.allow(n_chunks)
+        parallel = pool_budget > 0
+        info["breaker_state"] = self.supervisor.state
+        info["pool_chunks"] = pool_budget
         started = time.perf_counter()
         corpus = pack_jobs(job_list, publish=parallel)
         info["pack_seconds"] = time.perf_counter() - started
@@ -712,15 +761,28 @@ class SharedMemoryExecutor:
         try:
             started = time.perf_counter()
             if parallel and corpus.published:
-                self._mine_parallel(corpus, chunks, payloads, info, trace_ids)
+                self._mine_parallel(
+                    corpus, chunks[:pool_budget], payloads, info, trace_ids,
+                    deadline,
+                )
                 worker_chunks = set(payloads)
+                self.supervisor.record_run(
+                    used_pool=True, fallback_chunks=info["fallback_chunks"]
+                )
             for chunk in chunks:
-                if chunk not in payloads:
-                    group = corpus.groups[chunk[0]]
-                    payloads[chunk] = _mine_span(
-                        group.spec, group.model, group.codes, group.offsets,
-                        chunk[1], chunk[2],
+                if chunk in payloads:
+                    continue
+                if deadline is not None and deadline.expired():
+                    raise DeadlineExceeded(
+                        "batch deadline passed with "
+                        f"{sum(1 for c in chunks if c not in payloads)} "
+                        "chunk(s) unmined"
                     )
+                group = corpus.groups[chunk[0]]
+                payloads[chunk] = _mine_span(
+                    group.spec, group.model, group.codes, group.offsets,
+                    chunk[1], chunk[2],
+                )
             info["mine_seconds"] = time.perf_counter() - started
         finally:
             # Blocks are strictly per-run: whatever happens above, every
@@ -776,12 +838,37 @@ class SharedMemoryExecutor:
         )
         if self.pool.starts > starts_before:
             restarts.inc(self.pool.starts - starts_before)
+        metrics.gauge(
+            "repro_pool_breaker_state",
+            "Worker-pool circuit breaker state "
+            "(0 closed, 1 open, 2 half-open)",
+        ).set(self.supervisor.state_code())
         for payload in payloads.values():
             payload[6].merge_into(metrics, help=_WORKER_HELP)
 
-    def _mine_parallel(self, corpus, chunks, payloads, info, trace_ids=()):
+    def _record_breaker_transition(self, old: str, new: str, reason: str) -> None:
+        """Supervisor transition hook: bump the transition counter and
+        refresh the state gauge on whatever registry is current."""
+        metrics = self.metrics
+        metrics.counter(
+            "repro_pool_breaker_transitions_total",
+            "Worker-pool circuit breaker transitions by destination state",
+            labelnames=("to",),
+        ).labels(to=new).inc()
+        metrics.gauge(
+            "repro_pool_breaker_state",
+            "Worker-pool circuit breaker state "
+            "(0 closed, 1 open, 2 half-open)",
+        ).set(self.supervisor.state_code())
+
+    def _mine_parallel(
+        self, corpus, chunks, payloads, info, trace_ids=(), deadline=None
+    ):
         """Fan chunks over the worker pool; failures stay un-filled in
-        ``payloads`` for the caller's in-process pass."""
+        ``payloads`` for the caller's in-process pass.  An expired
+        ``deadline`` while harvesting aborts the run with
+        :class:`DeadlineExceeded` (remaining futures are cancelled;
+        already-running workers finish into the void)."""
         info["pool_reused"] = self.pool.started
         pool = self.pool.ensure_started()
         if pool is None:
@@ -812,8 +899,18 @@ class SharedMemoryExecutor:
             if future is None:
                 info["fallback_chunks"] += 1
                 continue
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline.remaining())
             try:
-                payloads[chunk] = future.result()
+                payloads[chunk] = future.result(timeout=timeout)
+            except concurrent.futures.TimeoutError:
+                for _, pending in futures:
+                    if pending is not None and not pending.done():
+                        pending.cancel()
+                raise DeadlineExceeded(
+                    "batch deadline passed while waiting on pool chunks"
+                ) from None
             except Exception as exc:
                 # Crashed worker / broken pool: leave the chunk for the
                 # caller's in-process fallback.  Results cannot be

@@ -1,0 +1,222 @@
+"""A circuit breaker around the shared-memory worker pool.
+
+Before this module, a broken :class:`~repro.engine.shm.WorkerPool` was
+rediscovered the hard way on *every* request: publish the corpus to
+shared memory, submit chunks, watch the pool break, fall back serially,
+restart the pool, repeat.  Under a persistent fault (a worker that
+crashes on start, cgroup memory pressure, a poisoned interpreter) that
+is pure overhead with no path to recovery.
+
+:class:`PoolSupervisor` is a classic three-state breaker:
+
+* ``closed`` -- healthy; every chunk may go to the pool.
+* ``open`` -- after ``failure_threshold`` consecutive runs with
+  fallbacks or a broken pool, stop using the pool entirely (serial
+  mining, no restart attempts) for ``cooldown_seconds``.
+* ``half_open`` -- after the cooldown, allow exactly **one probe
+  chunk** through; success closes the breaker, failure reopens it and
+  restarts the cooldown.
+
+The executor asks :meth:`allow` how many chunks may use the pool and
+reports the outcome via :meth:`record_run`; the service surfaces
+:meth:`status` in ``/healthz`` (``"degraded"`` while not closed) and
+the numeric :meth:`state_code` as the ``repro_pool_breaker_state``
+gauge.  The clock is injectable so tests drive cooldowns without
+sleeping.
+
+Examples
+--------
+>>> supervisor = PoolSupervisor(failure_threshold=2, cooldown_seconds=30)
+>>> supervisor.allow(4)
+4
+>>> supervisor.record_run(used_pool=True, fallback_chunks=1)
+>>> supervisor.record_run(used_pool=True, fallback_chunks=2)
+>>> supervisor.state
+'open'
+>>> supervisor.allow(4)
+0
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["PoolSupervisor"]
+
+from ..obs.log import get_logger
+
+#: ``repro_pool_breaker_state`` gauge values, one per state.
+_STATE_CODES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+class PoolSupervisor:
+    """Circuit breaker state machine for a worker pool (see module doc).
+
+    Thread-safe; all transitions happen under one lock.  ``clock`` is
+    any zero-argument callable returning monotonic seconds.
+    ``on_transition(old_state, new_state, reason)`` is invoked (outside
+    the lock) on every state change -- the executor uses it to bump the
+    transition counter on whatever metrics registry it holds *at that
+    moment*, which matters because services inject their registry after
+    construction.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock=time.monotonic,
+        on_transition=None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds <= 0:
+            raise ValueError(
+                f"cooldown_seconds must be > 0, got {cooldown_seconds}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock
+        self.on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._opened_total = 0
+        self._reason = ""
+        self._log = get_logger("repro.engine.supervisor")
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` (cooldown-aware).
+
+        Reading the state while an open breaker's cooldown has elapsed
+        reports ``half_open`` -- the transition itself still happens in
+        :meth:`allow`, where the probe budget is granted.
+        """
+        with self._lock:
+            if (
+                self._state == "open"
+                and self.clock() - self._opened_at >= self.cooldown_seconds
+            ):
+                return "half_open"
+            return self._state
+
+    def state_code(self) -> int:
+        """The gauge encoding: 0 closed, 1 open, 2 half-open."""
+        return _STATE_CODES[self.state]
+
+    def allow(self, n_chunks: int) -> int:
+        """How many of ``n_chunks`` may be dispatched to the pool.
+
+        Closed: all of them.  Open: zero until the cooldown elapses,
+        then the breaker half-opens and grants one probe chunk.
+        Half-open: one probe chunk.
+        """
+        transition = None
+        with self._lock:
+            if self._state == "open":
+                if self.clock() - self._opened_at >= self.cooldown_seconds:
+                    transition = (self._state, "half_open", "cooldown elapsed")
+                    self._state = "half_open"
+                else:
+                    return 0
+            if self._state == "half_open":
+                budget = min(1, n_chunks)
+            else:
+                budget = n_chunks
+        if transition is not None:
+            self._notify(*transition)
+        return budget
+
+    def record_run(
+        self, *, used_pool: bool, fallback_chunks: int = 0
+    ) -> None:
+        """Report one executor run's outcome.
+
+        A run that used the pool with zero fallbacks is a success and
+        closes the breaker (resetting the failure streak).  A run with
+        fallbacks or a broken pool is a failure: it reopens a half-open
+        breaker immediately, and opens a closed one once the streak
+        reaches ``failure_threshold``.  Runs that never touched the
+        pool (single chunk, breaker open) carry no signal.
+        """
+        if not used_pool:
+            return
+        transition = None
+        with self._lock:
+            if fallback_chunks > 0:
+                self._consecutive_failures += 1
+                reason = (
+                    f"{fallback_chunks} chunk(s) fell back in-process "
+                    f"(streak {self._consecutive_failures})"
+                )
+                if self._state == "half_open":
+                    transition = (self._state, "open", "probe failed")
+                    self._open(reason="probe chunk failed")
+                elif (
+                    self._state == "closed"
+                    and self._consecutive_failures >= self.failure_threshold
+                ):
+                    transition = (self._state, "open", reason)
+                    self._open(reason=reason)
+            else:
+                self._consecutive_failures = 0
+                if self._state != "closed":
+                    transition = (self._state, "closed", "probe succeeded")
+                    self._state = "closed"
+                    self._reason = ""
+        if transition is not None:
+            self._notify(*transition)
+
+    def _open(self, *, reason: str) -> None:
+        """Enter ``open`` (caller holds the lock)."""
+        self._state = "open"
+        self._opened_at = self.clock()
+        self._opened_total += 1
+        self._reason = reason
+
+    def _notify(self, old: str, new: str, reason: str) -> None:
+        self._log.warning(
+            "breaker_transition", old_state=old, new_state=new, reason=reason
+        )
+        if self.on_transition is not None:
+            try:
+                self.on_transition(old, new, reason)
+            except Exception:  # pragma: no cover - observer must not break mining
+                pass
+
+    def status(self) -> dict:
+        """JSON-ready state for ``/healthz``.
+
+        >>> sorted(PoolSupervisor().status())
+        ['consecutive_failures', 'cooldown_remaining_seconds', \
+'cooldown_seconds', 'failure_threshold', 'opened_total', 'reason', 'state']
+        """
+        state = self.state
+        with self._lock:
+            remaining = 0.0
+            if self._state == "open":
+                remaining = max(
+                    0.0,
+                    self.cooldown_seconds - (self.clock() - self._opened_at),
+                )
+            return {
+                "state": state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_seconds": self.cooldown_seconds,
+                "cooldown_remaining_seconds": round(remaining, 3),
+                "opened_total": self._opened_total,
+                "reason": self._reason,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"PoolSupervisor(state={self.state!r}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold})"
+        )

@@ -34,6 +34,7 @@ from repro.service.app import MiningService, ServiceThread
 from repro.service.batcher import (
     MicroBatcher,
     RequestTooLarge,
+    ServiceDraining,
     ServiceOverloaded,
 )
 from repro.service.client import (
@@ -53,6 +54,7 @@ __all__ = [
     "ServiceThread",
     "MicroBatcher",
     "RequestTooLarge",
+    "ServiceDraining",
     "ServiceOverloaded",
     "ServiceClient",
     "ServiceError",

@@ -52,6 +52,7 @@ import time
 from repro.core.model import BernoulliModel
 from repro.engine.calibration import CalibrationCache
 from repro.engine.corpus import CorpusEngine
+from repro.engine.deadline import Deadline, DeadlineExceeded
 from repro.engine.executors import SerialExecutor, SharedMemoryExecutor
 from repro.engine.shm import DEFAULT_BATCH_DOCS
 from repro.kernels import get_backend
@@ -61,6 +62,7 @@ from repro.obs.tracing import Trace, TraceRecorder
 from repro.service.batcher import (
     MicroBatcher,
     RequestTooLarge,
+    ServiceDraining,
     ServiceOverloaded,
 )
 from repro.service.protocol import (
@@ -108,6 +110,15 @@ class MiningService:
         Kernel backend name applied to requests that do not pick their
         own (``repro-mss serve --backend``); ``None`` defers to
         ``REPRO_BACKEND`` / the registry default.
+    default_timeout_ms:
+        End-to-end deadline applied to requests that carry no
+        ``timeout_ms`` of their own (``serve --default-timeout-ms``);
+        ``None`` leaves such requests unbounded.  Expired requests are
+        answered 504 with the trace id in the body.
+    drain_timeout:
+        Seconds :meth:`stop` waits for in-flight exchanges to flush
+        their responses before dropping connections (``serve
+        --drain-timeout``; previously hardcoded at 10).
     engine:
         Escape hatch: a fully built engine to serve with (overrides
         ``workers``/``correction``/``alpha``/``calibration``).
@@ -125,8 +136,14 @@ class MiningService:
         alpha: float = 0.05,
         calibration: CalibrationCache | None = None,
         backend: str | None = None,
+        default_timeout_ms: int | None = None,
+        drain_timeout: float = 10.0,
         engine: CorpusEngine | None = None,
     ) -> None:
+        if drain_timeout < 0:
+            raise ValueError(
+                f"drain_timeout must be >= 0, got {drain_timeout!r}"
+            )
         if engine is None:
             executor = (
                 SharedMemoryExecutor(workers=workers, persistent=True)
@@ -142,6 +159,8 @@ class MiningService:
             )
         self.model = model
         self.backend = backend
+        self.default_timeout_ms = default_timeout_ms
+        self.drain_timeout = drain_timeout
         self.engine = engine
         # One registry for the whole service: the batcher, engine,
         # executor and calibration cache all record into it, so /stats
@@ -185,11 +204,18 @@ class MiningService:
             "repro_service_queue_depth_docs",
             "Documents currently queued in the micro-batcher.",
         )
+        # Created at zero so the family renders in /metrics before the
+        # first timeout (dashboards can alert on its rate from scrape 1).
+        self._requests_timed_out = self.metrics.counter(
+            "repro_requests_timed_out_total",
+            "Mine requests answered 504 after their deadline passed.",
+        )
         self._server: asyncio.base_events.Server | None = None
         self._started_at: float | None = None
         self.address: tuple[str, int] | None = None
         self._connections: set[asyncio.Task] = set()
         self._active_exchanges = 0
+        self._draining = False
 
     async def start(
         self, host: str = "127.0.0.1", port: int = 0
@@ -231,10 +257,13 @@ class MiningService:
         """Graceful shutdown: stop accepting, drain, release the pool.
 
         In-flight and already-queued requests complete and are answered;
-        new submissions are rejected while draining.  Idle keep-alive
-        connections are then dropped, and finally the engine's
-        persistent worker pool is shut down.
+        new submissions (and new requests arriving on parked keep-alive
+        connections) are answered 503 with ``Connection: close`` while
+        draining.  Idle keep-alive connections are then dropped, and
+        finally the engine's persistent worker pool is shut down.  The
+        flush wait is bounded by ``drain_timeout`` seconds.
         """
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -243,7 +272,7 @@ class MiningService:
         # The batcher has resolved every accepted request; wait for the
         # handlers to flush those responses to their sockets before
         # dropping connections (bounded, in case a peer stopped reading).
-        deadline = time.monotonic() + 10.0
+        deadline = time.monotonic() + self.drain_timeout
         while self._active_exchanges and time.monotonic() < deadline:
             await asyncio.sleep(0.005)
         for task in list(self._connections):
@@ -291,8 +320,16 @@ class MiningService:
         return data
 
     def healthz(self) -> dict:
-        """JSON-ready liveness payload (the ``GET /healthz`` body)."""
-        return {
+        """JSON-ready liveness payload (the ``GET /healthz`` body).
+
+        ``status`` is ``"ok"`` while everything is healthy and
+        ``"degraded"`` (with a ``reason``) while the worker-pool circuit
+        breaker is anything but closed -- the service still answers
+        correctly, just slower (serial mining).  When the executor has a
+        breaker its full :meth:`~repro.engine.supervisor.PoolSupervisor.
+        status` rides along under ``"pool_breaker"``.
+        """
+        data = {
             "status": "ok",
             "uptime_seconds": (
                 time.monotonic() - self._started_at
@@ -301,6 +338,17 @@ class MiningService:
             ),
             "queue_depth_docs": self.batcher.queue_depth_docs,
         }
+        supervisor = getattr(self.engine.executor, "supervisor", None)
+        if supervisor is not None:
+            breaker = supervisor.status()
+            data["pool_breaker"] = breaker
+            if breaker["state"] != "closed":
+                data["status"] = "degraded"
+                data["reason"] = (
+                    f"worker-pool breaker {breaker['state']}"
+                    + (f": {breaker['reason']}" if breaker["reason"] else "")
+                )
+        return data
 
     # ------------------------------------------------------------------
     # Connection handling.
@@ -330,6 +378,20 @@ class MiningService:
                 if parsed is None:
                     break
                 method, target, headers, body = parsed
+                if self._draining:
+                    # A parked keep-alive connection woke up mid-drain:
+                    # refuse with Connection: close so the client (or a
+                    # load balancer) moves on to another replica.
+                    started = time.perf_counter()
+                    response = response_bytes(
+                        503,
+                        {"error": "service is draining for shutdown"},
+                        keep_alive=False,
+                    )
+                    self._count_request(target, response, started)
+                    writer.write(response)
+                    await writer.drain()
+                    break
                 self._active_exchanges += 1
                 try:
                     started = time.perf_counter()
@@ -375,8 +437,9 @@ class MiningService:
     def render_metrics(self) -> str:
         """The ``GET /metrics`` body: Prometheus text exposition 0.0.4.
 
-        Point-in-time gauges (uptime, queue depth) are refreshed at
-        scrape time; everything else is already live in the registry.
+        Point-in-time gauges (uptime, queue depth, breaker state) are
+        refreshed at scrape time; everything else is already live in
+        the registry.
         """
         self._uptime_gauge.set(
             time.monotonic() - self._started_at
@@ -384,6 +447,13 @@ class MiningService:
             else 0.0
         )
         self._queue_gauge.set(float(self.batcher.queue_depth_docs))
+        supervisor = getattr(self.engine.executor, "supervisor", None)
+        if supervisor is not None:
+            self.metrics.gauge(
+                "repro_pool_breaker_state",
+                "Worker-pool circuit breaker state "
+                "(0 closed, 1 open, 2 half-open)",
+            ).set(supervisor.state_code())
         return self.metrics.render_prometheus()
 
     async def _route(self, method: str, target: str, body: bytes) -> bytes:
@@ -423,12 +493,21 @@ class MiningService:
         rides the ``X-Trace-Id`` header on all outcomes and inside the
         JSON body of error responses.  Successful bodies stay
         byte-identical to an untraced engine run.
+
+        A request carrying ``timeout_ms`` (or inheriting the service's
+        ``default_timeout_ms``) is stamped with a monotonic
+        :class:`~repro.engine.deadline.Deadline` here; expiry anywhere
+        along the pipeline -- at admission, while queued, or mid-mine --
+        comes back as a 504 whose body carries the trace id.
         """
         trace = Trace()
 
         def decode_and_validate():
             return parse_mine_request(
-                json.loads(body), self.model, default_backend=self.backend
+                json.loads(body),
+                self.model,
+                default_backend=self.backend,
+                default_timeout_ms=self.default_timeout_ms,
             )
 
         parse_started = time.perf_counter()
@@ -448,13 +527,35 @@ class MiningService:
         trace.add(
             "parse", parse_started, time.perf_counter(), bytes=len(body)
         )
+        deadline = Deadline.from_timeout_ms(request.timeout_ms)
         try:
-            result = await self.batcher.submit(request, trace=trace)
+            submission = self.batcher.submit(
+                request, trace=trace, deadline=deadline
+            )
+            if deadline is not None:
+                # Hard backstop over the cooperative checks: even a
+                # wedged mine thread cannot hold this client's socket
+                # past its deadline (plus a grace second for the
+                # batcher's own shedding to win the race normally).
+                result = await asyncio.wait_for(
+                    submission,
+                    timeout=max(0.0, deadline.remaining()) + 1.0,
+                )
+            else:
+                result = await submission
         except RequestTooLarge as exc:
             # Permanently too large -- retrying cannot cure this, so it
             # must not look like a 429.  (Raised synchronously by
             # submit, before the request is ever queued.)
             return self._error(trace, request, 413, {"error": str(exc)})
+        except ServiceDraining as exc:
+            return self._error(
+                trace,
+                request,
+                503,
+                {"error": str(exc)},
+                keep_alive=False,
+            )
         except ServiceOverloaded as exc:
             return self._error(
                 trace,
@@ -462,6 +563,19 @@ class MiningService:
                 429,
                 {"error": str(exc), "retry_after": exc.retry_after},
                 extra_headers=(("Retry-After", str(exc.retry_after)),),
+            )
+        except (DeadlineExceeded, asyncio.TimeoutError) as exc:
+            self._requests_timed_out.inc()
+            detail = (
+                str(exc)
+                if isinstance(exc, DeadlineExceeded) and str(exc)
+                else "deadline exceeded"
+            )
+            return self._error(
+                trace,
+                request,
+                504,
+                {"error": detail, "timeout_ms": request.timeout_ms},
             )
         except Exception as exc:  # mining failure: report, keep serving
             return self._error(
@@ -479,7 +593,14 @@ class MiningService:
         return response
 
     def _error(
-        self, trace, request, status: int, payload: dict, *, extra_headers=()
+        self,
+        trace,
+        request,
+        status: int,
+        payload: dict,
+        *,
+        extra_headers=(),
+        keep_alive: bool = True,
     ) -> bytes:
         """Serialize one error outcome, stamping the trace id into it."""
         payload = dict(payload)
@@ -491,6 +612,7 @@ class MiningService:
                 ("X-Trace-Id", trace.trace_id),
                 *extra_headers,
             ),
+            keep_alive=keep_alive,
         )
         self._finish_request(trace, request, status)
         return response

@@ -41,8 +41,15 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.engine.corpus import CorpusEngine, CorpusResult
+from repro.engine.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    reset_active_deadline,
+    set_active_deadline,
+)
 from repro.engine.jobs import MiningJob
 from repro.engine.shm import DEFAULT_BATCH_DOCS
+from repro.faults import get_faults
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import (
     Trace,
@@ -51,7 +58,12 @@ from repro.obs.tracing import (
 )
 from repro.service.protocol import MineRequest
 
-__all__ = ["MicroBatcher", "RequestTooLarge", "ServiceOverloaded"]
+__all__ = [
+    "MicroBatcher",
+    "RequestTooLarge",
+    "ServiceDraining",
+    "ServiceOverloaded",
+]
 
 #: Document-count buckets for the batch-fill histogram (how full each
 #: dispatched batch was, in documents).
@@ -81,6 +93,17 @@ class ServiceOverloaded(Exception):
         self.retry_after = max(1, int(retry_after))
 
 
+class ServiceDraining(ServiceOverloaded):
+    """The service is draining for shutdown; this instance is done.
+
+    A :class:`ServiceOverloaded` subclass (same synchronous-rejection
+    contract), but semantically different: retrying *this instance*
+    cannot succeed, so the HTTP front-end maps it to 503 with
+    ``Connection: close`` instead of 429 + ``Retry-After`` -- a
+    load-balancer should move on to another replica.
+    """
+
+
 @dataclass
 class _Pending:
     """One queued request: its jobs and the future its client awaits."""
@@ -91,6 +114,11 @@ class _Pending:
     queued_at: float = field(default_factory=time.perf_counter)
     #: Request trace to append batching/mining spans to (optional).
     trace: Trace | None = None
+    #: The request's end-to-end deadline (``None`` = no limit).  An
+    #: expired pending is completed with
+    #: :class:`~repro.engine.deadline.DeadlineExceeded` at batch
+    #: formation (or after a mine-thread delay) instead of being mined.
+    deadline: Deadline | None = None
 
 
 class MicroBatcher:
@@ -292,17 +320,28 @@ class MicroBatcher:
         return max(1, min(60, math.ceil(backlog / rate)))
 
     async def submit(
-        self, request: MineRequest, *, trace: Trace | None = None
+        self,
+        request: MineRequest,
+        *,
+        trace: Trace | None = None,
+        deadline: Deadline | None = None,
     ) -> CorpusResult:
         """Enqueue a request and await its :class:`CorpusResult`.
 
         Raises :class:`ServiceOverloaded` immediately when accepting the
         request would push the queued-document count past
-        ``max_pending_docs``, or when the batcher is shutting down.  A
-        single request larger than ``max_pending_docs`` can *never* be
-        accepted, so it raises :class:`RequestTooLarge` instead --
-        retrying it would loop forever (the HTTP front-end maps this to
-        413).
+        ``max_pending_docs``, and :class:`ServiceDraining` (a subclass)
+        when the batcher is shutting down.  A single request larger
+        than ``max_pending_docs`` can *never* be accepted, so it raises
+        :class:`RequestTooLarge` instead -- retrying it would loop
+        forever (the HTTP front-end maps this to 413).
+
+        A ``deadline`` already expired at admission raises
+        :class:`~repro.engine.deadline.DeadlineExceeded` without
+        queueing; one that expires while queued completes the request
+        with the same error at batch formation, never mining it --
+        timeouts are not backpressure, so neither path touches the
+        rejected counter.
 
         When a :class:`~repro.obs.tracing.Trace` is supplied, the
         batcher appends queue-wait, batch-mine (with kernel / shm
@@ -317,7 +356,9 @@ class MicroBatcher:
             )
         if self._closing:
             self._requests_rejected.inc()
-            raise ServiceOverloaded("service is shutting down", retry_after=1)
+            raise ServiceDraining("service is draining for shutdown")
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceeded("deadline expired before admission")
         if self._task is None:
             await self.start()
         if self._queued_docs + request.docs > self.max_pending_docs:
@@ -333,6 +374,7 @@ class MicroBatcher:
             jobs=request.jobs(),
             future=asyncio.get_running_loop().create_future(),
             trace=trace,
+            deadline=deadline,
         )
         self._queue.append(pending)
         self._queued_docs += request.docs
@@ -391,26 +433,46 @@ class MicroBatcher:
             ):
                 await asyncio.sleep(self.linger_seconds)
             batch = self._take_batch()
-            await self._run_batch(loop, batch)
+            if batch:
+                await self._run_batch(loop, batch)
 
     def _take_batch(self) -> list[_Pending]:
         """Pop requests until the batch reaches ``batch_docs`` documents.
 
-        Always takes at least one request, so an oversized request rides
-        in a batch of its own rather than deadlocking.
+        Always takes at least one live request, so an oversized request
+        rides in a batch of its own rather than deadlocking.  Requests
+        whose deadline passed while queued are *shed* on the way: popped
+        and completed with
+        :class:`~repro.engine.deadline.DeadlineExceeded` instead of
+        occupying batch capacity (their batchmates stay bit-identical --
+        mining is batch-composition-invariant).  May return an empty
+        batch when everything at hand had expired.
         """
         batch: list[_Pending] = []
         docs = 0
         while self._queue:
-            head_docs = self._queue[0].request.docs
+            head = self._queue[0]
+            if head.deadline is not None and head.deadline.expired():
+                self._queue.popleft()
+                self._queued_docs -= head.request.docs
+                self._shed(head)
+                continue
+            head_docs = head.request.docs
             if batch and docs + head_docs > self.batch_docs:
                 break
             pending = self._queue.popleft()
-            docs += pending.request.docs
+            docs += head_docs
             batch.append(pending)
         self._queued_docs -= docs
         self._in_flight_docs = docs
         return batch
+
+    def _shed(self, pending: _Pending) -> None:
+        """Complete an expired request with ``DeadlineExceeded``."""
+        if not pending.future.done():
+            pending.future.set_exception(
+                DeadlineExceeded("deadline expired while queued")
+            )
 
     async def _run_batch(self, loop, batch: list[_Pending]) -> None:
         """Mine *and finalize* one batch off-loop; resolve each request.
@@ -427,34 +489,77 @@ class MicroBatcher:
             key = (pending.request.spec, pending.request.model)
             groups.setdefault(key, []).append(pending)
         ordered = [pending for group in groups.values() for pending in group]
-        jobs = [job for pending in ordered for job in pending.jobs]
 
         def mine_and_finalize():
+            # Fault site: stall the mine thread before any work -- long
+            # enough, in chaos tests, for queued deadlines to pass.
+            faults = get_faults()
+            if faults.should_fire("mine_delay_ms"):
+                time.sleep(faults.param("mine_delay_ms") / 1000.0)
+            # Deadlines are re-checked here, on the mine thread, because
+            # time passed since batch formation: expired members are
+            # completed with DeadlineExceeded instead of mined, and
+            # batch-composition invariance keeps the survivors'
+            # results bit-identical either way.
+            alive: list[_Pending] = []
+            outcomes = []
+            for pending in ordered:
+                if pending.deadline is not None and pending.deadline.expired():
+                    outcomes.append((
+                        pending,
+                        DeadlineExceeded("deadline expired before mining"),
+                        True,
+                    ))
+                else:
+                    alive.append(pending)
+            jobs = [job for pending in alive for job in pending.jobs]
             trace_ids = tuple(
                 pending.trace.trace_id
-                for pending in ordered
+                for pending in alive
                 if pending.trace is not None
             )
+            # The executor may shed the whole run only once *every*
+            # member is past due, so the tunnelled batch deadline is the
+            # latest member deadline -- and absent entirely while any
+            # member has no limit.
+            batch_deadline = None
+            if alive and all(p.deadline is not None for p in alive):
+                batch_deadline = Deadline(
+                    expires_at=max(p.deadline.expires_at for p in alive)
+                )
             started = time.perf_counter()
-            # Tunnel the batch's trace ids to the shm executor through a
-            # contextvar: mine_documents keeps its signature (test fakes
-            # override it), yet worker-fallback logs can still name the
-            # requests a crashed chunk belonged to.
+            # Tunnel the batch's trace ids (and deadline) to the shm
+            # executor through contextvars: mine_documents keeps its
+            # signature (test fakes override it), yet worker-fallback
+            # logs can still name the requests a crashed chunk belonged
+            # to, and expired batches stop mining between chunks.
             token = set_active_trace_ids(trace_ids) if trace_ids else None
+            deadline_token = (
+                set_active_deadline(batch_deadline)
+                if batch_deadline is not None
+                else None
+            )
             try:
-                documents = self.engine.mine_documents(jobs)
+                documents = self.engine.mine_documents(jobs) if jobs else []
+            except DeadlineExceeded as exc:
+                # Every member was past due (the batch deadline is the
+                # max); 504 them all rather than mining into the void.
+                outcomes.extend((pending, exc, True) for pending in alive)
+                return time.perf_counter() - started, 0, outcomes
             finally:
+                if deadline_token is not None:
+                    reset_active_deadline(deadline_token)
                 if token is not None:
                     reset_active_trace_ids(token)
             mine_done = time.perf_counter()
             mine_elapsed = mine_done - started
-            self._mine_histogram.observe(mine_elapsed)
-            self._fill_histogram.observe(float(len(jobs)))
+            if jobs:
+                self._mine_histogram.observe(mine_elapsed)
+                self._fill_histogram.observe(float(len(jobs)))
             run_info = getattr(self.engine.executor, "last_run_info", None)
             run_info = run_info if isinstance(run_info, dict) else {}
-            outcomes = []
             cursor = 0
-            for pending in ordered:
+            for pending in alive:
                 docs = pending.request.docs
                 slice_docs = documents[cursor : cursor + docs]
                 cursor += docs
@@ -483,19 +588,20 @@ class MicroBatcher:
                     pending.trace.add(
                         "finalize", finalize_started, time.perf_counter()
                     )
-            return mine_elapsed, outcomes
+            return mine_elapsed, len(jobs), outcomes
 
         try:
-            elapsed, outcomes = await loop.run_in_executor(
+            elapsed, mined_docs, outcomes = await loop.run_in_executor(
                 self._mine_pool, mine_and_finalize
             )
         except Exception as exc:
             self._resolve_all(ordered, exc)
             self._in_flight_docs = 0
             return
-        self._batches.inc()
-        self._docs_total.inc(len(jobs))
-        self._mine_seconds.inc(elapsed)
+        if mined_docs:
+            self._batches.inc()
+            self._docs_total.inc(mined_docs)
+            self._mine_seconds.inc(elapsed)
         for pending, outcome, failed in outcomes:
             if pending.future.done():  # client gone; nothing to deliver
                 continue

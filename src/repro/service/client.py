@@ -11,14 +11,25 @@ dict.
 Error mapping: HTTP 429 raises :class:`ServiceOverloadedError` carrying
 the server's ``Retry-After`` hint; every other non-2xx status raises
 :class:`ServiceError` with the server's error message.  A dropped
-keep-alive connection is re-established once per call.
+keep-alive connection is re-established once per call (and when that
+fresh connection fails too, the raised error is chained to the
+original failure).
+
+:meth:`ServiceClient.mine` additionally takes ``retries=N``: capped
+exponential backoff with deterministic jitter around transient
+failures -- a 429 sleeps the server's ``Retry-After``, a 503 or a
+connection-level error sleeps ``backoff_base * 2**attempt`` (jittered,
+capped at ``backoff_cap``).  Mining is idempotent (pure function of
+the request), so retrying a connection that died mid-call is safe.
 """
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 import socket
+import time
 
 __all__ = ["ServiceClient", "ServiceError", "ServiceOverloadedError"]
 
@@ -71,6 +82,9 @@ class ServiceClient:
         self.address = (host, port)
         self.timeout = timeout
         self._conn: http.client.HTTPConnection | None = None
+        #: Injectable sleep (tests swap it to record backoffs instead
+        #: of actually waiting).
+        self._sleep = time.sleep
 
     def mine(
         self,
@@ -88,14 +102,26 @@ class ServiceClient:
         probs: list[float] | None = None,
         correction: str | None = None,
         alpha: float | None = None,
+        timeout_ms: int | None = None,
+        retries: int = 0,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
     ) -> dict:
         """``POST /mine``: mine ``text`` (one document) or ``texts``.
 
-        Every keyword mirrors the request schema of
-        :mod:`repro.service.protocol`; ``None`` fields are simply
+        Every keyword through ``timeout_ms`` mirrors the request schema
+        of :mod:`repro.service.protocol`; ``None`` fields are simply
         omitted and take the service defaults.  Returns the decoded
         corpus payload (``documents``, ``significant``, ``results`` per
         document, ...).
+
+        ``retries`` allows up to N additional attempts around transient
+        failures: HTTP 429 (sleeping the server's ``Retry-After``, but
+        never past ``backoff_cap``), HTTP 503, and connection-level
+        errors -- each non-429 retry sleeps ``backoff_base *
+        2**attempt`` seconds with deterministic jitter, capped at
+        ``backoff_cap``.  400/404/413/500/504 responses are never
+        retried: they are answers, not transport weather.
         """
         payload = {
             name: value
@@ -113,10 +139,46 @@ class ServiceClient:
                 ("probs", probs),
                 ("correction", correction),
                 ("alpha", alpha),
+                ("timeout_ms", timeout_ms),
             )
             if value is not None
         }
-        return self._call("POST", "/mine", payload)
+        attempt = 0
+        while True:
+            try:
+                return self._call("POST", "/mine", payload)
+            except ServiceOverloadedError as exc:
+                if attempt >= retries:
+                    raise
+                self._sleep(min(float(backoff_cap), float(exc.retry_after)))
+            except ServiceError as exc:
+                if exc.status != 503 or attempt >= retries:
+                    raise
+                self._sleep(self._backoff(attempt, backoff_base, backoff_cap))
+            except (
+                http.client.HTTPException, ConnectionError, socket.timeout,
+                OSError,
+            ):
+                # Mining is idempotent, so a connection that died before
+                # the response is safe to retry on a fresh socket.
+                if attempt >= retries:
+                    raise
+                self._sleep(self._backoff(attempt, backoff_base, backoff_cap))
+            attempt += 1
+
+    def _backoff(self, attempt: int, base: float, cap: float) -> float:
+        """Capped exponential backoff with deterministic jitter.
+
+        The jitter factor in ``[1, 2)`` is derived from
+        ``sha256(host:port:attempt)`` -- stable for a given client and
+        attempt (tests can assert exact sleeps), yet de-synchronised
+        across distinct clients hammering one service.
+        """
+        digest = hashlib.sha256(
+            f"{self.address[0]}:{self.address[1]}:{attempt}".encode()
+        ).digest()
+        jitter = 1.0 + int.from_bytes(digest[:8], "big") / 2**64
+        return min(float(cap), float(base) * (2.0**attempt) * jitter)
 
     def healthz(self) -> dict:
         """``GET /healthz``: the service's liveness payload."""
@@ -161,9 +223,17 @@ class ServiceClient:
         *,
         expect_json: bool = True,
     ):
-        """One request/response exchange, reconnecting once if needed."""
+        """One request/response exchange, reconnecting once if needed.
+
+        When the fresh connection fails too, the raised error is
+        chained (``raise ... from first_exc``) to the one that killed
+        the original keep-alive connection -- the first failure is
+        usually the real story (e.g. the server restarting), not the
+        connection-refused that follows it.
+        """
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
+        first_exc: Exception | None = None
         for attempt in (1, 2):
             if self._conn is None:
                 self._conn = http.client.HTTPConnection(
@@ -177,12 +247,13 @@ class ServiceClient:
             except (
                 http.client.HTTPException, ConnectionError, socket.timeout,
                 OSError,
-            ):
+            ) as exc:
                 # A keep-alive peer may have closed between calls;
                 # retry exactly once on a fresh connection.
                 self.close()
                 if attempt == 2:
-                    raise
+                    raise exc from first_exc
+                first_exc = exc
         if not expect_json:
             if response.status >= 400:
                 raise ServiceError(

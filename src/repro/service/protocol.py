@@ -27,7 +27,8 @@ The request JSON schema (all spec fields optional)::
      "alphabet": "ab",         # optional, else the service's model
      "probs": [0.5, 0.5],      # optional, else uniform over alphabet
      "correction": "bh" | "bonferroni" | "none",   # optional
-     "alpha": 0.05}                                # optional
+     "alpha": 0.05,                                # optional
+     "timeout_ms": 2000}       # optional end-to-end deadline
 """
 
 from __future__ import annotations
@@ -66,6 +67,7 @@ _REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -91,6 +93,10 @@ class MineRequest:
     model: BernoulliModel
     correction: str | None = None
     alpha: float | None = None
+    #: End-to-end deadline in milliseconds (``None`` = no limit).  The
+    #: service stamps a monotonic :class:`~repro.engine.deadline.Deadline`
+    #: from it at admission; expired requests are answered 504.
+    timeout_ms: int | None = None
 
     @property
     def docs(self) -> int:
@@ -218,16 +224,20 @@ def parse_mine_request(
     default_model: BernoulliModel | None = None,
     *,
     default_backend: str | None = None,
+    default_timeout_ms: int | None = None,
 ) -> MineRequest:
     """Validate a decoded JSON body into a :class:`MineRequest`.
 
     Raises :class:`ProtocolError` (an HTTP 400) on anything malformed:
     wrong types, empty documents, unknown spec parameters' values,
-    symbols outside the alphabet, probabilities that do not sum to 1.
-    ``default_model`` is the service-level model used when the request
-    does not bring its own ``alphabet``; ``default_backend`` is the
-    service-level kernel backend applied when the request does not pick
-    one (``repro-mss serve --backend``).
+    symbols outside the alphabet, probabilities that do not sum to 1,
+    non-positive ``timeout_ms``.  ``default_model`` is the
+    service-level model used when the request does not bring its own
+    ``alphabet``; ``default_backend`` is the service-level kernel
+    backend applied when the request does not pick one (``repro-mss
+    serve --backend``); ``default_timeout_ms`` likewise backstops
+    requests that carry no ``timeout_ms`` (``serve
+    --default-timeout-ms``).
     """
     if not isinstance(payload, dict):
         raise ProtocolError("request body must be a JSON object")
@@ -252,9 +262,22 @@ def parse_mine_request(
         if not isinstance(alpha, (int, float)) or not 0.0 < alpha < 1.0:
             raise ProtocolError(f"alpha must be in (0, 1), got {alpha!r}")
         alpha = float(alpha)
+    timeout_ms = payload.get("timeout_ms")
+    if timeout_ms is None:
+        timeout_ms = default_timeout_ms
+    if timeout_ms is not None:
+        # bool is an int subclass; `"timeout_ms": true` is still a 400.
+        if (
+            not isinstance(timeout_ms, int)
+            or isinstance(timeout_ms, bool)
+            or timeout_ms <= 0
+        ):
+            raise ProtocolError(
+                f"timeout_ms must be a positive integer, got {timeout_ms!r}"
+            )
     return MineRequest(
         ids=ids, texts=texts, spec=spec, model=model,
-        correction=correction, alpha=alpha,
+        correction=correction, alpha=alpha, timeout_ms=timeout_ms,
     )
 
 

@@ -36,6 +36,7 @@ from repro.engine.calibration import (
     model_fingerprint,
 )
 from repro.analysis.calibration import MSSNullDistribution
+from repro.faults import get_faults
 from repro.obs.log import get_logger
 
 __all__ = ["DiskCalibrationCache", "default_cache_dir"]
@@ -158,6 +159,11 @@ class DiskCalibrationCache(CalibrationCache):
             return None
         except (OSError, ValueError):
             self._corrupt(path, bucket, "unreadable or invalid JSON")
+            return None
+        if get_faults().should_fire("disk_cache_corrupt"):
+            # Fault site: treat the (perfectly fine) entry as damaged --
+            # exercises the quarantine-and-resimulate path end to end.
+            self._corrupt(path, bucket, "fault injection")
             return None
         expected = model_fingerprint(model, self.trials, self.seed)
         try:

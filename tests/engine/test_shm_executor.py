@@ -20,7 +20,8 @@ from repro.engine import (
     SharedMemoryExecutor,
     resolve_executor,
 )
-from repro.engine.shm import _CRASH_ENV, DEFAULT_BATCH_DOCS, pack_jobs
+from repro.engine.shm import DEFAULT_BATCH_DOCS, pack_jobs
+from repro.faults import FAULTS_ENV
 from repro.generators import generate_null_string
 
 
@@ -127,7 +128,7 @@ class TestFaultTolerance:
         self, model, corpus, monkeypatch
     ):
         reference = _canonical(CorpusEngine().run_texts(corpus, model))
-        monkeypatch.setenv(_CRASH_ENV, "1")
+        monkeypatch.setenv(FAULTS_ENV, "worker_crash")
         executor = SharedMemoryExecutor(workers=2, batch_docs=4)
         result = CorpusEngine(executor=executor).run_texts(corpus, model)
         assert _canonical(result) == reference
@@ -250,7 +251,7 @@ class TestPoolLifecycle:
     def test_blocks_unlinked_even_when_workers_crash(
         self, model, corpus, monkeypatch
     ):
-        monkeypatch.setenv(_CRASH_ENV, "1")
+        monkeypatch.setenv(FAULTS_ENV, "worker_crash")
         executor = SharedMemoryExecutor(workers=2, batch_docs=4)
         CorpusEngine(executor=executor).run_texts(corpus, model)
         _assert_unlinked(executor.last_run_info["shm_names"])

@@ -1,0 +1,295 @@
+"""Chaos tests: deterministic fault injection against the live service.
+
+The contract under test, per the resilience issue:
+
+* injected faults (``REPRO_FAULTS``) never corrupt a response -- every
+  200 stays **bit-identical** to a direct ``CorpusEngine.run``;
+* every outcome under chaos is one of {200, 429, 503, 504} -- never a
+  hang, never a 500;
+* the worker-pool circuit breaker's open -> half-open -> closed cycle
+  is observable through ``/healthz`` and the
+  ``repro_pool_breaker_state`` / ``repro_pool_breaker_transitions_total``
+  metrics;
+* a disk-cache entry quarantined by fault injection is re-simulated to
+  bit-identical samples (self-healing store).
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.model import BernoulliModel
+from repro.engine import CorpusEngine, PoolSupervisor
+from repro.engine.executors import SharedMemoryExecutor
+from repro.faults import (
+    FAULTS_ENV,
+    FAULTS_SEED_ENV,
+    FaultRegistry,
+    configure_faults,
+    get_faults,
+    reset_faults,
+)
+from repro.generators import generate_null_string
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    DiskCalibrationCache,
+    MiningService,
+    ServiceClient,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceThread,
+)
+
+MODEL = BernoulliModel.uniform("ab")
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """Every test starts and ends with no faults installed."""
+    reset_faults()
+    yield
+    reset_faults()
+
+
+def _expected_payloads(texts, **run_kwargs):
+    """What a direct CorpusEngine.run of the same request returns."""
+    result = CorpusEngine().run_texts(texts, MODEL, **run_kwargs)
+    return [doc.payload(include_timing=False) for doc in result.documents]
+
+
+def _strip_timing(results):
+    return [
+        {key: value for key, value in doc.items() if key != "elapsed_seconds"}
+        for doc in results
+    ]
+
+
+def _identical(response, expected):
+    return json.dumps(
+        _strip_timing(response["results"]), sort_keys=True
+    ) == json.dumps(expected, sort_keys=True)
+
+
+def _metric_value(metrics_text: str, name: str) -> float:
+    """Sum every sample of one family in a Prometheus exposition."""
+    total = 0.0
+    for line in metrics_text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            head = line.split(" ")[0]
+            if head == name or head.startswith(name + "{"):
+                total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    texts = []
+    for i in range(12):
+        text = generate_null_string(MODEL, 40 + 13 * (i % 4), seed=700 + i)
+        if i % 3 == 0:
+            text = text[:10] + "b" * 9 + text[19:]
+        texts.append(text)
+    return texts
+
+
+class TestWorkerCrash:
+    def test_crashing_workers_keep_results_bit_identical(
+        self, corpus, monkeypatch
+    ):
+        """Every pool chunk crashes; the in-process fallback must still
+        produce the exact answer and count itself in the metrics."""
+        monkeypatch.setenv(FAULTS_ENV, "worker_crash")
+        service = MiningService(
+            MODEL, workers=2, batch_docs=4, linger_seconds=0.0
+        )
+        with ServiceThread(service) as handle:
+            with ServiceClient(*handle.address) as client:
+                response = client.mine(texts=corpus)
+                scrape = client.metrics()
+        assert _identical(response, _expected_payloads(corpus))
+        assert _metric_value(scrape, "repro_shm_fallback_chunks_total") > 0
+
+    def test_probabilistic_crashes_are_deterministic(self, monkeypatch):
+        """Same spec + seed => the same fault schedule, draw for draw."""
+        monkeypatch.setenv(FAULTS_ENV, "worker_crash:0.5")
+        monkeypatch.setenv(FAULTS_SEED_ENV, "42")
+        first = [get_faults().should_fire("worker_crash") for _ in range(32)]
+        reset_faults()
+        second = [get_faults().should_fire("worker_crash") for _ in range(32)]
+        assert first == second
+        assert True in first and False in first  # 0.5 actually mixes
+
+
+class TestDeadlineUnderDelay:
+    def test_mine_delay_past_deadline_is_504_with_trace_id(
+        self, corpus, monkeypatch
+    ):
+        """A stalled mine thread sheds the expired request: 504 whose
+        body quotes the trace id, and the timeout counter moves."""
+        monkeypatch.setenv(FAULTS_ENV, "mine_delay_ms:300")
+        service = MiningService(MODEL, linger_seconds=0.0)
+        with ServiceThread(service) as handle:
+            conn = http.client.HTTPConnection(*handle.address, timeout=30)
+            try:
+                conn.request(
+                    "POST",
+                    "/mine",
+                    body=json.dumps({"text": corpus[0], "timeout_ms": 100}),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                body = json.loads(response.read())
+                trace_header = response.headers.get("X-Trace-Id")
+            finally:
+                conn.close()
+            with ServiceClient(*handle.address) as client:
+                scrape = client.metrics()
+        assert response.status == 504
+        assert body["timeout_ms"] == 100
+        assert body["trace_id"] == trace_header
+        assert _metric_value(scrape, "repro_requests_timed_out_total") >= 1
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_half_opens_and_closes(self, corpus):
+        """pool_start_fail drives the full open -> half-open -> closed
+        cycle, observable via /healthz and the breaker metrics."""
+        clock = [0.0]
+        supervisor = PoolSupervisor(
+            failure_threshold=2,
+            cooldown_seconds=30.0,
+            clock=lambda: clock[0],
+        )
+        engine = CorpusEngine(
+            executor=SharedMemoryExecutor(
+                workers=2, persistent=True, supervisor=supervisor
+            ),
+            batch_docs=2,
+        )
+        configure_faults(FaultRegistry.from_spec("pool_start_fail"))
+        service = MiningService(MODEL, engine=engine, batch_docs=2,
+                                linger_seconds=0.0)
+        with ServiceThread(service) as handle:
+            with ServiceClient(*handle.address) as client:
+                # Two failing runs (pool cannot start, every chunk falls
+                # back) reach the threshold and open the breaker.
+                for _ in range(2):
+                    response = client.mine(texts=corpus[:6])
+                    assert _identical(
+                        response, _expected_payloads(corpus[:6])
+                    )
+                health = client.healthz()
+                assert health["status"] == "degraded"
+                assert health["pool_breaker"]["state"] == "open"
+                assert "breaker open" in health["reason"]
+                assert _metric_value(
+                    client.metrics(), "repro_pool_breaker_state"
+                ) == 1
+
+                # While open: correct answers, no pool start attempts.
+                starts_before = engine.executor.pool.starts
+                response = client.mine(texts=corpus[:6])
+                assert _identical(response, _expected_payloads(corpus[:6]))
+                assert engine.executor.pool.starts == starts_before
+
+                # Heal the host and let the cooldown elapse: the next
+                # run half-opens, its probe chunk succeeds, breaker
+                # closes again.
+                configure_faults(None)
+                clock[0] += 31.0
+                assert client.healthz()["pool_breaker"]["state"] == "half_open"
+                response = client.mine(texts=corpus[:6])
+                assert _identical(response, _expected_payloads(corpus[:6]))
+                health = client.healthz()
+                assert health["status"] == "ok"
+                assert health["pool_breaker"]["state"] == "closed"
+                assert health["pool_breaker"]["opened_total"] == 1
+                scrape = client.metrics()
+        assert _metric_value(scrape, "repro_pool_breaker_state") == 0
+        assert (
+            _metric_value(scrape, "repro_pool_breaker_transitions_total") >= 3
+        )  # closed->open, open->half_open, half_open->closed
+
+
+class TestDiskCacheCorruption:
+    def test_quarantined_entry_resimulates_identically(
+        self, tmp_path, monkeypatch
+    ):
+        """A faulted read is treated as corruption: the entry is
+        re-simulated (bit-identical samples) and written back."""
+        text = generate_null_string(MODEL, 60, seed=11)
+        healthy = DiskCalibrationCache(tmp_path, trials=20, seed=7)
+        first = healthy.distribution_for(MODEL, len(text))
+        assert healthy.disk_writes == 1
+
+        monkeypatch.setenv(FAULTS_ENV, "disk_cache_corrupt")
+        reset_faults()
+        faulted = DiskCalibrationCache(tmp_path, trials=20, seed=7)
+        faulted.metrics = MetricsRegistry()  # isolate the event counter
+        second = faulted.distribution_for(MODEL, len(text))
+        assert second.samples == first.samples
+        assert faulted.disk_hits == 0  # the read was quarantined
+        assert faulted.disk_misses == 1
+        assert faulted.disk_writes == 1  # self-healed: overwritten
+        assert get_faults().fired("disk_cache_corrupt") == 1
+        events = faulted.metrics.get("repro_calibration_events_total")
+        assert events.labels(event="disk_corrupt").value == 1
+
+
+class TestChaosStorm:
+    def test_outcomes_under_chaos_are_only_200_429_or_504(
+        self, corpus, monkeypatch
+    ):
+        """Crashing workers + a stalling mine thread + a small queue +
+        mixed deadlines: every request resolves (no hangs), every
+        outcome is 200 (bit-identical), 429, or 504 -- never a 500."""
+        monkeypatch.setenv(FAULTS_ENV, "worker_crash:0.3,mine_delay_ms:50")
+        monkeypatch.setenv(FAULTS_SEED_ENV, "7")
+        service = MiningService(
+            MODEL,
+            workers=2,
+            batch_docs=4,
+            max_pending_docs=8,
+            linger_seconds=0.0,
+        )
+        outcomes = []
+
+        def mine_one(texts, timeout_ms):
+            try:
+                # Long-deadline requests retry through 429 bursts, so a
+                # 200 is always reachable; short-deadline ones race
+                # their timeout_ms and may legitimately 429 or 504.
+                retries = 3 if timeout_ms >= 10_000 else 0
+                with ServiceClient(*handle.address, timeout=60.0) as client:
+                    outcomes.append(
+                        (texts, 200, client.mine(texts=texts,
+                                                 timeout_ms=timeout_ms,
+                                                 retries=retries))
+                    )
+            except ServiceOverloadedError as exc:
+                outcomes.append((texts, exc.status, None))
+            except ServiceError as exc:
+                outcomes.append((texts, exc.status, None))
+
+        with ServiceThread(service) as handle:
+            threads = []
+            for i in range(10):
+                texts = corpus[i % 4 : i % 4 + 4]
+                timeout_ms = 10_000 if i % 2 == 0 else 60 + 5 * i
+                thread = threading.Thread(
+                    target=mine_one, args=(texts, timeout_ms)
+                )
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join(60)
+                assert not thread.is_alive()  # no hangs under chaos
+        assert len(outcomes) == 10
+        statuses = {status for _, status, _ in outcomes}
+        assert statuses <= {200, 429, 504}
+        assert 200 in statuses  # chaos degraded service, never killed it
+        for texts, status, response in outcomes:
+            if status == 200:
+                assert _identical(response, _expected_payloads(texts))
