@@ -20,6 +20,10 @@ generator for experimenting:
   JSON/HTTP ``POST /mine`` with request micro-batching, a persistent
   shared-memory worker pool, deterministic 429 backpressure, and an
   optional disk-backed calibration cache (``--calibrate``).
+* ``route``      -- run the shard router (:mod:`repro.router`): spawn
+  ``--shards N`` serve processes (or front ``--upstream`` ones) behind
+  one address, with consistent-hash batch affinity, health ejection,
+  idempotent failover, and aggregated ``/metrics``/``/stats``.
 
 Input is a text file (or stdin with ``-``); the alphabet defaults to the
 distinct characters of the input with maximum-likelihood probabilities,
@@ -307,6 +311,15 @@ def build_parser() -> argparse.ArgumentParser:
              "get 429 + Retry-After",
     )
     serve.add_argument(
+        "--tenant-fair-share",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help="fraction of --max-pending any one tenant (null model) may "
+             "hold queued; beyond it that tenant gets 429 while others "
+             "keep being admitted (default 1.0 = no per-tenant cap)",
+    )
+    serve.add_argument(
         "--linger-ms",
         type=float,
         default=2.0,
@@ -355,6 +368,15 @@ def build_parser() -> argparse.ArgumentParser:
              "$XDG_CACHE_HOME/repro-mss or ~/.cache/repro-mss)",
     )
     serve.add_argument(
+        "--calib-cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU bound on in-memory calibration distributions; evicted "
+             "entries re-load from disk (--calibrate's store) or "
+             "re-simulate bit-identically (default: unbounded)",
+    )
+    serve.add_argument(
         "--log-format",
         choices=["text", "json"],
         default="text",
@@ -369,6 +391,111 @@ def build_parser() -> argparse.ArgumentParser:
              "'info')",
     )
     add_backend(serve)
+
+    route = sub.add_parser(
+        "route",
+        help="run the shard router over N serve processes (repro.router)",
+    )
+    route.add_argument("--host", default="127.0.0.1",
+                       help="router bind address (default 127.0.0.1)")
+    route.add_argument("--port", type=int, default=8799,
+                       help="router bind port (0 = ephemeral; default 8799)")
+    fleet = route.add_mutually_exclusive_group(required=True)
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="spawn N owned `serve --port 0` shard processes (drained "
+             "shard-by-shard on shutdown)",
+    )
+    fleet.add_argument(
+        "--upstream",
+        metavar="HOST:PORT,...",
+        help="front already-running services instead of spawning "
+             "(comma-separated addresses; they outlive the router)",
+    )
+    route.add_argument(
+        "--replicas",
+        type=int,
+        default=128,
+        help="virtual nodes per shard on the consistent-hash ring "
+             "(default 128)",
+    )
+    route.add_argument(
+        "--health-interval-ms",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="/healthz sweep period; dead or degraded shards are ejected "
+             "from the ring and rejoin when they recover (default 500)",
+    )
+    route.add_argument(
+        "--fail-after",
+        type=int,
+        default=2,
+        metavar="N",
+        help="consecutive failed probes before a shard is ejected as "
+             "dead (default 2)",
+    )
+    route.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-stage bound on the ordered shutdown drain (default 10s)",
+    )
+    # Spawned-shard configuration: forwarded verbatim to each
+    # `serve --port 0` child (--shards mode only).
+    route.add_argument("--alphabet",
+                       help="shards' default alphabet (required with "
+                            "--shards)")
+    route.add_argument("--probs",
+                       help="comma-separated null probabilities matching "
+                            "--alphabet")
+    route.add_argument("--workers", type=int, default=1,
+                       help="mining worker processes per shard")
+    route.add_argument("--batch-docs", type=int, default=32, metavar="N",
+                       help="per-shard micro-batch target")
+    route.add_argument("--max-pending", type=int, default=1024,
+                       metavar="DOCS", help="per-shard backpressure bound")
+    route.add_argument("--linger-ms", type=float, default=2.0,
+                       help="per-shard batch coalescing window")
+    route.add_argument("--tenant-fair-share", type=float, default=1.0,
+                       metavar="FRACTION",
+                       help="per-shard per-tenant quota (see serve)")
+    route.add_argument("--default-timeout-ms", type=int, default=None,
+                       metavar="MS",
+                       help="per-shard default request deadline")
+    route.add_argument("--correction",
+                       choices=["none", "bonferroni", "bh"], default="bh",
+                       help="shards' default multiple-testing correction")
+    route.add_argument("--alpha", type=float, default=0.05,
+                       help="shards' default significance level")
+    route.add_argument("--calibrate", action="store_true",
+                       help="shards use disk-backed Monte-Carlo "
+                            "calibration")
+    route.add_argument("--trials", type=int, default=100,
+                       help="Monte-Carlo trials per calibration bucket")
+    route.add_argument("--seed", type=int, default=0,
+                       help="calibration random seed")
+    route.add_argument("--cache-dir", default=None,
+                       help="shards' shared calibration store directory")
+    route.add_argument("--calib-cache-entries", type=int, default=None,
+                       metavar="N",
+                       help="per-shard in-memory calibration LRU bound")
+    route.add_argument(
+        "--log-format",
+        choices=["text", "json"],
+        default="text",
+        help="router structured log output on stderr",
+    )
+    route.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="info",
+        help="minimum level for router log events",
+    )
+    add_backend(route)
 
     generate = sub.add_parser("generate", help="emit a synthetic string")
     generate.add_argument(
@@ -390,7 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     # SUPPRESS keeps the top-level value when the flag is absent here --
     # a plain default would clobber a --json given before the subcommand.
     for subparser in (mss, top, threshold, minlength, calibrate, stream,
-                      batch, serve, generate):
+                      batch, serve, route, generate):
         subparser.add_argument(
             "--json",
             action="store_true",
@@ -420,6 +547,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_batch(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "route":
+        return _run_route(args)
 
     text = _read_text(args.file)
     if not text:
@@ -603,6 +732,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--batch-docs must be >= 1")
     if args.max_pending < 1:
         raise SystemExit("--max-pending must be >= 1")
+    if not 0.0 < args.tenant_fair_share <= 1.0:
+        raise SystemExit("--tenant-fair-share must be in (0, 1]")
+    if args.calib_cache_entries is not None and args.calib_cache_entries < 1:
+        raise SystemExit("--calib-cache-entries must be >= 1")
     if args.linger_ms < 0:
         raise SystemExit("--linger-ms must be >= 0")
     if args.default_timeout_ms is not None and args.default_timeout_ms < 1:
@@ -621,7 +754,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     calibration = (
         DiskCalibrationCache(
             args.cache_dir, trials=args.trials, seed=args.seed,
-            backend=args.backend,
+            backend=args.backend, max_entries=args.calib_cache_entries,
         )
         if args.calibrate
         else None
@@ -632,6 +765,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         batch_docs=args.batch_docs,
         max_pending_docs=args.max_pending,
         linger_seconds=args.linger_ms / 1000.0,
+        tenant_fair_share=args.tenant_fair_share,
         correction=args.correction,
         alpha=args.alpha,
         calibration=calibration,
@@ -654,6 +788,111 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
 
     service.run(args.host, args.port, on_bound=announce)
+    return 0
+
+
+def _shard_serve_args(args: argparse.Namespace) -> list[str]:
+    """The ``serve`` argv each spawned shard runs with (after --port 0)."""
+    shard_args = [
+        "--alphabet", args.alphabet,
+        "--workers", str(args.workers),
+        "--batch-docs", str(args.batch_docs),
+        "--max-pending", str(args.max_pending),
+        "--linger-ms", str(args.linger_ms),
+        "--tenant-fair-share", str(args.tenant_fair_share),
+        "--correction", args.correction,
+        "--alpha", str(args.alpha),
+        "--log-format", args.log_format,
+        "--log-level", args.log_level,
+    ]
+    if args.probs is not None:
+        shard_args += ["--probs", args.probs]
+    if args.default_timeout_ms is not None:
+        shard_args += ["--default-timeout-ms", str(args.default_timeout_ms)]
+    if args.calibrate:
+        shard_args += ["--calibrate", "--trials", str(args.trials),
+                       "--seed", str(args.seed)]
+        if args.cache_dir is not None:
+            shard_args += ["--cache-dir", args.cache_dir]
+        if args.calib_cache_entries is not None:
+            shard_args += ["--calib-cache-entries",
+                           str(args.calib_cache_entries)]
+    if args.backend is not None:
+        shard_args += ["--backend", args.backend]
+    return shard_args
+
+
+def _run_route(args: argparse.Namespace) -> int:
+    from repro.obs.log import configure as configure_logging
+    from repro.router import RouterService, ShardProcess
+
+    configure_logging(format=args.log_format, level=args.log_level)
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    if args.health_interval_ms <= 0:
+        raise SystemExit("--health-interval-ms must be > 0")
+    if args.fail_after < 1:
+        raise SystemExit("--fail-after must be >= 1")
+    if args.drain_timeout < 0:
+        raise SystemExit("--drain-timeout must be >= 0")
+
+    processes: list[ShardProcess] = []
+    upstreams: list[tuple[str, int]] = []
+    if args.shards is not None:
+        if args.shards < 1:
+            raise SystemExit("--shards must be >= 1")
+        if args.alphabet is None:
+            raise SystemExit("--shards requires --alphabet (the spawned "
+                             "shards' default model)")
+        if not 0.0 < args.tenant_fair_share <= 1.0:
+            raise SystemExit("--tenant-fair-share must be in (0, 1]")
+        shard_args = _shard_serve_args(args)
+        try:
+            for index in range(args.shards):
+                shard = ShardProcess(shard_args, name=f"shard-{index}")
+                shard.start()
+                processes.append(shard)
+        except Exception:
+            for shard in processes:
+                shard.kill()
+            raise
+    else:
+        for entry in args.upstream.split(","):
+            host, _, port = entry.strip().rpartition(":")
+            if not host or not port.isdigit():
+                raise SystemExit(
+                    f"--upstream entries must be host:port, got {entry!r}"
+                )
+            upstreams.append((host, int(port)))
+
+    router = RouterService(
+        upstreams or None,
+        processes=processes or None,
+        replicas=args.replicas,
+        health_interval=args.health_interval_ms / 1000.0,
+        fail_after=args.fail_after,
+        drain_timeout=args.drain_timeout,
+    )
+
+    def announce(bound):
+        shards = ", ".join(
+            f"{name}={state.address[0]}:{state.address[1]}"
+            for name, state in sorted(router.shards.items())
+        )
+        print(
+            f"repro-mss route: http://{bound[0]}:{bound[1]}  "
+            f"shards={len(router.shards)}  [{shards}]",
+            flush=True,
+        )
+
+    try:
+        router.run(args.host, args.port, on_bound=announce)
+    finally:
+        # router.stop() already drained owned shards; this is the
+        # belt-and-braces reap for startup failures mid-run().
+        for shard in processes:
+            if shard.alive:
+                shard.terminate(args.drain_timeout)
     return 0
 
 

@@ -152,6 +152,18 @@ class CalibrationCache:
         :mod:`repro.kernels`); ``None`` defers to ``REPRO_BACKEND`` /
         the default.  Backends produce bit-identical samples, so this
         is purely a throughput knob.
+    max_entries:
+        Bound on the in-memory distribution count (LRU eviction).  Every
+        distinct ``(model, bucket)`` key costs ``trials`` floats forever,
+        so a long-lived multi-tenant service would otherwise grow without
+        bound -- one simulation per tenant model per length bucket.
+        ``None`` (the default, and the right call for one-shot batch
+        runs) keeps everything.  Evicting is always safe: a re-requested
+        key re-simulates (or re-reads disk, for
+        :class:`~repro.service.store.DiskCalibrationCache`) to
+        bit-identical samples, it just costs time again.  Evictions are
+        counted on :attr:`evictions` and the
+        ``repro_calib_evictions_total`` metric.
 
     Examples
     --------
@@ -164,11 +176,23 @@ class CalibrationCache:
     (1, 1)
     """
 
-    def __init__(self, trials: int = 100, seed: int = 0, backend=None) -> None:
+    def __init__(
+        self,
+        trials: int = 100,
+        seed: int = 0,
+        backend=None,
+        *,
+        max_entries: int | None = None,
+    ) -> None:
         ensure_positive_int(trials, "trials")
+        if max_entries is not None:
+            ensure_positive_int(max_entries, "max_entries")
         self.trials = trials
         self.seed = seed
         self.backend = backend
+        self.max_entries = max_entries
+        #: Distributions dropped by the LRU bound (0 while unbounded).
+        self.evictions = 0
         self._distributions: dict[tuple[BernoulliModel, int], MSSNullDistribution] = {}
         #: Entries merged by :meth:`load`, keyed by ``(fingerprint,
         #: bucket)``.  Kept separate from ``_distributions`` on purpose:
@@ -200,12 +224,48 @@ class CalibrationCache:
     def __iter__(self) -> Iterator[tuple[BernoulliModel, int]]:
         return iter(dict(self._distributions))
 
+    def _cache_get(self, key) -> MSSNullDistribution | None:
+        """Fetch one entry, refreshing its LRU recency (lock held)."""
+        cached = self._distributions.get(key)
+        if cached is not None and self.max_entries is not None:
+            # Dicts preserve insertion order: re-inserting moves the key
+            # to the back, so eviction always takes the least recent.
+            self._distributions[key] = self._distributions.pop(key)
+        return cached
+
+    def _cache_store(self, key, distribution) -> MSSNullDistribution:
+        """Insert one entry, evicting past ``max_entries`` (lock held).
+
+        Keeps ``setdefault`` semantics: a concurrent insert that lost
+        the race returns the winner's (identical) distribution.
+        """
+        existing = self._cache_get(key)
+        if existing is not None:
+            return existing
+        self._distributions[key] = distribution
+        if self.max_entries is not None:
+            while len(self._distributions) > self.max_entries:
+                oldest = next(iter(self._distributions))
+                del self._distributions[oldest]
+                self.evictions += 1
+                self.metrics.counter(
+                    "repro_calib_evictions_total",
+                    "In-memory calibration distributions dropped by the "
+                    "LRU bound.",
+                ).inc()
+                _LOG.debug(
+                    "calibration_evict",
+                    bucket=oldest[1],
+                    max_entries=self.max_entries,
+                )
+        return distribution
+
     def distribution_for(self, model: BernoulliModel, n: int) -> MSSNullDistribution:
         """The (cached) null distribution covering documents of length ``n``."""
         bucket = length_bucket(n)
         key = (model, bucket)
         with self._lock:
-            cached = self._distributions.get(key)
+            cached = self._cache_get(key)
             if cached is not None:
                 self.hits += 1
         if cached is not None:
@@ -216,7 +276,7 @@ class CalibrationCache:
             self._event("loaded_hit")
             with self._lock:
                 self.hits += 1
-                return self._distributions.setdefault(key, loaded)
+                return self._cache_store(key, loaded)
         # Simulate outside the lock: concurrent misses on the same key may
         # duplicate work but stay correct (the simulation is deterministic
         # per key, so whichever insert wins stores the identical result).
@@ -236,7 +296,7 @@ class CalibrationCache:
         )
         with self._lock:
             self.misses += 1
-            return self._distributions.setdefault(key, distribution)
+            return self._cache_store(key, distribution)
 
     def _loaded_entry(self, model, bucket) -> MSSNullDistribution | None:
         """A :meth:`load`-ed distribution for this exact configuration.
@@ -391,6 +451,8 @@ class CalibrationCache:
             "seed": self.seed,
             "hits": self.hits,
             "misses": self.misses,
+            "max_entries": self.max_entries,
+            "evictions": self.evictions,
             "entries": [
                 {
                     "k": model.k,

@@ -96,9 +96,9 @@ class MiningService:
     batch_docs:
         Micro-batch target size (documents per dispatched batch, and
         the engine's kernel batch size).
-    max_pending_docs / linger_seconds:
-        Backpressure bound and coalescing window -- see
-        :class:`~repro.service.batcher.MicroBatcher`.
+    max_pending_docs / linger_seconds / tenant_fair_share:
+        Backpressure bound, coalescing window and per-tenant fair-share
+        quota -- see :class:`~repro.service.batcher.MicroBatcher`.
     correction / alpha:
         Engine defaults applied when a request does not set its own.
     calibration:
@@ -132,6 +132,7 @@ class MiningService:
         batch_docs: int = DEFAULT_BATCH_DOCS,
         max_pending_docs: int = 1024,
         linger_seconds: float = 0.002,
+        tenant_fair_share: float = 1.0,
         correction: str = "bh",
         alpha: float = 0.05,
         calibration: CalibrationCache | None = None,
@@ -178,6 +179,7 @@ class MiningService:
             batch_docs=batch_docs,
             max_pending_docs=max_pending_docs,
             linger_seconds=linger_seconds,
+            tenant_fair_share=tenant_fair_share,
             metrics=self.metrics,
         )
         self._log = get_logger("repro.service")

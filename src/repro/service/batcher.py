@@ -139,6 +139,18 @@ class MicroBatcher:
     linger_seconds:
         How long the dispatcher waits after the first queued request
         for companions to arrive.  ``0`` disables coalescing delay.
+    tenant_fair_share:
+        Fraction of ``max_pending_docs`` a single tenant (requests
+        sharing a :attr:`~repro.service.protocol.MineRequest.tenant_key`,
+        i.e. a null model) may occupy in the queue, in ``(0, 1]``.  At
+        the default ``1.0`` there is no per-tenant bound beyond the
+        global one; below it, a burst from one tenant hits a
+        deterministic 429 at ``int(max_pending_docs *
+        tenant_fair_share)`` queued documents while other tenants'
+        requests keep being accepted.  A single request larger than the
+        tenant share can never be accepted and raises
+        :class:`RequestTooLarge` (413), exactly like one larger than
+        ``max_pending_docs``.
     metrics:
         The :class:`~repro.obs.metrics.MetricsRegistry` backing the
         batcher's counters and histograms.  Defaults to a **fresh**
@@ -154,6 +166,7 @@ class MicroBatcher:
         batch_docs: int | None = None,
         max_pending_docs: int = 1024,
         linger_seconds: float = 0.002,
+        tenant_fair_share: float = 1.0,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if batch_docs is None:
@@ -168,12 +181,27 @@ class MicroBatcher:
             raise ValueError(
                 f"linger_seconds must be >= 0, got {linger_seconds!r}"
             )
+        if not 0.0 < tenant_fair_share <= 1.0:
+            raise ValueError(
+                f"tenant_fair_share must be in (0, 1], got "
+                f"{tenant_fair_share!r}"
+            )
         self.engine = engine
         self.batch_docs = batch_docs
         self.max_pending_docs = max_pending_docs
         self.linger_seconds = linger_seconds
+        self.tenant_fair_share = tenant_fair_share
+        #: Queued-document bound per tenant key (>= 1 so every tenant
+        #: can always queue at least a one-document request).
+        self.tenant_cap_docs = max(
+            1, int(max_pending_docs * tenant_fair_share)
+        )
         self._queue: collections.deque[_Pending] = collections.deque()
         self._queued_docs = 0
+        #: Queued documents per tenant key (mirrors ``_queued_docs``;
+        #: entries are dropped at zero so the dict tracks only tenants
+        #: with work actually waiting).
+        self._tenant_docs: dict[str, int] = {}
         self._in_flight_docs = 0
         self._wakeup: asyncio.Event | None = None
         self._task: asyncio.Task | None = None
@@ -196,6 +224,12 @@ class MicroBatcher:
         self._requests_rejected = self.metrics.counter(
             "repro_batcher_requests_rejected_total",
             "Mine requests rejected with backpressure (queue full or closing).",
+        )
+        # Created at zero so the family renders in /metrics before the
+        # first quota rejection.
+        self._tenant_rejected_counter = self.metrics.counter(
+            "repro_batcher_tenant_rejected_total",
+            "Mine requests rejected by the per-tenant fair-share quota.",
         )
         self._docs_total = self.metrics.counter(
             "repro_batcher_docs_total",
@@ -245,6 +279,11 @@ class MicroBatcher:
     @requests_rejected.setter
     def requests_rejected(self, value) -> None:
         self._requests_rejected.reset(value)
+
+    @property
+    def tenant_rejected(self) -> int:
+        """Requests rejected by the per-tenant quota (registry-backed)."""
+        return int(self._tenant_rejected_counter.value)
 
     @property
     def docs_total(self) -> int:
@@ -354,6 +393,15 @@ class MicroBatcher:
                 f"accepts at most {self.max_pending_docs} queued documents; "
                 f"split the request"
             )
+        if request.docs > self.tenant_cap_docs:
+            # Permanently over the tenant's share: the quota is static,
+            # so retrying can never cure this either -- 413, not 429.
+            raise RequestTooLarge(
+                f"request carries {request.docs} documents but a single "
+                f"tenant may occupy at most {self.tenant_cap_docs} queued "
+                f"documents (fair share {self.tenant_fair_share} of "
+                f"{self.max_pending_docs}); split the request"
+            )
         if self._closing:
             self._requests_rejected.inc()
             raise ServiceDraining("service is draining for shutdown")
@@ -368,6 +416,22 @@ class MicroBatcher:
                 f"{self.max_pending_docs} documents queued)",
                 retry_after=self.retry_after_hint(),
             )
+        tenant = request.tenant_key
+        tenant_queued = self._tenant_docs.get(tenant, 0)
+        if tenant_queued + request.docs > self.tenant_cap_docs:
+            # Deterministic fair-share 429: this tenant is hogging the
+            # queue, but capacity remains for everyone else -- their
+            # submissions are untouched by this rejection.
+            self._requests_rejected.inc()
+            self._tenant_rejected_counter.inc()
+            raise ServiceOverloaded(
+                f"tenant {tenant} has {tenant_queued} of its "
+                f"{self.tenant_cap_docs}-document fair share queued "
+                f"(share {self.tenant_fair_share} of "
+                f"{self.max_pending_docs})",
+                retry_after=self.retry_after_hint(),
+            )
+        self._tenant_docs[tenant] = tenant_queued + request.docs
         self._requests_total.inc()
         pending = _Pending(
             request=request,
@@ -399,6 +463,7 @@ class MicroBatcher:
         return {
             "requests_total": self.requests_total,
             "requests_rejected": self.requests_rejected,
+            "tenant_rejected": self.tenant_rejected,
             "docs_total": self.docs_total,
             "batches": self.batches,
             "batch_fill": (
@@ -406,6 +471,9 @@ class MicroBatcher:
             ),
             "batch_docs": self.batch_docs,
             "max_pending_docs": self.max_pending_docs,
+            "tenant_fair_share": self.tenant_fair_share,
+            "tenant_cap_docs": self.tenant_cap_docs,
+            "tenants_queued": len(self._tenant_docs),
             "linger_seconds": self.linger_seconds,
             "queue_depth_docs": self._queued_docs,
             "in_flight_docs": self._in_flight_docs,
@@ -455,6 +523,7 @@ class MicroBatcher:
             if head.deadline is not None and head.deadline.expired():
                 self._queue.popleft()
                 self._queued_docs -= head.request.docs
+                self._release_tenant(head.request)
                 self._shed(head)
                 continue
             head_docs = head.request.docs
@@ -462,10 +531,20 @@ class MicroBatcher:
                 break
             pending = self._queue.popleft()
             docs += head_docs
+            self._release_tenant(pending.request)
             batch.append(pending)
         self._queued_docs -= docs
         self._in_flight_docs = docs
         return batch
+
+    def _release_tenant(self, request: MineRequest) -> None:
+        """Return a dequeued request's documents to its tenant's share."""
+        tenant = request.tenant_key
+        remaining = self._tenant_docs.get(tenant, 0) - request.docs
+        if remaining > 0:
+            self._tenant_docs[tenant] = remaining
+        else:
+            self._tenant_docs.pop(tenant, None)
 
     def _shed(self, pending: _Pending) -> None:
         """Complete an expired request with ``DeadlineExceeded``."""

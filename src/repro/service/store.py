@@ -76,6 +76,11 @@ class DiskCalibrationCache(CalibrationCache):
         As for :class:`~repro.engine.calibration.CalibrationCache`; they
         are part of each entry's fingerprint, so caches with different
         configurations never share entries.
+    max_entries:
+        LRU bound on the *in-memory* tier (``serve
+        --calib-cache-entries``).  The disk tier is unbounded, so an
+        evicted entry costs a disk read on re-request, never a
+        re-simulation.
 
     Examples
     --------
@@ -92,8 +97,11 @@ class DiskCalibrationCache(CalibrationCache):
         trials: int = 100,
         seed: int = 0,
         backend=None,
+        max_entries: int | None = None,
     ) -> None:
-        super().__init__(trials=trials, seed=seed, backend=backend)
+        super().__init__(
+            trials=trials, seed=seed, backend=backend, max_entries=max_entries
+        )
         self.cache_dir = (
             Path(cache_dir) if cache_dir is not None else default_cache_dir()
         )
@@ -121,7 +129,7 @@ class DiskCalibrationCache(CalibrationCache):
         bucket = length_bucket(n)
         key = (model, bucket)
         with self._lock:
-            cached = self._distributions.get(key)
+            cached = self._cache_get(key)
             if cached is not None:
                 self.hits += 1
         if cached is not None:
@@ -133,7 +141,7 @@ class DiskCalibrationCache(CalibrationCache):
             _LOG.debug("calibration_disk_hit", bucket=bucket)
             with self._lock:
                 self.disk_hits += 1
-                return self._distributions.setdefault(key, loaded)
+                return self._cache_store(key, loaded)
         self._event("disk_miss")
         with self._lock:
             self.disk_misses += 1

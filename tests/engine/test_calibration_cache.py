@@ -104,6 +104,73 @@ class TestCache:
             CalibrationCache(trials=0)
 
 
+class TestLRUBound:
+    """The ``max_entries`` LRU: bounded growth, observable evictions,
+    and bit-identical answers after re-simulation."""
+
+    def test_unbounded_by_default(self, model):
+        cache = CalibrationCache(trials=10, seed=0)
+        for n in (30, 100, 300, 1000, 3000):
+            cache.distribution_for(model, n)
+        assert len(cache) == 5
+        assert cache.evictions == 0
+
+    def test_cap_is_honored_and_evictions_counted(self, model):
+        cache = CalibrationCache(trials=10, seed=0, max_entries=2)
+        cache.distribution_for(model, 30)    # bucket 64
+        cache.distribution_for(model, 100)   # bucket 128
+        assert len(cache) == 2 and cache.evictions == 0
+        cache.distribution_for(model, 300)   # bucket 512 -> evicts 64
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        buckets = {bucket for _, bucket in cache}
+        assert buckets == {128, 512}
+
+    def test_recency_is_refreshed_on_hit(self, model):
+        """A hit moves the entry to the back of the eviction order, so
+        the *least recently used* entry goes, not the oldest insert."""
+        cache = CalibrationCache(trials=10, seed=0, max_entries=2)
+        cache.distribution_for(model, 30)    # bucket 64 (oldest insert)
+        cache.distribution_for(model, 100)   # bucket 128
+        cache.distribution_for(model, 30)    # touch 64
+        cache.distribution_for(model, 300)   # evicts 128, not 64
+        assert {bucket for _, bucket in cache} == {64, 512}
+
+    def test_evicted_entry_resimulates_bit_identically(self, model):
+        cache = CalibrationCache(trials=15, seed=7, max_entries=1)
+        original = cache.distribution_for(model, 30).samples
+        cache.distribution_for(model, 100)   # evicts bucket 64
+        assert cache.evictions == 1
+        misses_before = cache.misses
+        again = cache.distribution_for(model, 30)
+        assert again.samples == original     # eviction never changes answers
+        assert cache.misses == misses_before + 1  # but it does cost a rerun
+
+    def test_eviction_metric_moves(self, model):
+        from repro.obs.metrics import MetricsRegistry
+
+        cache = CalibrationCache(trials=10, seed=0, max_entries=1)
+        cache.metrics = MetricsRegistry()
+        cache.distribution_for(model, 30)
+        cache.distribution_for(model, 100)
+        cache.distribution_for(model, 300)
+        counter = cache.metrics.counter("repro_calib_evictions_total")
+        assert counter.value == cache.evictions == 2
+
+    def test_summary_reports_bound_and_evictions(self, model):
+        cache = CalibrationCache(trials=10, seed=0, max_entries=1)
+        cache.distribution_for(model, 30)
+        cache.distribution_for(model, 100)
+        summary = cache.summary()
+        assert summary["max_entries"] == 1
+        assert summary["evictions"] == 1
+        json.dumps(summary)  # still JSON-ready
+
+    def test_rejects_nonpositive_max_entries(self):
+        with pytest.raises(ValueError):
+            CalibrationCache(trials=10, max_entries=0)
+
+
 class TestFingerprint:
     def test_stable_and_parameter_sensitive(self, model):
         base = model_fingerprint(model, 100, 0)

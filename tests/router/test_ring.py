@@ -1,0 +1,258 @@
+"""Property tests for the consistent-hash ring (repro.router.ring).
+
+Three properties, each stated once as a plain checker and driven two
+ways: by hypothesis when it is installed (the normal case) and by a
+seeded random generator otherwise, so the guarantees stay enforced on
+minimal environments:
+
+* **Balance** -- with >= 64 virtual nodes per shard, every shard's
+  share of a large key population is within a factor of 2 of the fair
+  share ``1/N`` (the bound documented in :mod:`repro.router.ring`).
+* **Minimal movement** -- adding a shard moves keys only *onto* the
+  new shard; removing one moves only the removed shard's keys; in both
+  cases the moved fraction is in line with ``1/N``.
+* **Determinism** -- placement is a pure function of the node set:
+  rebuilding the ring in any insertion order routes every key
+  identically.
+"""
+
+import random
+
+import pytest
+
+from repro.router.ring import DEFAULT_REPLICAS, HashRing, routing_key
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    HAVE_HYPOTHESIS = False
+
+#: The documented balance bound: max/min shard share vs fair share.
+BALANCE_FACTOR = 2.0
+
+
+def _names(n: int) -> list[str]:
+    return [f"shard-{i}" for i in range(n)]
+
+
+def _keys(count: int, seed: int) -> list[str]:
+    rng = random.Random(seed)
+    return [f"key-{rng.getrandbits(64):016x}-{i}" for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# The properties, stated once.
+# ----------------------------------------------------------------------
+
+def check_balance(n_shards: int, keys: list[str]) -> None:
+    """Every shard's share is within BALANCE_FACTOR of fair share."""
+    ring = HashRing(_names(n_shards))
+    counts = {name: 0 for name in _names(n_shards)}
+    for key in keys:
+        counts[ring.node_for(key)] += 1
+    fair = len(keys) / n_shards
+    for name, count in counts.items():
+        assert count <= BALANCE_FACTOR * fair, (
+            f"{name} owns {count} of {len(keys)} keys "
+            f"(> {BALANCE_FACTOR}x fair share {fair:.0f})"
+        )
+        assert count >= fair / BALANCE_FACTOR, (
+            f"{name} owns {count} of {len(keys)} keys "
+            f"(< fair share {fair:.0f} / {BALANCE_FACTOR})"
+        )
+
+
+def check_add_moves_only_to_new_node(n_shards: int, keys: list[str]) -> None:
+    """Growing the ring re-homes keys exclusively onto the newcomer,
+    and roughly its fair share of them."""
+    ring = HashRing(_names(n_shards))
+    before = {key: ring.node_for(key) for key in keys}
+    newcomer = f"shard-{n_shards}"
+    ring.add(newcomer)
+    moved = 0
+    for key in keys:
+        after = ring.node_for(key)
+        if after != before[key]:
+            moved += 1
+            assert after == newcomer, (
+                f"key {key!r} moved {before[key]} -> {after}, "
+                f"not onto the new shard"
+            )
+    fair = len(keys) / (n_shards + 1)
+    assert moved <= BALANCE_FACTOR * fair
+    assert moved >= fair / BALANCE_FACTOR
+
+
+def check_remove_moves_only_removed_keys(
+    n_shards: int, keys: list[str]
+) -> None:
+    """Shrinking the ring re-homes exactly the removed shard's keys."""
+    ring = HashRing(_names(n_shards))
+    before = {key: ring.node_for(key) for key in keys}
+    victim = _names(n_shards)[n_shards // 2]
+    ring.remove(victim)
+    for key in keys:
+        after = ring.node_for(key)
+        if before[key] == victim:
+            assert after != victim
+        else:
+            assert after == before[key], (
+                f"key {key!r} moved {before[key]} -> {after} although "
+                f"only {victim} was removed"
+            )
+
+
+def check_rebuild_is_deterministic(
+    n_shards: int, keys: list[str], seed: int
+) -> None:
+    """Same node set, any insertion order => identical placement."""
+    names = _names(n_shards)
+    ring = HashRing(names)
+    shuffled = names[:]
+    random.Random(seed).shuffle(shuffled)
+    rebuilt = HashRing(shuffled)
+    for key in keys:
+        assert ring.node_for(key) == rebuilt.node_for(key)
+        assert ring.preference(key) == rebuilt.preference(key)
+
+
+# ----------------------------------------------------------------------
+# Driver 1: hypothesis (when installed).
+# ----------------------------------------------------------------------
+
+if HAVE_HYPOTHESIS:
+    shard_counts = st.integers(min_value=2, max_value=8)
+    key_batches = st.lists(
+        st.text(
+            alphabet=st.characters(codec="ascii", categories=("L", "N")),
+            min_size=1,
+            max_size=24,
+        ),
+        min_size=30,
+        max_size=120,
+        unique=True,
+    )
+
+    class TestRingPropertiesHypothesis:
+        @settings(max_examples=30, derandomize=True)
+        @given(n=shard_counts, keys=key_batches)
+        def test_add_moves_only_to_new_node(self, n, keys):
+            ring = HashRing(_names(n))
+            before = {key: ring.node_for(key) for key in keys}
+            ring.add(f"shard-{n}")
+            for key in keys:
+                after = ring.node_for(key)
+                assert after == before[key] or after == f"shard-{n}"
+
+        @settings(max_examples=30, derandomize=True)
+        @given(n=shard_counts, keys=key_batches)
+        def test_remove_moves_only_removed_keys(self, n, keys):
+            ring = HashRing(_names(n))
+            before = {key: ring.node_for(key) for key in keys}
+            victim = f"shard-{n // 2}"
+            ring.remove(victim)
+            for key in keys:
+                if before[key] != victim:
+                    assert ring.node_for(key) == before[key]
+
+        @settings(max_examples=30, derandomize=True)
+        @given(n=shard_counts, keys=key_batches, seed=st.integers(0, 2**16))
+        def test_rebuild_is_deterministic(self, n, keys, seed):
+            check_rebuild_is_deterministic(n, keys, seed)
+
+
+# ----------------------------------------------------------------------
+# Driver 2: seeded fallback -- always runs, so the properties stay
+# enforced even where hypothesis is unavailable.
+# ----------------------------------------------------------------------
+
+class TestRingPropertiesSeeded:
+    @pytest.mark.parametrize("n_shards", [2, 3, 4, 8])
+    def test_balance_within_documented_bound(self, n_shards):
+        check_balance(n_shards, _keys(20_000, seed=1000 + n_shards))
+
+    @pytest.mark.parametrize("n_shards", [2, 4, 7])
+    def test_add_moves_only_expected_fraction(self, n_shards):
+        check_add_moves_only_to_new_node(
+            n_shards, _keys(20_000, seed=2000 + n_shards)
+        )
+
+    @pytest.mark.parametrize("n_shards", [2, 4, 7])
+    def test_remove_moves_only_removed_keys(self, n_shards):
+        check_remove_moves_only_removed_keys(
+            n_shards, _keys(5_000, seed=3000 + n_shards)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_rebuild_is_deterministic(self, seed):
+        check_rebuild_is_deterministic(
+            5, _keys(2_000, seed=4000 + seed), seed
+        )
+
+
+class TestRingBasics:
+    def test_empty_ring_raises_lookup_error(self):
+        with pytest.raises(LookupError):
+            HashRing().node_for("anything")
+        assert HashRing().preference("anything") == []
+
+    def test_preference_starts_with_owner_and_is_distinct(self):
+        ring = HashRing(_names(4))
+        for key in _keys(200, seed=5):
+            preferred = ring.preference(key)
+            assert preferred[0] == ring.node_for(key)
+            assert len(preferred) == len(set(preferred)) == 4
+            assert ring.preference(key, limit=2) == preferred[:2]
+
+    def test_add_remove_are_idempotent(self):
+        ring = HashRing(_names(3))
+        ring.add("shard-1")
+        assert len(ring) == 3
+        ring.remove("shard-9")
+        assert len(ring) == 3
+        ring.remove("shard-1")
+        ring.remove("shard-1")
+        assert len(ring) == 2 and "shard-1" not in ring
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_default_replicas_documented(self):
+        assert HashRing().replicas == DEFAULT_REPLICAS == 128
+
+
+class TestRoutingKey:
+    def test_documents_do_not_perturb_placement(self):
+        a = routing_key(b'{"text": "abab", "alphabet": "ab", "problem": "top", "t": 5}')
+        b = routing_key(b'{"texts": ["bb", "ab"], "alphabet": "ab", "problem": "top", "t": 5}')
+        assert a == b
+
+    def test_spec_and_model_fields_do_perturb_placement(self):
+        base = b'{"text": "abab", "alphabet": "ab"}'
+        assert routing_key(base) != routing_key(
+            b'{"text": "abab", "alphabet": "abc"}'
+        )
+        assert routing_key(base) != routing_key(
+            b'{"text": "abab", "alphabet": "ab", "problem": "top"}'
+        )
+        assert routing_key(base) != routing_key(
+            b'{"text": "abab", "alphabet": "ab", "probs": [0.9, 0.1]}'
+        )
+
+    def test_correction_and_alpha_share_a_key(self):
+        # The batcher coalesces across correction/alpha, so the ring
+        # must keep such requests co-located.
+        assert routing_key(
+            b'{"text": "ab", "alphabet": "ab", "correction": "bh"}'
+        ) == routing_key(
+            b'{"text": "ab", "alphabet": "ab", "correction": "none", "alpha": 0.01}'
+        )
+
+    def test_malformed_bodies_route_stably(self):
+        bad = b'{"text": not json'
+        assert routing_key(bad) == routing_key(bad)
+        assert routing_key(bad) != routing_key(b'["also", "not", "a dict"]')

@@ -14,7 +14,11 @@ import pytest
 
 from repro.core.model import BernoulliModel
 from repro.engine import CorpusEngine
-from repro.service.batcher import MicroBatcher, ServiceOverloaded
+from repro.service.batcher import (
+    MicroBatcher,
+    RequestTooLarge,
+    ServiceOverloaded,
+)
 from repro.service.protocol import parse_mine_request
 
 MODEL = BernoulliModel.uniform("ab")
@@ -226,6 +230,189 @@ class TestBackpressure:
                 await batcher.submit(request())
 
         asyncio.run(scenario())
+
+
+class TestTenantQuota:
+    """Per-tenant fair-share quotas: one hog cannot starve the queue.
+
+    Tenants are keyed by :attr:`MineRequest.tenant_key` (a hash of the
+    request's model), so two payloads with different ``probs`` are two
+    tenants here.
+    """
+
+    @staticmethod
+    def _other_tenant(texts, **fields):
+        """A request from a *different* tenant (different model hash)."""
+        return parse_mine_request(
+            {"texts": texts, "alphabet": "ab", "probs": [0.8, 0.2], **fields},
+            MODEL,
+        )
+
+    def test_hog_tenant_gets_429_while_others_are_admitted(self):
+        async def scenario():
+            engine = GatedEngine()
+            batcher = MicroBatcher(
+                engine,
+                batch_docs=8,
+                max_pending_docs=8,
+                linger_seconds=0.0,
+                tenant_fair_share=0.5,  # each tenant: 4 queued docs
+            )
+            await batcher.start()
+            assert batcher.tenant_cap_docs == 4
+            first = asyncio.ensure_future(batcher.submit(request()))
+            await _wait_for(engine.entered.is_set)
+            # Tenant A fills exactly its fair share of the queue...
+            hogs = [
+                asyncio.ensure_future(
+                    batcher.submit(multi_request(["ab" * 8] * 2))
+                )
+                for _ in range(2)
+            ]
+            await _wait_for(lambda: batcher.queue_depth_docs == 4)
+            # ... so its next document is a deterministic fair-share 429
+            with pytest.raises(ServiceOverloaded, match="fair share"):
+                await batcher.submit(request())
+            assert batcher.tenant_rejected == 1
+            assert batcher.requests_rejected == 1
+            # while tenant B still has the other half of the queue.
+            other = asyncio.ensure_future(
+                batcher.submit(self._other_tenant(["ab" * 8] * 2))
+            )
+            await _wait_for(lambda: batcher.queue_depth_docs == 6)
+            assert batcher.stats()["tenants_queued"] == 2
+            engine.gate.set()
+            results = await asyncio.gather(first, *hogs, other)
+            await batcher.close()
+            return batcher, results
+
+        batcher, results = asyncio.run(scenario())
+        assert [len(r.documents) for r in results] == [1, 2, 2, 2]
+        stats = batcher.stats()
+        assert stats["tenant_rejected"] == 1
+        assert stats["tenant_fair_share"] == 0.5
+        assert stats["tenants_queued"] == 0  # shares returned on dispatch
+
+    def test_request_over_tenant_share_is_a_permanent_413(self):
+        """A request that can never fit the tenant's share must be a
+        413-style error, not a retry-later 429."""
+
+        async def scenario():
+            batcher = MicroBatcher(
+                CountingEngine(),
+                max_pending_docs=10,
+                linger_seconds=0.0,
+                tenant_fair_share=0.3,  # cap: 3 docs
+            )
+            await batcher.start()
+            with pytest.raises(RequestTooLarge, match="fair share"):
+                await batcher.submit(multi_request(["ab" * 8] * 4))
+            assert batcher.tenant_rejected == 0  # not a quota 429
+            await batcher.close()
+
+        asyncio.run(scenario())
+
+    def test_share_is_released_when_batches_dispatch(self):
+        """Quota accounting follows the queue, not the connection: once
+        a tenant's documents dispatch into a mining pass, its share
+        frees up even while that pass is still running."""
+
+        class TwoGateEngine(CountingEngine):
+            """Blocks each mining pass on its own gate (first two)."""
+
+            def __init__(self, **kwargs):
+                super().__init__(**kwargs)
+                self.entered = [threading.Event(), threading.Event()]
+                self.gates = [threading.Event(), threading.Event()]
+
+            def mine_documents(self, jobs, *, batch_docs=None):
+                stage = min(self.mine_calls, 1)
+                self.entered[stage].set()
+                assert self.gates[stage].wait(timeout=30)
+                return super().mine_documents(jobs, batch_docs=batch_docs)
+
+        async def scenario():
+            engine = TwoGateEngine()
+            batcher = MicroBatcher(
+                engine,
+                batch_docs=64,
+                max_pending_docs=8,
+                linger_seconds=0.0,
+                tenant_fair_share=0.5,
+            )
+            await batcher.start()
+            # A primer from the *other* tenant occupies the first pass...
+            primer = asyncio.ensure_future(
+                batcher.submit(self._other_tenant(["ab" * 8]))
+            )
+            await _wait_for(engine.entered[0].is_set)
+            # ... while the hog tenant fills its whole share.
+            hogs = [
+                asyncio.ensure_future(
+                    batcher.submit(multi_request(["ab" * 8] * 2))
+                )
+                for _ in range(2)
+            ]
+            await _wait_for(lambda: batcher.queue_depth_docs == 4)
+            assert batcher.stats()["tenants_queued"] == 1
+            # Release pass one: the dispatcher pulls all 4 hog documents
+            # into pass two, which blocks on its own gate.
+            engine.gates[0].set()
+            await _wait_for(engine.entered[1].is_set)
+            await _wait_for(lambda: batcher.queue_depth_docs == 0)
+            # Mining still runs, but the share was returned at dispatch:
+            assert batcher.in_flight_docs == 4
+            assert batcher.stats()["tenants_queued"] == 0
+            # ... so the same tenant immediately has its full share back.
+            more = asyncio.ensure_future(
+                batcher.submit(multi_request(["ab" * 8] * 4))
+            )
+            await _wait_for(lambda: batcher.queue_depth_docs == 4)
+            engine.gates[1].set()
+            results = await asyncio.gather(primer, *hogs, more)
+            await batcher.close()
+            return results
+
+        results = asyncio.run(scenario())
+        assert [len(r.documents) for r in results] == [1, 2, 2, 4]
+
+    def test_default_share_of_one_is_a_behavioral_noop(self):
+        """``tenant_fair_share=1.0`` (the default) must change nothing:
+        the global bound rejects first, and the tenant counter stays 0."""
+
+        async def scenario():
+            engine = GatedEngine()
+            batcher = MicroBatcher(
+                engine, batch_docs=8, max_pending_docs=4, linger_seconds=0.0
+            )
+            await batcher.start()
+            assert batcher.tenant_cap_docs == batcher.max_pending_docs
+            first = asyncio.ensure_future(batcher.submit(request()))
+            await _wait_for(engine.entered.is_set)
+            queued = [
+                asyncio.ensure_future(
+                    batcher.submit(multi_request(["ab" * 8] * 2))
+                )
+                for _ in range(2)
+            ]
+            await _wait_for(lambda: batcher.queue_depth_docs == 4)
+            with pytest.raises(ServiceOverloaded) as overload:
+                await batcher.submit(request())
+            assert "fair share" not in str(overload.value)
+            assert batcher.tenant_rejected == 0
+            engine.gate.set()
+            await asyncio.gather(first, *queued)
+            await batcher.close()
+            return batcher
+
+        batcher = asyncio.run(scenario())
+        assert batcher.requests_rejected == 1
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError, match="tenant_fair_share"):
+            MicroBatcher(CountingEngine(), tenant_fair_share=0.0)
+        with pytest.raises(ValueError, match="tenant_fair_share"):
+            MicroBatcher(CountingEngine(), tenant_fair_share=1.5)
 
 
 class TestDraining:

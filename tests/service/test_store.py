@@ -130,3 +130,31 @@ class TestSafety:
         distribution = cache.distribution_for(model, 50)  # must not raise
         assert distribution.trials == 12
         assert cache.disk_writes == 0
+
+
+class TestLRUWithDiskTier:
+    def test_evicted_entry_reloads_from_disk_without_simulation(
+        self, model, tmp_path, monkeypatch
+    ):
+        """The in-memory LRU bound never costs a re-simulation here:
+        the disk tier is unbounded, so an evicted entry comes back as a
+        disk read with bit-identical samples."""
+        cache = DiskCalibrationCache(tmp_path, trials=12, seed=1, max_entries=1)
+        expected = cache.distribution_for(model, 50).samples  # bucket 64
+        cache.distribution_for(model, 100)  # bucket 128 -> evicts 64
+        assert len(cache) == 1
+        assert cache.evictions == 1
+
+        _no_simulation(monkeypatch)
+        reloaded = cache.distribution_for(model, 50)
+        assert reloaded.samples == expected
+        assert cache.disk_hits == 1
+
+    def test_memory_footprint_stays_bounded_across_many_buckets(self, model, tmp_path):
+        cache = DiskCalibrationCache(tmp_path, trials=10, seed=0, max_entries=2)
+        lengths = [30, 100, 300, 1000, 3000, 10_000]
+        for n in lengths:
+            cache.distribution_for(model, n)
+        assert len(cache) == 2            # memory bounded
+        assert cache.disk_writes == len(lengths)  # disk keeps everything
+        assert cache.evictions == len(lengths) - 2

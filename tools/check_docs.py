@@ -105,6 +105,7 @@ def check_docstrings() -> list[str]:
     import repro
     import repro.kernels as kernels
     import repro.obs as obs
+    import repro.router as router
     import repro.service as service
     from repro.kernels.numpy_backend import NumpyBackend
     from repro.kernels.python_backend import PythonBackend
@@ -115,6 +116,7 @@ def check_docstrings() -> list[str]:
         (kernels, list(kernels.__all__)),
         (service, list(service.__all__)),
         (obs, list(obs.__all__)),
+        (router, list(router.__all__)),
     ):
         for name in names:
             obj = getattr(module, name)
