@@ -58,6 +58,7 @@ from repro.core.model import BernoulliModel
 from repro.engine import (
     CalibrationCache,
     CorpusEngine,
+    JobSpec,
     ProcessExecutor,
     SerialExecutor,
     SharedMemoryExecutor,
@@ -95,7 +96,7 @@ def build_corpus(model, docs, doc_length):
     return texts
 
 
-def run_scaling(smoke=False, shm_workers=None):
+def run_scaling(smoke=False, shm_workers=None, backend=None):
     docs = SMOKE_DOCS if smoke else DOCS
     doc_length = SMOKE_DOC_LENGTH if smoke else DOC_LENGTH
     trials = SMOKE_TRIALS if smoke else CALIBRATION_TRIALS
@@ -105,10 +106,14 @@ def run_scaling(smoke=False, shm_workers=None):
         shm_workers = SHM_WORKER_COUNTS
     model = BernoulliModel.uniform("ab")
     corpus = build_corpus(model, docs, doc_length)
+    # ``backend=None`` defers to REPRO_BACKEND / the registry default,
+    # exactly like the engine itself; ``--backend`` pins every row (and
+    # the calibration pre-warm) to one kernel.
+    spec = JobSpec(backend=backend) if backend is not None else None
 
     # Pre-warm the shared calibration cache so no executor under test
     # pays the Monte-Carlo simulation; its cost is its own phase.
-    cache = CalibrationCache(trials=trials, seed=0)
+    cache = CalibrationCache(trials=trials, seed=0, backend=backend)
     started = time.perf_counter()
     cache.distribution_for(model, doc_length)
     calibrate_seconds = time.perf_counter() - started
@@ -119,7 +124,7 @@ def run_scaling(smoke=False, shm_workers=None):
         engine = CorpusEngine(executor=executor, calibration=cache,
                               correction="bh", batch_docs=batch_docs)
         started = time.perf_counter()
-        result = engine.run_texts(corpus, model)
+        result = engine.run_texts(corpus, model, spec)
         mine_seconds = time.perf_counter() - started
         row = {
             "mode": label,
@@ -176,6 +181,9 @@ def run_scaling(smoke=False, shm_workers=None):
         "doc_length": doc_length,
         "calibration_trials": trials,
         "smoke": smoke,
+        "backend": (
+            backend if backend is not None else get_backend().name
+        ),
     }
     return calibrate_seconds, rows, meta
 
@@ -185,7 +193,6 @@ def emit_json(calibrate_seconds, rows, meta):
     payload = {
         "benchmark": "engine_scaling",
         "cpu_count": os.cpu_count(),
-        "backend": get_backend().name,
         **meta,
         "phases": {
             "calibrate_seconds": calibrate_seconds,
@@ -206,7 +213,7 @@ def emit_json(calibrate_seconds, rows, meta):
 def _render(calibrate_seconds, rows, meta, emit):
     emit(f"Corpus engine scaling ({meta['docs']} docs x "
          f"{meta['doc_length']} symbols, {os.cpu_count()} cpu core(s), "
-         f"backend={get_backend().name}"
+         f"backend={meta['backend']}"
          f"{', smoke' if meta['smoke'] else ''}):")
     emit(f"calibrate phase (pre-warmed, shared): {calibrate_seconds:.3f}s "
          f"({meta['calibration_trials']} trials)")
@@ -262,9 +269,12 @@ def main(argv=None):
                         metavar="N",
                         help="shared-memory worker count(s) for the "
                              "workers-shm rows (repeatable; default 2 and 4)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="kernel backend for every row (python, numpy, "
+                             "native); default: REPRO_BACKEND or numpy")
     args = parser.parse_args(argv)
     calibrate_s, rows, meta = run_scaling(
-        smoke=args.smoke, shm_workers=args.workers
+        smoke=args.smoke, shm_workers=args.workers, backend=args.backend
     )
     _render(calibrate_s, rows, meta, lambda line="": print(line, file=sys.stdout))
     print(f"JSON written to {emit_json(calibrate_s, rows, meta)}")

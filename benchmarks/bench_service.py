@@ -102,7 +102,7 @@ def build_documents(count, doc_length):
 
 
 def run_scenario(label, clients, requests_per_client, warmup, doc_length,
-                 batch_docs, linger_seconds):
+                 batch_docs, linger_seconds, backend=None):
     """One (client count, batching mode) row: serve, load, measure."""
     documents = build_documents(clients * (requests_per_client + warmup),
                                 doc_length)
@@ -112,6 +112,7 @@ def run_scenario(label, clients, requests_per_client, warmup, doc_length,
         batch_docs=batch_docs,
         max_pending_docs=max(64, 4 * clients),
         linger_seconds=linger_seconds,
+        backend=backend,
     )
     latencies_by_client = [[] for _ in range(clients)]
     errors = []
@@ -186,7 +187,7 @@ def run_scenario(label, clients, requests_per_client, warmup, doc_length,
     }
 
 
-def run_service_load(smoke=False):
+def run_service_load(smoke=False, backend=None):
     doc_length = SMOKE_DOC_LENGTH if smoke else DOC_LENGTH
     client_counts = SMOKE_CLIENT_COUNTS if smoke else CLIENT_COUNTS
     requests_per_client = (
@@ -202,7 +203,7 @@ def run_service_load(smoke=False):
         ):
             metrics_text, row = run_scenario(
                 f"{label}-c{clients}", clients, requests_per_client, warmup,
-                doc_length, batch_docs, linger,
+                doc_length, batch_docs, linger, backend=backend,
             )
             rows.append(row)
     comparison = []
@@ -220,6 +221,9 @@ def run_service_load(smoke=False):
         "requests_per_client": requests_per_client,
         "warmup_per_client": warmup,
         "smoke": smoke,
+        "backend": (
+            backend if backend is not None else get_backend().name
+        ),
         "metrics_text": metrics_text,
     }
     return rows, comparison, meta
@@ -241,7 +245,6 @@ def emit_json(rows, comparison, meta):
     payload = {
         "benchmark": "service_load",
         "cpu_count": os.cpu_count(),
-        "backend": get_backend().name,
         **meta,
         "note": "closed-loop clients sending 1-document mine requests over "
                 "keep-alive HTTP to an in-process MiningService (workers=1); "
@@ -261,7 +264,7 @@ def emit_json(rows, comparison, meta):
 def _render(rows, comparison, meta, emit):
     emit(f"Service load ({meta['requests_per_client']} reqs/client x 1 doc "
          f"of {meta['doc_length']} symbols, {os.cpu_count()} cpu core(s), "
-         f"backend={get_backend().name}"
+         f"backend={meta['backend']}"
          f"{', smoke' if meta['smoke'] else ''}):")
     header = (f"{'mode':>14}  {'clients':>7}  {'docs/sec':>9}  "
               f"{'p50 ms':>8}  {'p99 ms':>8}  {'srv p50':>8}  "
@@ -418,13 +421,20 @@ def main(argv=None):
              "worker_crash:0.3 (asserts bit-identical responses and a "
              "nonzero fallback-chunk metric)",
     )
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="kernel backend for the service under load (python, numpy, "
+             "native); default: REPRO_BACKEND or numpy",
+    )
     args = parser.parse_args(argv)
     if args.fault:
         def emit(message="", file=sys.stdout):
             print(message, file=file)
 
         return 1 if run_fault_smoke(args.fault, emit=emit) else 0
-    rows, comparison, meta = run_service_load(smoke=args.smoke)
+    rows, comparison, meta = run_service_load(
+        smoke=args.smoke, backend=args.backend
+    )
     _render(rows, comparison, meta, lambda line="": print(line, file=sys.stdout))
     print(f"JSON written to {emit_json(rows, comparison, meta)}")
     if not args.smoke:

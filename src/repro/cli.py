@@ -30,9 +30,9 @@ distinct characters of the input with maximum-likelihood probabilities,
 or is given explicitly with ``--alphabet``/``--probs``.  Output is
 human-readable by default, JSON with ``--json``.  Every mining command
 accepts ``--backend`` to pick a scan kernel (``numpy`` vectorised
-default, ``python`` reference -- identical results, see
-:mod:`repro.kernels`); the ``REPRO_BACKEND`` environment variable sets
-the session-wide default.
+default, ``native`` compiled-C, ``python`` reference -- identical
+results, see :mod:`repro.kernels`); the ``REPRO_BACKEND`` environment
+variable sets the session-wide default.
 """
 
 from __future__ import annotations
@@ -155,9 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--backend",
             default=None,
-            help="kernel backend: 'numpy' (vectorised, default) or "
-                 "'python' (reference); results are identical "
-                 "(env: REPRO_BACKEND)",
+            help="kernel backend: 'numpy' (vectorised, default), "
+                 "'native' (compiled C, falls back to numpy without a "
+                 "compiler) or 'python' (reference); results are "
+                 "identical (env: REPRO_BACKEND)",
         )
 
     mss = sub.add_parser("mss", help="most significant substring (Problem 1)")

@@ -10,7 +10,12 @@ scans and the skip profiler -- runs through a *kernel backend*:
 * ``"numpy"`` -- the vectorised wavefront implementation
   (:class:`~repro.kernels.numpy_backend.NumpyBackend`), bit-identical
   results at a multiple of the speed (see
-  ``benchmarks/bench_kernels.py``).
+  ``benchmarks/bench_kernels.py``);
+* ``"native"`` -- C kernels compiled on demand and loaded via ctypes
+  (:class:`~repro.kernels.native_backend.NativeBackend`), bit-identical
+  again and faster still; degrades to numpy semantics (with a
+  structured warning) when no compiler or cached artifact is
+  available.
 
 Selection, most specific wins:
 
@@ -98,8 +103,10 @@ True
 
 from __future__ import annotations
 
+import difflib
 import os
 
+from repro.kernels.native_backend import NativeBackend
 from repro.kernels.numpy_backend import NumpyBackend
 from repro.kernels.python_backend import PythonBackend
 
@@ -157,9 +164,13 @@ def get_backend(backend=None):
         try:
             return _REGISTRY[backend]
         except KeyError:
+            close = difflib.get_close_matches(
+                backend, available_backends(), n=1
+            )
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
             raise ValueError(
                 f"unknown kernel backend {backend!r}; available: "
-                f"{', '.join(available_backends())}"
+                f"{', '.join(available_backends())}{hint}"
             ) from None
     if hasattr(backend, "scan_mss"):
         return backend
@@ -170,3 +181,6 @@ def get_backend(backend=None):
 
 register_backend(PythonBackend())
 register_backend(NumpyBackend())
+# Registration is free: NativeBackend compiles nothing until first use,
+# and resolves to numpy semantics when no toolchain is available.
+register_backend(NativeBackend())

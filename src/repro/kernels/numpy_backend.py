@@ -456,6 +456,90 @@ def _calibration_workers() -> int:
         return 1
 
 
+def _simulate_chunked(chunk_fn, model, n, trials, seed):
+    """Shared Monte-Carlo driver: chunked draws, pluggable chunk scans.
+
+    ``chunk_fn(sub, n, k, probabilities)`` scores one ``(t, n)`` chunk of
+    encoded null draws and returns its per-trial X²max list; it must be
+    module-level (picklable) so chunks can ship to worker processes.
+    Both the numpy and native backends run their ``simulate_x2max``
+    through this driver, which owns the two properties the contract
+    cares about:
+
+    * draws happen here, sequentially, from the one RNG stream -- in
+      memory-bounded chunks that consume the ``Generator`` exactly as
+      ``trials`` sequential length-``n`` draws would -- so samples are
+      bit-identical to the reference at any worker count;
+    * with ``REPRO_CALIB_WORKERS`` set, chunk scans fan out over a
+      process pool with a bounded in-flight window (the serial path's
+      :data:`_CALIB_CHUNK_ELEMS` peak-memory bound times the worker
+      count), falling back to an in-process rescan of the retained draw
+      when a worker dies or the pool cannot start.
+    """
+    rng = resolve_rng(seed)
+    k = model.k
+    probabilities = model.probabilities
+    p_arr = np.asarray(probabilities)
+    chunk = max(1, _CALIB_CHUNK_ELEMS // (k * (n + 1)))
+    starts = range(0, trials, chunk)
+    workers = _calibration_workers()
+    samples: list[float] = []
+    if workers > 1 and len(starts) > 1:
+        window = min(workers, len(starts))
+        try:
+            pool_cm = concurrent.futures.ProcessPoolExecutor(
+                max_workers=window
+            )
+        except OSError:
+            pool_cm = None  # no draws consumed yet: serial path below
+
+        def finish(entry):
+            # Collect one chunk's samples; if its worker died (or the
+            # pool never started -- sandboxed environments), rescan
+            # the retained draw in-process.  Either way the samples
+            # are the draw's, so the stream stays bit-identical.
+            future, sub = entry
+            if future is not None:
+                try:
+                    return future.result()
+                except (OSError, RuntimeError):
+                    pass
+            return chunk_fn(sub, n, k, probabilities)
+
+        # Draws stay sequential in the driver (one RNG stream); each
+        # drawn chunk is retained alongside its future until its
+        # result lands, and at most 2 * window chunks are in flight --
+        # the serial path's peak-memory bound times the worker count,
+        # not the trial count.
+        if pool_cm is not None:
+            in_flight: list = []
+            with pool_cm as pool:
+                for start in starts:
+                    sub = rng.choice(
+                        k, size=(min(chunk, trials - start), n), p=p_arr
+                    )
+                    try:
+                        future = pool.submit(
+                            chunk_fn, sub, n, k, probabilities
+                        )
+                    except (OSError, RuntimeError):
+                        future = None
+                    in_flight.append((future, sub))
+                    if len(in_flight) >= 2 * window:
+                        samples.extend(finish(in_flight.pop(0)))
+                for entry in in_flight:
+                    samples.extend(finish(entry))
+            return samples
+    for start in starts:
+        # Chunked draws consume the Generator stream in the same
+        # row-major order as one (trials, n) call -- and as the
+        # reference backend's per-trial draws -- so chunking bounds
+        # peak memory without touching the samples.
+        sub = rng.choice(k, size=(min(chunk, trials - start), n), p=p_arr)
+        samples.extend(chunk_fn(sub, n, k, probabilities))
+    return samples
+
+
 class _BatchCorpus:
     """Many documents' prefix matrices concatenated into one flat matrix.
 
@@ -1250,76 +1334,12 @@ class NumpyBackend:
 
         Multi-core: set ``REPRO_CALIB_WORKERS`` (an integer, or ``auto``
         for every core) to fan the trial chunks over a process pool.
-        Draws still happen in the driver, sequentially, from the one RNG
-        stream -- only the chunk scans parallelise -- so the samples stay
-        bit-identical at any worker count (with an in-process fallback
-        when the pool cannot start).  Chunks are submitted with a
-        bounded in-flight window, so the serial path's
-        :data:`_CALIB_CHUNK_ELEMS` peak-memory bound still holds, times
-        the worker count rather than the trial count.
+        The chunked-draw/bounded-window mechanics live in the shared
+        :func:`_simulate_chunked` driver (the native backend reuses it
+        with its own chunk function); samples stay bit-identical at any
+        worker count.
         """
-        rng = resolve_rng(seed)
-        k = model.k
-        probabilities = model.probabilities
-        p_arr = np.asarray(probabilities)
-        chunk = max(1, _CALIB_CHUNK_ELEMS // (k * (n + 1)))
-        starts = range(0, trials, chunk)
-        workers = _calibration_workers()
-        samples: list[float] = []
-        if workers > 1 and len(starts) > 1:
-            window = min(workers, len(starts))
-            try:
-                pool_cm = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=window
-                )
-            except OSError:
-                pool_cm = None  # no draws consumed yet: serial path below
-
-            def finish(entry):
-                # Collect one chunk's samples; if its worker died (or the
-                # pool never started -- sandboxed environments), rescan
-                # the retained draw in-process.  Either way the samples
-                # are the draw's, so the stream stays bit-identical.
-                future, sub = entry
-                if future is not None:
-                    try:
-                        return future.result()
-                    except (OSError, RuntimeError):
-                        pass
-                return _x2max_chunk(sub, n, k, probabilities)
-
-            # Draws stay sequential in the driver (one RNG stream); each
-            # drawn chunk is retained alongside its future until its
-            # result lands, and at most 2 * window chunks are in flight --
-            # the serial path's peak-memory bound times the worker count,
-            # not the trial count.
-            if pool_cm is not None:
-                in_flight: list = []
-                with pool_cm as pool:
-                    for start in starts:
-                        sub = rng.choice(
-                            k, size=(min(chunk, trials - start), n), p=p_arr
-                        )
-                        try:
-                            future = pool.submit(
-                                _x2max_chunk, sub, n, k, probabilities
-                            )
-                        except (OSError, RuntimeError):
-                            future = None
-                        in_flight.append((future, sub))
-                        if len(in_flight) >= 2 * window:
-                            samples.extend(finish(in_flight.pop(0)))
-                    for entry in in_flight:
-                        samples.extend(finish(entry))
-                return samples
-        for start in starts:
-            # Chunked draws consume the Generator stream in the same
-            # row-major order as one (trials, n) call -- and as the
-            # reference backend's per-trial draws -- so chunking bounds
-            # peak memory without touching the samples.
-            sub = rng.choice(k, size=(min(chunk, trials - start), n), p=p_arr)
-            samples.extend(_x2max_chunk(sub, n, k, probabilities))
-        return samples
+        return _simulate_chunked(_x2max_chunk, model, n, trials, seed)
 
     def __repr__(self) -> str:
         return "NumpyBackend()"

@@ -286,6 +286,7 @@ class MiningService:
     def stats(self) -> dict:
         """JSON-ready service metrics (the ``GET /stats`` payload)."""
         executor = self.engine.executor
+        kernel = get_backend(self.backend)
         data = {
             "uptime_seconds": (
                 time.monotonic() - self._started_at
@@ -296,7 +297,12 @@ class MiningService:
             "engine": {
                 "executor": getattr(executor, "name", type(executor).__name__),
                 "workers": getattr(executor, "workers", 1),
-                "backend": get_backend(self.backend).name,
+                "backend": kernel.name,
+                # equals "backend" except when "native" degraded to its
+                # numpy fallback (no compiler/artifact on this host)
+                "backend_resolved": getattr(
+                    kernel, "resolved_name", kernel.name
+                ),
                 "batch_docs": self.engine.batch_docs,
                 "correction": self.engine.correction,
                 "alpha": self.engine.alpha,

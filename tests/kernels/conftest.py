@@ -1,0 +1,33 @@
+"""Shared helpers for the kernel parity suites.
+
+``ACCEL_BACKENDS`` lists every accelerated backend the parity tests pit
+against the ``"python"`` reference.  The ``"native"`` entry skips
+cleanly (never errors) when the host cannot produce the compiled
+library -- no C toolchain and no cached artifact -- so tier-1 stays
+green on compiler-less hosts while still proving bit-identity wherever
+a compiler exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _native_ready() -> bool:
+    from repro.kernels import get_backend
+
+    return get_backend("native").resolved_name == "native"
+
+
+#: Parametrization values for "every accelerated backend".
+ACCEL_BACKENDS = [
+    "numpy",
+    pytest.param(
+        "native",
+        marks=pytest.mark.skipif(
+            not _native_ready(),
+            reason="native backend unavailable (no C compiler or cached "
+                   "artifact); it resolves to numpy, which is covered",
+        ),
+    ),
+]

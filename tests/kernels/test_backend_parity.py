@@ -1,12 +1,15 @@
-"""Bit-for-bit parity between the numpy and python kernel backends.
+"""Bit-for-bit parity between the accelerated and python kernel backends.
 
-The numpy backend is only allowed to exist because it is *exactly* the
-python reference, faster: every assertion here is ``==`` on floats,
-intervals, work counters and whole result lists -- never ``isclose``.
-The cases deliberately cover the wavefront's seams: strings shorter than
-the scalar head, lengths straddling block boundaries, adversarial
-strings that force bound updates deep into large blocks, and threshold
-scans that truncate mid-block.
+An accelerated backend (numpy's wavefront, the compiled native kernels)
+is only allowed to exist because it is *exactly* the python reference,
+faster: every assertion here is ``==`` on floats, intervals, work
+counters and whole result lists -- never ``isclose``.  The cases
+deliberately cover the implementations' seams: strings shorter than the
+scalar head, lengths straddling block boundaries, adversarial strings
+that force bound updates deep into large blocks, and threshold scans
+that truncate mid-block.  Each test parametrizes over
+``ACCEL_BACKENDS``; the native leg skips cleanly on compiler-less
+hosts.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.core.threshold import find_above_threshold
 from repro.core.topt import find_top_t
 from repro.generators import generate_null_string
 from tests.conftest import model_and_text
+from tests.kernels.conftest import ACCEL_BACKENDS
 
 ALPHABETS = {2: "ab", 4: "abcd", 26: "abcdefghijklmnopqrstuvwxyz"}
 
@@ -66,27 +70,29 @@ def adversarial_strings(model, n, seed):
     }
 
 
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
 @pytest.mark.parametrize("k", sorted(ALPHABETS))
 @pytest.mark.parametrize("seed", [0, 1])
-def test_mss_parity(k, seed):
+def test_mss_parity(accel, k, seed):
     model = BernoulliModel.uniform(ALPHABETS[k])
     for n in LENGTHS:
         for name, text in adversarial_strings(model, n, seed).items():
             expected = find_mss(text, model, backend="python")
-            got = find_mss(text, model, backend="numpy")
+            got = find_mss(text, model, backend=accel)
             assert _mss_fingerprint(got) == _mss_fingerprint(expected), (
                 f"k={k} n={n} {name}"
             )
 
 
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
 @pytest.mark.parametrize("k", sorted(ALPHABETS))
 @pytest.mark.parametrize("t", [1, 5, 40])
-def test_top_t_parity(k, t):
+def test_top_t_parity(accel, k, t):
     model = BernoulliModel.uniform(ALPHABETS[k])
     for n in LENGTHS:
         for name, text in adversarial_strings(model, n, k).items():
             expected = find_top_t(text, model, min(t, n), backend="python")
-            got = find_top_t(text, model, min(t, n), backend="numpy")
+            got = find_top_t(text, model, min(t, n), backend=accel)
             assert _list_fingerprint(got) == _list_fingerprint(expected), (
                 f"k={k} n={n} t={t} {name}"
             )
@@ -99,16 +105,17 @@ def test_top_t_parity(k, t):
             ), f"k={k} n={n} t={t} {name}"
 
 
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
 @pytest.mark.parametrize("k", sorted(ALPHABETS))
 @pytest.mark.parametrize("alpha0", [0.5, 4.0, 25.0])
-def test_threshold_parity(k, alpha0):
+def test_threshold_parity(accel, k, alpha0):
     model = BernoulliModel.uniform(ALPHABETS[k])
     for n in THRESHOLD_LENGTHS:
         for name, text in adversarial_strings(model, n, 2 * k).items():
             expected = find_above_threshold(
                 text, model, alpha0, backend="python"
             )
-            got = find_above_threshold(text, model, alpha0, backend="numpy")
+            got = find_above_threshold(text, model, alpha0, backend=accel)
             assert _list_fingerprint(got) == _list_fingerprint(expected), (
                 f"k={k} n={n} alpha0={alpha0} {name}"
             )
@@ -125,8 +132,9 @@ def test_threshold_parity(k, alpha0):
             ), f"k={k} n={n} alpha0={alpha0} {name}"
 
 
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
 @pytest.mark.parametrize("limit", [1, 7, 50, 300])
-def test_threshold_truncation_parity(limit):
+def test_threshold_truncation_parity(accel, limit):
     """The truncated prefix of matches -- and where the scan stopped --
     must agree exactly, not just the surviving multiset."""
     model = BernoulliModel.uniform("ab")
@@ -136,7 +144,7 @@ def test_threshold_truncation_parity(limit):
             text, model, 0.8, limit=limit, backend="python"
         )
         got = find_above_threshold(
-            text, model, 0.8, limit=limit, backend="numpy"
+            text, model, 0.8, limit=limit, backend=accel
         )
         assert _list_fingerprint(got) == _list_fingerprint(expected)
         assert (
@@ -152,14 +160,15 @@ def test_threshold_truncation_parity(limit):
         )
 
 
-def test_threshold_count_only_parity():
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
+def test_threshold_count_only_parity(accel):
     model = BernoulliModel.uniform("abcd")
     text = generate_null_string(model, 400, seed=11)
     expected = find_above_threshold(
         text, model, 2.0, count_only=True, backend="python"
     )
     got = find_above_threshold(
-        text, model, 2.0, count_only=True, backend="numpy"
+        text, model, 2.0, count_only=True, backend=accel
     )
     assert got.match_count == expected.match_count
     assert list(got.substrings) == list(expected.substrings) == []
@@ -172,9 +181,10 @@ def test_threshold_count_only_parity():
     )
 
 
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
 @pytest.mark.parametrize("k", sorted(ALPHABETS))
 @pytest.mark.parametrize("min_length", [1, 2, 60, 120])
-def test_min_length_parity(k, min_length):
+def test_min_length_parity(accel, k, min_length):
     model = BernoulliModel.uniform(ALPHABETS[k])
     for n in LENGTHS:
         if min_length > n:
@@ -183,14 +193,15 @@ def test_min_length_parity(k, min_length):
             expected = find_mss_min_length(
                 text, model, min_length, backend="python"
             )
-            got = find_mss_min_length(text, model, min_length, backend="numpy")
+            got = find_mss_min_length(text, model, min_length, backend=accel)
             assert _mss_fingerprint(got) == _mss_fingerprint(expected), (
                 f"k={k} n={n} min_length={min_length} {name}"
             )
 
 
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
 @pytest.mark.parametrize("k", sorted(ALPHABETS))
-def test_calibration_sample_parity(k):
+def test_calibration_sample_parity(accel, k):
     """Both backends must consume the RNG stream identically and produce
     bit-identical X²max samples -- p-values downstream depend on it."""
     model = BernoulliModel.uniform(ALPHABETS[k])
@@ -198,61 +209,70 @@ def test_calibration_sample_parity(k):
         expected = mss_null_distribution(
             model, n, trials=12, seed=7, backend="python"
         )
-        got = mss_null_distribution(model, n, trials=12, seed=7, backend="numpy")
+        got = mss_null_distribution(model, n, trials=12, seed=7, backend=accel)
         assert got.samples == expected.samples
 
 
-def test_calibration_chunking_is_invisible(monkeypatch):
-    """Trial chunking is a memory knob, not a semantics knob."""
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
+def test_calibration_chunking_is_invisible(accel, monkeypatch):
+    """Trial chunking is a memory knob, not a semantics knob.
+
+    Both accelerated backends run through the shared chunked driver in
+    ``numpy_backend``, so one monkeypatched chunk size covers both.
+    """
     import repro.kernels.numpy_backend as numpy_backend
 
     model = BernoulliModel.uniform("ab")
     reference = mss_null_distribution(
-        model, 150, trials=10, seed=5, backend="numpy"
+        model, 150, trials=10, seed=5, backend=accel
     )
     monkeypatch.setattr(numpy_backend, "_CALIB_CHUNK_ELEMS", 151 * 2 * 3)
     chunked = mss_null_distribution(
-        model, 150, trials=10, seed=5, backend="numpy"
+        model, 150, trials=10, seed=5, backend=accel
     )
     assert chunked.samples == reference.samples
 
 
-def test_skewed_model_parity():
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
+def test_skewed_model_parity(accel):
     """Non-uniform probabilities exercise different per-character roots."""
     model = BernoulliModel("abc", [0.6, 0.3, 0.1])
     for n in (63, 300, 700):
         text = generate_null_string(model, n, seed=n)
         expected = find_mss(text, model, backend="python")
-        got = find_mss(text, model, backend="numpy")
+        got = find_mss(text, model, backend=accel)
         assert _mss_fingerprint(got) == _mss_fingerprint(expected)
 
 
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
 @hypothesis.given(model_and_text(max_length=220))
 @hypothesis.settings(max_examples=40, deadline=None)
-def test_mss_parity_property(model_text):
+def test_mss_parity_property(accel, model_text):
     model, text = model_text
     if not text:
         return
     expected = find_mss(text, model, backend="python")
-    got = find_mss(text, model, backend="numpy")
+    got = find_mss(text, model, backend=accel)
     assert _mss_fingerprint(got) == _mss_fingerprint(expected)
 
 
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
 @hypothesis.given(model_and_text(max_length=220), st.integers(1, 12))
 @hypothesis.settings(max_examples=25, deadline=None)
-def test_top_t_parity_property(model_text, t):
+def test_top_t_parity_property(accel, model_text, t):
     model, text = model_text
     if not text:
         return
     t = min(t, len(text))
     expected = find_top_t(text, model, t, backend="python")
-    got = find_top_t(text, model, t, backend="numpy")
+    got = find_top_t(text, model, t, backend=accel)
     assert _list_fingerprint(got) == _list_fingerprint(expected)
     assert got.stats.substrings_evaluated == expected.stats.substrings_evaluated
     assert got.stats.positions_skipped == expected.stats.positions_skipped
 
 
-def test_threshold_kernel_tolerates_degenerate_limit():
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
+def test_threshold_kernel_tolerates_degenerate_limit(accel):
     """Kernel-boundary contract: backends agree even on limit=0, which
     find_above_threshold's validation normally rejects."""
     from repro.core.counts import PrefixCountIndex
@@ -264,6 +284,6 @@ def test_threshold_kernel_tolerates_degenerate_limit():
     for alpha0 in (1e9, 0.5):
         results = [
             get_backend(name).scan_threshold(index, model, alpha0, limit=0)
-            for name in ("python", "numpy")
+            for name in ("python", accel)
         ]
         assert results[0] == results[1]

@@ -19,6 +19,7 @@ from repro.engine.jobs import JobSpec
 from repro.generators import generate_null_string
 from repro.kernels import get_backend
 from repro.kernels.python_backend import mine_reference
+from tests.kernels.conftest import ACCEL_BACKENDS
 
 ALPHABETS = {2: "ab", 4: "abcd"}
 
@@ -68,18 +69,18 @@ def _comparable(spec, raw):
     return raw
 
 
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
 @pytest.mark.parametrize("k", sorted(ALPHABETS))
 @pytest.mark.parametrize("spec", SPECS, ids=repr)
-def test_mine_batch_matches_per_document_loop(k, spec):
+def test_mine_batch_matches_per_document_loop(accel, k, spec):
     model = BernoulliModel.uniform(ALPHABETS[k])
     indexes = ragged_corpus(model, seed=17 * k)
     python = get_backend("python")
-    numpy = get_backend("numpy")
     expected = [
         _comparable(spec, mine_reference(python, index, model, spec))
         for index in indexes
     ]
-    for backend in (python, numpy):
+    for backend in (python, get_backend(accel)):
         got = backend.mine_batch(indexes, model, spec)
         assert [_comparable(spec, raw) for raw in got] == expected, (
             f"k={k} backend={backend.name} {spec}"
@@ -96,28 +97,31 @@ def test_mine_batch_preserves_document_order():
     assert raws[0][1] != (0, 30)
 
 
-def test_mine_batch_single_document_equals_scan():
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
+def test_mine_batch_single_document_equals_scan(accel):
     model = BernoulliModel.uniform("abcd")
     text = generate_null_string(model, 500, seed=5)
     index = PrefixCountIndex(model.encode(text), model.k)
-    for name in ("python", "numpy"):
+    for name in ("python", accel):
         backend = get_backend(name)
         assert backend.mine_batch([index], model, JobSpec()) == [
             backend.scan_mss(index, model)
         ]
 
 
-def test_mine_batch_skewed_model_parity():
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
+def test_mine_batch_skewed_model_parity(accel):
     """Non-uniform probabilities exercise different per-character roots."""
     model = BernoulliModel("abc", [0.6, 0.3, 0.1])
     texts = [generate_null_string(model, n, seed=n) for n in (63, 300, 700)]
     indexes = [PrefixCountIndex(model.encode(t), model.k) for t in texts]
     spec = JobSpec()
     expected = get_backend("python").mine_batch(indexes, model, spec)
-    assert get_backend("numpy").mine_batch(indexes, model, spec) == expected
+    assert get_backend(accel).mine_batch(indexes, model, spec) == expected
 
 
-def test_mine_batch_threshold_limit_truncates_per_document():
+@pytest.mark.parametrize("accel", ACCEL_BACKENDS)
+def test_mine_batch_threshold_limit_truncates_per_document(accel):
     """Each document truncates at its own point; neighbours are unaffected.
 
     The long document's scan stops mid-wavefront at exactly the
@@ -135,7 +139,7 @@ def test_mine_batch_threshold_limit_truncates_per_document():
     spec = JobSpec(problem="threshold", threshold=1.0, limit=25)
     python = get_backend("python")
     expected = [mine_reference(python, i, model, spec) for i in indexes]
-    for name in ("python", "numpy"):
+    for name in ("python", accel):
         got = get_backend(name).mine_batch(indexes, model, spec)
         assert got == expected, name
     assert all(raw[2] for raw in expected)  # every document truncated
@@ -148,6 +152,8 @@ def test_mine_batch_rejects_unknown_problem():
 
     model = BernoulliModel.uniform("ab")
     index = PrefixCountIndex(model.encode("abab"), model.k)
-    for name in ("python", "numpy"):
+    # "native" is included unconditionally: with no compiler it delegates
+    # to numpy, which must reject identically.
+    for name in ("python", "numpy", "native"):
         with pytest.raises(ValueError, match="unknown problem"):
             get_backend(name).mine_batch([index], model, FakeSpec())

@@ -80,7 +80,8 @@ class TestStatsSchema:
         assert stats["uptime_seconds"] > 0.0
         engine = stats["engine"]
         # the resolved kernel backend, not None, whatever the executor
-        assert engine["backend"] in ("numpy", "python")
+        assert engine["backend"] in ("numpy", "python", "native")
+        assert engine["backend_resolved"] in ("numpy", "python", "native")
         for key in ("executor", "workers", "batch_docs", "correction",
                     "alpha"):
             assert key in engine

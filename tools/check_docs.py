@@ -107,6 +107,7 @@ def check_docstrings() -> list[str]:
     import repro.obs as obs
     import repro.router as router
     import repro.service as service
+    from repro.kernels.native_backend import NativeBackend
     from repro.kernels.numpy_backend import NumpyBackend
     from repro.kernels.python_backend import PythonBackend
 
@@ -128,7 +129,7 @@ def check_docstrings() -> list[str]:
                 errors.extend(
                     _class_member_errors(obj, f"{module.__name__}.{name}")
                 )
-    for cls in (PythonBackend, NumpyBackend):
+    for cls in (PythonBackend, NumpyBackend, NativeBackend):
         if _missing_docstring(cls):
             errors.append(f"{cls.__name__} lacks a docstring")
         errors.extend(_class_member_errors(cls, cls.__name__))
