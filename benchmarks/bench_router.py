@@ -40,6 +40,7 @@ import statistics
 import sys
 import threading
 import time
+import urllib.request
 from pathlib import Path
 
 from repro.core.model import BernoulliModel
@@ -129,7 +130,23 @@ def _metric_by_shard(metrics_text, name):
     return per_shard
 
 
-def run_scenario(n_shards, clients, requests_per_client, warmup, doc_length):
+def _shard_profile(shard, seconds=60):
+    """One shard's ``GET /debug/profile`` dump (collapsed stacks), or
+    a placeholder line if the shard cannot answer -- this is a failure
+    artifact, never worth failing the benchmark over."""
+    host, port = shard.address
+    try:
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/debug/profile?seconds={seconds}",
+            timeout=30,
+        ) as response:
+            return response.read().decode()
+    except OSError as exc:
+        return f"# profile fetch from {shard.name} failed: {exc}\n"
+
+
+def run_scenario(n_shards, clients, requests_per_client, warmup, doc_length,
+                 trace_log=None):
     """One shard-count row: spawn fleet, route load, measure, drain."""
     documents = build_documents(
         clients * (requests_per_client + warmup) * DOCS_PER_REQUEST,
@@ -172,7 +189,7 @@ def run_scenario(n_shards, clients, requests_per_client, warmup, doc_length):
                                  startup_timeout=120.0)
             shard.start()
             shards.append(shard)
-        router = RouterService(processes=shards)
+        router = RouterService(processes=shards, trace_log=trace_log)
         with ServiceThread(router, startup_timeout=120.0) as handle:
             threads = [
                 threading.Thread(target=client_loop, args=(client_id,))
@@ -188,6 +205,7 @@ def run_scenario(n_shards, clients, requests_per_client, warmup, doc_length):
             with ServiceClient(*handle.address, timeout=60.0) as scraper:
                 metrics_text = scraper.metrics()
                 stats = scraper.stats()
+            profile_text = _shard_profile(shards[0])
     finally:
         for shard in shards:
             if shard.alive:
@@ -203,7 +221,7 @@ def run_scenario(n_shards, clients, requests_per_client, warmup, doc_length):
         shard_stats["batcher"]["requests_rejected"]
         for shard_stats in stats["shards"].values()
     )
-    return metrics_text, {
+    return metrics_text, profile_text, {
         "shards": n_shards,
         "clients": clients,
         "docs_per_request": DOCS_PER_REQUEST,
@@ -228,9 +246,18 @@ def run_router_scaling(smoke=False):
     warmup = SMOKE_WARMUP if smoke else WARMUP
     rows = []
     metrics_text = ""
+    profile_text = ""
+    # The router's trace sink (JSONL, one kept trace per line) and a
+    # shard /debug/profile dump land next to the JSON artifact; CI
+    # uploads both when the router job fails.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trace_name = "trace_router_smoke.jsonl" if smoke else "trace_router.jsonl"
+    trace_path = RESULTS_DIR / trace_name
+    trace_path.unlink(missing_ok=True)  # the sink appends; start clean
     for n_shards in shard_counts:
-        metrics_text, row = run_scenario(
-            n_shards, clients, requests_per_client, warmup, doc_length
+        metrics_text, profile_text, row = run_scenario(
+            n_shards, clients, requests_per_client, warmup, doc_length,
+            trace_log=str(trace_path),
         )
         rows.append(row)
     comparison = {}
@@ -248,6 +275,7 @@ def run_router_scaling(smoke=False):
         "warmup_per_client": warmup,
         "smoke": smoke,
         "metrics_text": metrics_text,
+        "profile_text": profile_text,
     }
     return rows, comparison, meta
 
@@ -261,10 +289,15 @@ def emit_json(rows, comparison, meta):
     RESULTS_DIR.mkdir(exist_ok=True)
     meta = dict(meta)
     metrics_text = meta.pop("metrics_text", "")
+    profile_text = meta.pop("profile_text", "")
     scrape_name = (
         "metrics_router_smoke.txt" if meta["smoke"] else "metrics_router.txt"
     )
     (RESULTS_DIR / scrape_name).write_text(metrics_text)
+    profile_name = (
+        "profile_router_smoke.txt" if meta["smoke"] else "profile_router.txt"
+    )
+    (RESULTS_DIR / profile_name).write_text(profile_text)
     payload = {
         "benchmark": "router_scaling",
         "cpu_count": os.cpu_count(),

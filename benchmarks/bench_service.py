@@ -158,6 +158,10 @@ def run_scenario(label, clients, requests_per_client, warmup, doc_length,
         mine_series = server_histogram.labels(endpoint="/mine")
         server_p50 = mine_series.quantile(0.50)
         server_p99 = mine_series.quantile(0.99)
+        # The continuous profiler ran for the whole scenario; its own
+        # measured cost is the honest price of always-on profiling, and
+        # the acceptance gate holds it under 5% of wall time.
+        profiler = service.profiler.summary()
         with ServiceClient(*handle.address, timeout=30.0) as scraper:
             metrics_text = scraper.metrics()
     if errors:
@@ -184,6 +188,8 @@ def run_scenario(label, clients, requests_per_client, warmup, doc_length,
         "batch_fill": batcher["batch_fill"],
         "batches": batcher["batches"],
         "rejected": batcher["requests_rejected"],
+        "profiler_samples": profiler["samples"],
+        "profiler_overhead": profiler["overhead_ratio"],
     }
 
 
@@ -281,6 +287,11 @@ def _render(rows, comparison, meta, emit):
         emit(f"batching speedup at {entry['clients']} client(s): "
              f"{entry['batching_speedup']:.2f}x docs/sec, "
              f"p50 {entry['p50_ratio']:.2f}x")
+    worst = max(rows, key=lambda row: row["profiler_overhead"])
+    emit(f"continuous profiler overhead: worst row "
+         f"{100.0 * worst['profiler_overhead']:.2f}% of wall "
+         f"({worst['profiler_samples']} samples in {worst['mode']}; "
+         f"gate {100.0 * PROFILER_OVERHEAD_GATE:.0f}%)")
 
 
 #: Client- vs server-side latency agreement: the client's clock reads
@@ -289,6 +300,11 @@ def _render(rows, comparison, meta, emit):
 #: absolute floor for sub-millisecond scheduling noise).
 AGREEMENT_RELATIVE = 0.5
 AGREEMENT_FLOOR_MS = 5.0
+
+#: Ceiling on the continuous profiler's measured self-overhead (busy
+#: seconds inside the sampling thread over service wall time) during a
+#: sustained load scenario: always-on profiling must cost < 5%.
+PROFILER_OVERHEAD_GATE = 0.05
 
 
 def latency_views_agree(row) -> bool:
@@ -313,6 +329,11 @@ def test_service_load(benchmark, reporter):
     # the clients' clocks
     assert all(row["server_p50_ms"] > 0.0 for row in rows)
     assert all(latency_views_agree(row) for row in rows)
+    # the always-on sampling profiler must stay effectively free
+    assert all(row["profiler_samples"] > 0 for row in rows)
+    assert all(
+        row["profiler_overhead"] < PROFILER_OVERHEAD_GATE for row in rows
+    )
 
 
 #: Chaos smoke shape: requests of FAULT_DOCS documents against a
@@ -344,13 +365,20 @@ def run_fault_smoke(fault_spec, emit=print):
     ``CorpusEngine.run`` of the same documents, and (for worker-facing
     faults) ``repro_shm_fallback_chunks_total`` is nonzero -- the fault
     actually bit and the fallback path absorbed it.  The final metrics
-    scrape is saved to ``results/metrics_fault_smoke.txt``.
+    scrape is saved to ``results/metrics_fault_smoke.txt``, the trace
+    sink to ``results/trace_fault_smoke.jsonl`` and the profiler's
+    collapsed stacks to ``results/profile_fault_smoke.txt`` -- CI
+    uploads all three when the job fails, so a chaos failure arrives
+    with its traces attached.
 
     Returns the number of hard failures (0 = pass).
     """
     previous = os.environ.get(FAULTS_ENV)
     os.environ[FAULTS_ENV] = fault_spec
     reset_faults()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trace_path = RESULTS_DIR / "trace_fault_smoke.jsonl"
+    trace_path.unlink(missing_ok=True)  # the sink appends; start clean
     try:
         documents = build_documents(FAULT_DOCS, SMOKE_DOC_LENGTH)
         expected = [
@@ -363,6 +391,7 @@ def run_fault_smoke(fault_spec, emit=print):
             workers=2,
             batch_docs=FAULT_BATCH_DOCS,
             linger_seconds=0.0,
+            trace_log=str(trace_path),
         )
         mismatches = 0
         with ServiceThread(service) as handle:
@@ -378,10 +407,11 @@ def run_fault_smoke(fault_spec, emit=print):
                         mismatches += 1
                 metrics_text = client.metrics()
                 health = client.healthz()
+                profile_text = service.profiler.collapsed()
         fallbacks = _metric_total(metrics_text,
                                   "repro_shm_fallback_chunks_total")
-        RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / "metrics_fault_smoke.txt").write_text(metrics_text)
+        (RESULTS_DIR / "profile_fault_smoke.txt").write_text(profile_text)
         emit(f"Chaos smoke (REPRO_FAULTS={fault_spec}): "
              f"{FAULT_ROUNDS} rounds x {FAULT_DOCS} docs, "
              f"fallback_chunks={fallbacks:.0f}, "

@@ -391,6 +391,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum level for structured log events (access logs are "
              "'info')",
     )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of request traces recorded (head sampling, "
+             "deterministic on the trace id so router and shards agree; "
+             "errors and slow requests are always kept; default 1.0)",
+    )
+    serve.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="PATH",
+        help="append every kept trace tree to PATH as JSON lines",
+    )
+    serve.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help="enforce latency/error objectives on /mine, e.g. "
+             "'p99:250ms,errors:0.1%%'; multi-window burn rates render "
+             "on /metrics and a fast burn flips /healthz to degraded",
+    )
     add_backend(serve)
 
     route = sub.add_parser(
@@ -495,6 +518,29 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["debug", "info", "warning", "error"],
         default="info",
         help="minimum level for router log events",
+    )
+    route.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="trace sampling rate for the router AND the spawned "
+             "shards (deterministic on the trace id, so one request "
+             "is kept everywhere or nowhere; default 1.0)",
+    )
+    route.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="PATH",
+        help="router-side JSON-lines trace sink (shards keep their "
+             "in-memory rings; GET /trace/<id> assembles across them)",
+    )
+    route.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help="per-shard SLO spec forwarded to every spawned shard "
+             "(e.g. 'p99:250ms,errors:0.1%%')",
     )
     add_backend(route)
 
@@ -746,6 +792,15 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.calibrate and args.trials < 10:
         raise SystemExit("--trials must be >= 10 for a usable Monte-Carlo "
                          "null distribution")
+    if not 0.0 <= args.trace_sample <= 1.0:
+        raise SystemExit("--trace-sample must be in [0, 1]")
+    if args.slo is not None:
+        from repro.obs.slo import parse_slo_spec
+
+        try:
+            parse_slo_spec(args.slo)
+        except ValueError as exc:
+            raise SystemExit(f"--slo: {exc}") from None
     symbols = list(args.alphabet)
     if args.probs is None:
         model = BernoulliModel.uniform(symbols)
@@ -773,6 +828,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         default_timeout_ms=args.default_timeout_ms,
         drain_timeout=args.drain_timeout,
+        trace_sample=args.trace_sample,
+        trace_log=args.trace_log,
+        slo=args.slo,
     )
     cache_note = (
         f"  cache={calibration.cache_dir}" if calibration is not None else ""
@@ -810,6 +868,10 @@ def _shard_serve_args(args: argparse.Namespace) -> list[str]:
         shard_args += ["--probs", args.probs]
     if args.default_timeout_ms is not None:
         shard_args += ["--default-timeout-ms", str(args.default_timeout_ms)]
+    if args.trace_sample != 1.0:
+        shard_args += ["--trace-sample", str(args.trace_sample)]
+    if args.slo is not None:
+        shard_args += ["--slo", args.slo]
     if args.calibrate:
         shard_args += ["--calibrate", "--trials", str(args.trials),
                        "--seed", str(args.seed)]
@@ -836,6 +898,15 @@ def _run_route(args: argparse.Namespace) -> int:
         raise SystemExit("--fail-after must be >= 1")
     if args.drain_timeout < 0:
         raise SystemExit("--drain-timeout must be >= 0")
+    if not 0.0 <= args.trace_sample <= 1.0:
+        raise SystemExit("--trace-sample must be in [0, 1]")
+    if args.slo is not None:
+        from repro.obs.slo import parse_slo_spec
+
+        try:
+            parse_slo_spec(args.slo)
+        except ValueError as exc:
+            raise SystemExit(f"--slo: {exc}") from None
 
     processes: list[ShardProcess] = []
     upstreams: list[tuple[str, int]] = []
@@ -873,6 +944,8 @@ def _run_route(args: argparse.Namespace) -> int:
         health_interval=args.health_interval_ms / 1000.0,
         fail_after=args.fail_after,
         drain_timeout=args.drain_timeout,
+        trace_sample=args.trace_sample,
+        trace_log=args.trace_log,
     )
 
     def announce(bound):

@@ -264,7 +264,7 @@ def _mine_span(spec, model, codes, offsets, lo, hi):
     """Mine documents ``lo..hi`` of one packed group into compact arrays.
 
     Returns ``(per_doc, x2, bounds, counts, kernel_seconds, mined,
-    local_metrics)``:
+    local_metrics, span_record)``:
 
     * ``per_doc`` -- int64 ``(hi - lo, 4)``: substring count, evaluated,
       skipped, truncated flag per document;
@@ -279,10 +279,17 @@ def _mine_span(spec, model, codes, offsets, lo, hi):
       :class:`~repro.obs.metrics.LocalMetrics` of this chunk's
       counters/timings, accumulated worker-side and merged into the
       parent's registry during aggregation (no shared state crosses
-      the process boundary).
+      the process boundary);
+    * ``span_record`` -- a picklable dict of this chunk's own span
+      interval (pid, docs, mine/kernel durations).  Durations only, no
+      absolute clock readings: ``perf_counter`` epochs are not
+      comparable across processes, so the parent re-bases the interval
+      inside its own ``batch_mine`` span when a traced request asks
+      for worker child spans.
     """
     from repro.kernels import get_backend
 
+    span_started = time.perf_counter()
     k = model.k
     span = hi - lo
     per_doc = np.zeros((span, 4), dtype=np.int64)
@@ -321,7 +328,17 @@ def _mine_span(spec, model, codes, offsets, lo, hi):
     local.inc("repro_worker_docs_mined_total", len(pending))
     if pending:
         local.observe("repro_worker_kernel_seconds", kernel_seconds)
-    return per_doc, x2, bounds, counts, kernel_seconds, len(pending), local
+    span_record = {
+        "pid": os.getpid(),
+        "docs": span,
+        "mined": len(pending),
+        "mine_seconds": time.perf_counter() - span_started,
+        "kernel_seconds": kernel_seconds,
+    }
+    return (
+        per_doc, x2, bounds, counts, kernel_seconds, len(pending), local,
+        span_record,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -497,7 +514,7 @@ def _documents_from_payload(group, lo, payload):
     """Rebuild ``DocumentResult`` values from one chunk's compact arrays."""
     spec = group.spec
     model = group.model
-    per_doc, x2, bounds, counts, kernel_seconds, mined, _ = payload
+    per_doc, x2, bounds, counts, kernel_seconds, mined = payload[:6]
     share = kernel_seconds / mined if mined else 0.0
     documents: list[DocumentResult] = []
     cursor = 0
@@ -801,13 +818,19 @@ class SharedMemoryExecutor:
                 )
             )
         info["aggregate_seconds"] = time.perf_counter() - started
-        # Per-chunk kernel attribution: enough for the batcher to hang
-        # worker-chunk child spans off a traced request's batch_mine.
+        # Per-chunk attribution: the batcher hangs worker-chunk child
+        # spans off a traced request's batch_mine from these.  The
+        # worker-side span record (payload[7]) carries durations only;
+        # "worker" distinguishes pool-mined chunks from in-process ones.
         info["chunk_spans"] = [
             {
                 "docs": chunk[2] - chunk[1],
                 "kernel_seconds": payloads[chunk][4],
                 "worker": chunk in worker_chunks,
+                **{
+                    key: payloads[chunk][7][key]
+                    for key in ("pid", "mine_seconds", "mined")
+                },
             }
             for chunk in chunks
         ]

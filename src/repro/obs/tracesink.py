@@ -1,0 +1,155 @@
+"""Head-based trace sampling and the JSON-lines trace sink.
+
+The in-memory :class:`~repro.obs.tracing.TraceRecorder` rings are small
+by design -- they answer "what just happened" from a live process.  Two
+gaps remain once the fleet is real:
+
+* **Volume.**  At production request rates, recording every trace tree
+  is wasted work.  :class:`TraceSampler` makes the classic head-based
+  decision -- keep a fraction ``rate`` of traces -- but *deterministically
+  from the trace id*, so the router and every shard it proxied to reach
+  the same verdict for the same request without coordinating.  Requests
+  that errored, timed out, or ran slow are always kept: those are the
+  traces someone will come looking for.
+
+* **Durability.**  The rings die with the process.  :class:`TraceSink`
+  appends each kept trace tree as one JSON line (``--trace-log PATH``),
+  so a crash post-mortem still has the traces that led up to it, and CI
+  can upload the file as a failure artifact.
+
+Both classes are safe to call from any thread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+
+__all__ = ["TraceSampler", "TraceSink"]
+
+#: Denominator for the deterministic hash -> [0, 1) mapping (8 hex chars).
+_HASH_SPACE = float(1 << 32)
+
+
+class TraceSampler:
+    """Deterministic head-based sampling keyed on the trace id.
+
+    ``rate`` is the fraction of traces kept, in ``[0, 1]``.  The
+    decision hashes the trace id (sha256, first 4 bytes) into ``[0, 1)``
+    and keeps ids that land under ``rate`` -- so every process that sees
+    the same ``X-Trace-Id`` samples it the same way, and a fleet-wide
+    trace is either assembled everywhere or nowhere.
+
+    :meth:`keep` layers the always-keep rules on top: errors (HTTP
+    status >= 400, which covers 504 deadline expiries) and slow requests
+    bypass the rate entirely.
+
+    Examples
+    --------
+    >>> TraceSampler(1.0).sampled("deadbeefdeadbeef")
+    True
+    >>> TraceSampler(0.0).keep("deadbeefdeadbeef", status=504, total_ms=1.0,
+    ...                        slow_ms=250.0)
+    True
+    """
+
+    def __init__(self, rate: float = 1.0) -> None:
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate!r}")
+        self.rate = rate
+
+    def sampled(self, trace_id: str) -> bool:
+        """The pure rate decision for ``trace_id`` (no always-keep rules)."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        digest = hashlib.sha256(trace_id.encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:4], "big") / _HASH_SPACE
+        return draw < self.rate
+
+    def keep(
+        self,
+        trace_id: str,
+        *,
+        status: int,
+        total_ms: float,
+        slow_ms: float,
+    ) -> bool:
+        """Whether to record this finished trace.
+
+        Errors (``status >= 400``) and slow traces
+        (``total_ms >= slow_ms``) are always kept; everything else is
+        subject to the sampling rate.
+        """
+        if status >= 400:
+            return True
+        if total_ms >= slow_ms:
+            return True
+        return self.sampled(trace_id)
+
+    def __repr__(self) -> str:
+        return f"TraceSampler(rate={self.rate})"
+
+
+class TraceSink:
+    """Append-only JSON-lines file of kept trace trees.
+
+    One :meth:`write` appends one compact JSON object (the
+    :meth:`Trace.tree() <repro.obs.tracing.Trace.tree>` rendering) and a
+    newline, under a lock, flushing each line so a crash loses at most
+    the line being written.  Failures to write are counted, never
+    raised: tracing must not take down serving.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "traces.jsonl")
+    >>> sink = TraceSink(path)
+    >>> sink.write({"trace_id": "abc", "total_ms": 1.0, "spans": []})
+    >>> sink.close(); sink.written
+    1
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.written = 0
+        self.errors = 0
+        self._lock = threading.Lock()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def write(self, tree: dict) -> None:
+        """Append one trace tree as a JSON line (errors counted, not raised)."""
+        try:
+            line = json.dumps(tree, separators=(",", ":"), sort_keys=True)
+        except (TypeError, ValueError):
+            with self._lock:
+                self.errors += 1
+            return
+        with self._lock:
+            if self._file.closed:
+                self.errors += 1
+                return
+            try:
+                self._file.write(line + "\n")
+                self._file.flush()
+                self.written += 1
+            except OSError:
+                self.errors += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if not self._file.closed:
+                try:
+                    self._file.close()
+                except OSError:
+                    self.errors += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceSink(path={self.path!r}, written={self.written}, "
+            f"errors={self.errors})"
+        )

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
+import copy
 import threading
 import time
 import uuid
@@ -54,6 +55,7 @@ __all__ = [
     "active_trace_ids",
     "new_trace_id",
     "set_active_trace_ids",
+    "valid_trace_id",
 ]
 
 
@@ -64,6 +66,32 @@ def new_trace_id() -> str:
     16
     """
     return uuid.uuid4().hex[:16]
+
+
+#: Accepted shape for an *inbound* trace id: hex digits plus dashes so
+#: W3C-style ids interoperate, bounded so a hostile header cannot bloat
+#: logs or the trace rings.
+_TRACE_ID_CHARS = frozenset("0123456789abcdefABCDEF-")
+
+
+def valid_trace_id(value: object) -> bool:
+    """Whether ``value`` is acceptable as an inbound ``X-Trace-Id``.
+
+    The service *adopts* trace ids it did not mint (the router, or any
+    upstream proxy, sends them on the wire), so the shape is validated
+    before one lands in logs, metrics exemplars, or the trace rings:
+    8-64 characters of hex digits and dashes.
+
+    >>> valid_trace_id(new_trace_id())
+    True
+    >>> valid_trace_id("../etc/passwd")
+    False
+    """
+    if not isinstance(value, str):
+        return False
+    if not 8 <= len(value) <= 64:
+        return False
+    return all(ch in _TRACE_ID_CHARS for ch in value)
 
 
 @dataclass
@@ -122,8 +150,22 @@ class Trace:
     'abc123'
     """
 
-    def __init__(self, trace_id: str | None = None) -> None:
+    def __init__(
+        self,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
+    ) -> None:
         self.trace_id = trace_id or new_trace_id()
+        #: Span name in the *upstream* process this trace hangs under
+        #: (the router's ``X-Parent-Span`` header) -- ``None`` when this
+        #: process is the edge.  Rendered in :meth:`tree` so assembly
+        #: knows where to stitch.
+        self.parent_span = parent_span
+        #: Whether the id was adopted from the wire rather than minted.
+        self.adopted = trace_id is not None
+        #: Optional per-phase profiler sample counts, attached by the
+        #: service to slow traces just before recording.
+        self.profile: dict | None = None
         self.started = time.perf_counter()
         self.ended: float | None = None
         self._spans: list[Span] = []
@@ -211,11 +253,16 @@ class Trace:
             # Last span wins the name slot: children attach to the most
             # recently opened span of that name, which matches nesting.
             by_name[span.name] = node
-        return {
+        tree = {
             "trace_id": self.trace_id,
             "total_ms": round(self.total_seconds * 1000.0, 3),
             "spans": nodes,
         }
+        if self.parent_span is not None:
+            tree["parent_span"] = self.parent_span
+        if self.profile is not None:
+            tree["profile"] = self.profile
+        return tree
 
     def __repr__(self) -> str:
         return (
@@ -307,6 +354,22 @@ class TraceRecorder:
                 self._slow.append(tree)
                 if len(self._slow) > self.capacity:
                     del self._slow[0]
+
+    def get(self, trace_id: str) -> dict | None:
+        """The most recent stored tree for ``trace_id`` (``None`` if gone).
+
+        Serves ``GET /trace/<id>``.  The slow ring is searched first --
+        it keeps traces long after the recent ring has cycled past them,
+        which is exactly when someone comes asking about one.
+        """
+        with self._lock:
+            for ring in (self._slow, self._recent):
+                for tree in reversed(ring):
+                    if tree.get("trace_id") == trace_id:
+                        # Deep copy: the router mutates the returned
+                        # tree while stitching shard spans into it.
+                        return copy.deepcopy(tree)
+        return None
 
     def snapshot(self) -> dict:
         """JSON-ready dump of both rings (the ``?trace=1`` payload)."""

@@ -54,6 +54,8 @@ import time
 from repro.engine.deadline import Deadline
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracesink import TraceSampler, TraceSink
+from repro.obs.tracing import Trace, TraceRecorder, valid_trace_id
 from repro.router.manager import ShardProcess
 from repro.router.ring import DEFAULT_REPLICAS, HashRing, routing_key
 from repro.service.protocol import (
@@ -69,8 +71,11 @@ __all__ = ["RouterService", "ShardState"]
 _LOG = get_logger("repro.router")
 
 #: Endpoint label values for the router's HTTP metrics (unknown paths
-#: clamp to "other", mirroring the service).
-_KNOWN_ENDPOINTS = frozenset({"/mine", "/healthz", "/stats", "/metrics"})
+#: clamp to "other", mirroring the service; ``/trace/<id>`` collapses
+#: to one "/trace" label).
+_KNOWN_ENDPOINTS = frozenset(
+    {"/mine", "/healthz", "/stats", "/metrics", "/trace"}
+)
 
 #: Upstream hop-by-hop headers never forwarded to the client; the
 #: router speaks keep-alive to its own clients regardless of how the
@@ -162,6 +167,14 @@ class RouterService:
     drain_timeout:
         Bound on waiting for in-flight client exchanges at stop, and
         per-shard graceful-drain bound during the ordered shutdown.
+    trace_sample:
+        Head-based sampling rate for router-side traces (``route
+        --trace-sample``); deterministic on the trace id, so a routed
+        request is kept on the router and on its shard together.
+        Errors and slow requests are always kept.
+    trace_log:
+        Optional JSON-lines sink path for kept router traces (``route
+        --trace-log``).
     """
 
     def __init__(
@@ -174,6 +187,8 @@ class RouterService:
         fail_after: int = 2,
         probe_timeout: float | None = None,
         drain_timeout: float = 10.0,
+        trace_sample: float = 1.0,
+        trace_log: str | None = None,
     ) -> None:
         if health_interval <= 0:
             raise ValueError(
@@ -204,6 +219,12 @@ class RouterService:
         # Optimistic start: every shard is routable until a probe says
         # otherwise, so the first requests never wait a full sweep.
         self.ring = HashRing(self.shards, replicas=replicas)
+        # Router-side traces: every proxied /mine gets a Trace whose id
+        # travels to the shard as X-Trace-Id, so /trace/<id> here can
+        # stitch the proxy spans on top of the shard's own tree.
+        self.traces = TraceRecorder()
+        self.sampler = TraceSampler(trace_sample)
+        self.trace_sink = TraceSink(trace_log) if trace_log else None
         self.metrics = MetricsRegistry()
         self._http_requests = self.metrics.counter(
             "repro_router_requests_total",
@@ -314,6 +335,8 @@ class RouterService:
                     None, state.process.terminate, self.drain_timeout
                 )
                 _LOG.info("router_drained_shard", shard=name)
+        if self.trace_sink is not None:
+            self.trace_sink.close()
         self._healthy_gauge.set(0.0)
 
     async def serve_forever(
@@ -569,7 +592,7 @@ class RouterService:
                     break
                 self._active_exchanges += 1
                 try:
-                    response = await self._route(method, target, body)
+                    response = await self._route(method, target, headers, body)
                     self._count_request(target, response)
                     writer.write(response)
                     await writer.drain()
@@ -589,6 +612,8 @@ class RouterService:
 
     def _count_request(self, target: str, response: bytes) -> None:
         path = target.split("?", 1)[0]
+        if path.startswith("/trace/"):
+            path = "/trace"
         endpoint = path if path in _KNOWN_ENDPOINTS else "other"
         try:
             status = response[9:12].decode("ascii")
@@ -596,13 +621,19 @@ class RouterService:
             status = "???"
         self._http_requests.labels(endpoint=endpoint, status=status).inc()
 
-    async def _route(self, method: str, target: str, body: bytes) -> bytes:
+    async def _route(
+        self, method: str, target: str, headers: dict, body: bytes
+    ) -> bytes:
         """Dispatch one request; always returns a full response."""
         path, _, _ = target.partition("?")
         if path == "/mine":
             if method != "POST":
                 return response_bytes(405, {"error": "use POST"})
-            return await self._proxy_mine(body)
+            return await self._proxy_mine(headers, body)
+        if path.startswith("/trace/"):
+            if method != "GET":
+                return response_bytes(405, {"error": "use GET"})
+            return await self._assemble_trace(path[len("/trace/"):])
         if path == "/healthz":
             if method != "GET":
                 return response_bytes(405, {"error": "use GET"})
@@ -652,8 +683,22 @@ class RouterService:
             pass
         return key, timeout_ms
 
-    async def _proxy_mine(self, body: bytes) -> bytes:
-        """Place, forward, and (once) fail over one mine request."""
+    async def _proxy_mine(self, headers: dict, body: bytes) -> bytes:
+        """Place, forward, and (once) fail over one mine request.
+
+        The router is the edge of the traced fleet: it adopts a valid
+        client-supplied ``X-Trace-Id`` (else mints one), injects the id
+        plus ``X-Parent-Span: proxy`` on the upstream request so the
+        owning shard's trace hangs under this router's ``proxy`` span,
+        and stamps the id on every answer it synthesizes itself
+        (503/504) so even a failed request stays correlatable.
+        """
+        inbound = headers.get("x-trace-id")
+        if inbound is not None and valid_trace_id(inbound):
+            trace = Trace(inbound)
+        else:
+            trace = Trace()
+        route_started = time.perf_counter()
         if len(body) > self._OFFLOAD_PARSE_BYTES:
             key, timeout_ms = await asyncio.get_running_loop().run_in_executor(
                 None, self._routing_info, body
@@ -665,14 +710,21 @@ class RouterService:
             b"POST /mine HTTP/1.1\r\n"
             b"Content-Type: application/json\r\n"
             + b"Content-Length: %d\r\n" % len(body)
+            + b"X-Trace-Id: " + trace.trace_id.encode("latin-1")
+            + b"\r\nX-Parent-Span: proxy\r\n"
             + b"Connection: keep-alive\r\n\r\n"
             + body
         )
         # Owner first, then the deterministic failover order; one
         # retry means at most two attempts.
         preferred = self.ring.preference(key, limit=2)
+        trace.add(
+            "route", route_started, time.perf_counter(),
+            candidates=list(preferred),
+        )
         if not preferred:
-            return response_bytes(
+            return self._synthesized_error(
+                trace,
                 503,
                 {"error": "no healthy shards", "retry_after": 1},
                 extra_headers=(("Retry-After", "1"),),
@@ -681,7 +733,8 @@ class RouterService:
         for attempt, name in enumerate(preferred):
             if deadline is not None and deadline.expired():
                 self._timeouts.inc()
-                return response_bytes(
+                return self._synthesized_error(
+                    trace,
                     504,
                     {
                         "error": "deadline expired before a shard answered",
@@ -691,22 +744,28 @@ class RouterService:
             state = self.shards[name]
             if attempt > 0:
                 self._retries.inc()
+            attempt_started = time.perf_counter()
             try:
                 if deadline is not None:
-                    status, headers, resp_body = await asyncio.wait_for(
+                    status, up_headers, resp_body = await asyncio.wait_for(
                         self._pooled_exchange(state, request),
                         timeout=max(0.0, deadline.remaining()) + 1.0,
                     )
                 else:
-                    status, headers, resp_body = await self._pooled_exchange(
-                        state, request
+                    status, up_headers, resp_body = (
+                        await self._pooled_exchange(state, request)
                     )
             except asyncio.TimeoutError:
                 # The shard's own 504 should normally win this race (the
                 # grace second); if the shard is wedged, answer for it.
                 self._timeouts.inc()
                 self._proxied.labels(shard=name, status="504").inc()
-                return response_bytes(
+                trace.add(
+                    "proxy", attempt_started, time.perf_counter(),
+                    shard=name, attempt=attempt, status="timeout",
+                )
+                return self._synthesized_error(
+                    trace,
                     504,
                     {
                         "error": "shard did not answer within the deadline",
@@ -717,21 +776,78 @@ class RouterService:
             except (OSError, asyncio.IncompleteReadError, ValueError) as exc:
                 self._record_exchange_failure(state, exc)
                 self._proxied.labels(shard=name, status="error").inc()
+                trace.add(
+                    "proxy", attempt_started, time.perf_counter(),
+                    shard=name, attempt=attempt, status="error",
+                    exception=type(exc).__name__,
+                )
                 last_error = f"{name}: {type(exc).__name__}"
                 continue
             self._proxied.labels(shard=name, status=str(status)).inc()
+            trace.add(
+                "proxy", attempt_started, time.perf_counter(),
+                shard=name, attempt=attempt, status=status,
+            )
             if status == 503 and attempt + 1 < len(preferred):
                 # Shard draining (or refusing): the one idempotent retry.
                 last_error = f"{name}: 503"
                 continue
-            return self._client_response(status, headers, resp_body, name)
-        return response_bytes(
+            self._finish_trace(trace, status)
+            return self._client_response(status, up_headers, resp_body, name)
+        return self._synthesized_error(
+            trace,
             503,
             {
                 "error": f"no shard could serve the request ({last_error})",
                 "retry_after": 1,
             },
             extra_headers=(("Retry-After", "1"),),
+        )
+
+    def _finish_trace(self, trace: Trace, status: int) -> None:
+        """Finish + record one router-side trace, if sampling keeps it.
+
+        The sampler hashes the trace id, so the router and the shard
+        reach the same keep/drop decision without coordination --
+        ``GET /trace/<id>`` either finds both halves or neither.
+        """
+        trace.finish()
+        if not self.sampler.keep(
+            trace.trace_id,
+            status=status,
+            total_ms=trace.total_seconds * 1000.0,
+            slow_ms=self.traces.slow_ms,
+        ):
+            return
+        self.traces.record(trace)
+        if self.trace_sink is not None:
+            self.trace_sink.write(trace.tree())
+
+    def _synthesized_error(
+        self,
+        trace: Trace,
+        status: int,
+        payload: dict,
+        extra_headers: tuple = (),
+    ) -> bytes:
+        """An error the *router* answers with (no shard spoke for it).
+
+        Unlike proxied answers -- whose ``X-Trace-Id`` rides through
+        from the shard -- a synthesized 503/504 would otherwise carry
+        no trace id at all, leaving the client nothing to correlate
+        with router logs.  Stamp the id into the body and the header,
+        and record the router-side trace (errors are always kept).
+        """
+        payload = dict(payload)
+        payload["trace_id"] = trace.trace_id
+        self._finish_trace(trace, status)
+        return response_bytes(
+            status,
+            payload,
+            extra_headers=(
+                ("X-Trace-Id", trace.trace_id),
+                *extra_headers,
+            ),
         )
 
     @staticmethod
@@ -810,6 +926,128 @@ class RouterService:
                 ValueError):
             return None
 
+    async def _assemble_trace(self, trace_id: str) -> bytes:
+        """``GET /trace/<id>``: the fleet-wide view of one request.
+
+        The router holds the top of the tree (``route`` + per-attempt
+        ``proxy`` spans); the owning shard holds the request's service
+        spans (parse -> queue_wait -> batch_mine -> finalize ->
+        serialize, with shm worker children).  This endpoint stitches
+        them: each shard that recorded the id is fetched live and its
+        span tree attached under the router's matching ``proxy`` span.
+        Shard span times stay on the shard's own clock (re-based to 0
+        at *its* trace start) -- durations are comparable, offsets
+        across processes are not, and the node says so.
+        """
+        if not valid_trace_id(trace_id):
+            return response_bytes(
+                400,
+                {"error": "malformed trace id", "trace_id": trace_id[:64]},
+            )
+        router_tree = self.traces.get(trace_id)
+        # Ask the shards the proxy spans name; if the router never
+        # recorded the trace (evicted, or pre-sampling restart), fan
+        # out to everyone rather than answer 404 for a trace a shard
+        # still holds.
+        candidates: list[str] = []
+        if router_tree is not None:
+            for node in router_tree.get("spans", ()):
+                if node.get("name") != "proxy":
+                    continue
+                shard = (node.get("notes") or {}).get("shard")
+                if shard in self.shards and shard not in candidates:
+                    candidates.append(shard)
+        if not candidates:
+            candidates = sorted(self.shards)
+        fetched = await asyncio.gather(
+            *(
+                self._fetch_from_shard(
+                    self.shards[name], f"/trace/{trace_id}"
+                )
+                for name in candidates
+            )
+        )
+        shard_trees: dict[str, dict] = {}
+        for name, answer in zip(candidates, fetched):
+            if answer is None:
+                continue
+            status, body = answer
+            if status != 200:
+                continue
+            try:
+                tree = json.loads(body)
+            except (ValueError, UnicodeDecodeError):
+                continue
+            if isinstance(tree, dict):
+                shard_trees[name] = tree
+        if router_tree is None and not shard_trees:
+            return response_bytes(
+                404,
+                {
+                    "error": (
+                        "trace not found on the router or any shard "
+                        "(not sampled, or aged out of the trace rings)"
+                    ),
+                    "trace_id": trace_id,
+                },
+            )
+        if router_tree is None:
+            router_tree = {
+                "trace_id": trace_id,
+                "total_ms": None,
+                "spans": [],
+                "note": (
+                    "router did not record this trace "
+                    "(evicted or recorded before a restart); "
+                    "shard spans attached to synthesized proxy nodes"
+                ),
+            }
+        for name in sorted(shard_trees):
+            self._stitch_shard_trace(router_tree, name, shard_trees[name])
+        router_tree["assembled"] = True
+        router_tree["shards"] = sorted(shard_trees)
+        return response_bytes(200, router_tree)
+
+    @staticmethod
+    def _stitch_shard_trace(
+        router_tree: dict, shard: str, shard_tree: dict
+    ) -> None:
+        """Attach one shard's span tree under the router's proxy span.
+
+        The *last* ``proxy`` span naming this shard wins (the final
+        attempt is the one the shard's trace describes); a trace the
+        router never recorded gets a synthesized proxy node instead.
+        """
+        target = None
+        for node in router_tree.get("spans", ()):
+            if node.get("name") != "proxy":
+                continue
+            if (node.get("notes") or {}).get("shard") == shard:
+                target = node
+        if target is None:
+            target = {
+                "name": "proxy",
+                "ms": shard_tree.get("total_ms"),
+                "start_ms": 0.0,
+                "notes": {"shard": shard, "synthesized": True},
+            }
+            router_tree.setdefault("spans", []).append(target)
+        shard_node = {
+            "name": f"shard:{shard}",
+            "ms": shard_tree.get("total_ms"),
+            "start_ms": 0.0,
+            "notes": {
+                "shard": shard,
+                "clock": "shard-relative",
+                "trace_id": shard_tree.get("trace_id"),
+                "parent_span": shard_tree.get("parent_span"),
+            },
+            "children": list(shard_tree.get("spans") or ()),
+        }
+        if shard_tree.get("profile") is not None:
+            shard_node["notes"]["profile"] = shard_tree["profile"]
+        target.setdefault("children", []).append(shard_node)
+
     async def _aggregate_stats(self, target: str) -> dict:
         """The ``GET /stats`` payload: router view + every shard's own."""
         names = sorted(self.shards)
@@ -842,6 +1080,19 @@ class RouterService:
                 },
                 "shards": {
                     name: self.shards[name].summary() for name in names
+                },
+                "tracing": {
+                    "sample_rate": self.sampler.rate,
+                    "recorded": self.traces.snapshot()["recorded"],
+                    "sink": (
+                        {
+                            "path": str(self.trace_sink.path),
+                            "written": self.trace_sink.written,
+                            "errors": self.trace_sink.errors,
+                        }
+                        if self.trace_sink is not None
+                        else None
+                    ),
                 },
                 "metrics": self.metrics.snapshot(),
             },

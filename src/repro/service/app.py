@@ -16,21 +16,35 @@ Endpoints (JSON over a minimal HTTP/1.1 subset, stdlib only):
   full :meth:`~repro.engine.corpus.CorpusResult.payload` and are
   bit-identical to a direct ``CorpusEngine.run`` of the same request.
   Over capacity: ``429`` with a ``Retry-After`` hint.
-* ``GET /healthz`` -- liveness: status, uptime, pool state.
+* ``GET /healthz`` -- liveness: status, uptime, pool state; flips to
+  ``degraded`` while the worker-pool breaker is non-closed or an
+  *enforced* SLO fast-burn condition holds (see :mod:`repro.obs.slo`).
 * ``GET /stats`` -- queue depth, batch fill, cache hit rates, executor
   diagnostics, and the full metrics snapshot; ``GET /stats?trace=1``
   additionally returns the recent/slow request span trees (see
   :mod:`repro.obs.tracing`).
 * ``GET /metrics`` -- the same registry in Prometheus text exposition
-  format (version 0.0.4), ready to scrape.
+  format (version 0.0.4), ready to scrape; includes the
+  ``repro_slo_burn_rate`` gauges refreshed at scrape time.
+* ``GET /trace/<id>`` -- the recorded span tree for one trace id (404
+  once it has aged out of both rings).  Behind the router this is the
+  per-shard half of fleet-wide trace assembly.
+* ``GET /debug/profile?seconds=N`` -- the last ``N`` seconds of the
+  continuous sampling profiler as collapsed-stack text
+  (flamegraph-ready; see :mod:`repro.obs.profile`).
 
 Observability is wired through a per-service
 :class:`~repro.obs.metrics.MetricsRegistry` shared by the batcher, the
 engine, the executor and the calibration cache; every request gets a
 :class:`~repro.obs.tracing.Trace` whose id is echoed in the
 ``X-Trace-Id`` response header (and inside 4xx/5xx error bodies, so a
-failing client can quote it).  Successful ``POST /mine`` bodies are
-**unchanged** -- byte-identical to an engine run, traced or not.
+failing client can quote it).  A request arriving with a *valid*
+``X-Trace-Id`` header (the router, or any upstream proxy, stamps one)
+has its id **adopted** rather than replaced -- the one id follows the
+request through every process it touches -- and an ``X-Parent-Span``
+header marks which upstream span this process's trace hangs under.
+Successful ``POST /mine`` bodies are **unchanged** -- byte-identical to
+an engine run, traced or not, sampled or not.
 
 Run it with ``repro-mss serve`` (see :mod:`repro.cli`), or in-process::
 
@@ -58,7 +72,10 @@ from repro.engine.shm import DEFAULT_BATCH_DOCS
 from repro.kernels import get_backend
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import Trace, TraceRecorder
+from repro.obs.profile import SamplingProfiler
+from repro.obs.slo import SloTracker, parse_slo_spec
+from repro.obs.tracesink import TraceSampler, TraceSink
+from repro.obs.tracing import Trace, TraceRecorder, valid_trace_id
 from repro.service.batcher import (
     MicroBatcher,
     RequestTooLarge,
@@ -76,8 +93,14 @@ from repro.service.protocol import (
 __all__ = ["MiningService", "ServiceThread"]
 
 #: Endpoint label values for the HTTP metrics.  Unknown paths are
-#: clamped to "other" so a scanner cannot inflate label cardinality.
-_KNOWN_ENDPOINTS = frozenset({"/mine", "/healthz", "/stats", "/metrics"})
+#: clamped to "other" so a scanner cannot inflate label cardinality;
+#: ``/trace/<id>`` collapses to one "/trace" label for the same reason.
+_KNOWN_ENDPOINTS = frozenset(
+    {"/mine", "/healthz", "/stats", "/metrics", "/trace", "/debug/profile"}
+)
+
+#: Bounds on the ``GET /debug/profile?seconds=N`` window.
+_PROFILE_WINDOW_MAX = 600.0
 
 
 class MiningService:
@@ -119,6 +142,23 @@ class MiningService:
         Seconds :meth:`stop` waits for in-flight exchanges to flush
         their responses before dropping connections (``serve
         --drain-timeout``; previously hardcoded at 10).
+    trace_sample:
+        Head-based sampling rate in ``[0, 1]`` (``serve
+        --trace-sample``): the fraction of traces recorded into the
+        rings / sink.  Deterministic on the trace id, and errors, 504s
+        and slow requests are always kept -- see
+        :class:`~repro.obs.tracesink.TraceSampler`.
+    trace_log:
+        Optional path of a JSON-lines trace sink (``serve
+        --trace-log``): every kept trace tree is appended, so traces
+        survive the process.
+    slo:
+        Service-level objectives.  A spec string like
+        ``"p99:250ms,errors:0.1%"`` (``serve --slo``) builds an
+        *enforced* :class:`~repro.obs.slo.SloTracker` whose fast-burn
+        condition degrades ``/healthz``; a prebuilt tracker is used
+        as-is; ``None`` tracks default objectives for the
+        ``repro_slo_*`` gauges without ever degrading health.
     engine:
         Escape hatch: a fully built engine to serve with (overrides
         ``workers``/``correction``/``alpha``/``calibration``).
@@ -139,6 +179,9 @@ class MiningService:
         backend: str | None = None,
         default_timeout_ms: int | None = None,
         drain_timeout: float = 10.0,
+        trace_sample: float = 1.0,
+        trace_log: str | None = None,
+        slo: str | SloTracker | None = None,
         engine: CorpusEngine | None = None,
     ) -> None:
         if drain_timeout < 0:
@@ -174,6 +217,22 @@ class MiningService:
         if engine.calibration is not None:
             engine.calibration.metrics = self.metrics
         self.traces = TraceRecorder()
+        self.sampler = TraceSampler(trace_sample)
+        self.trace_sink = TraceSink(trace_log) if trace_log else None
+        if isinstance(slo, SloTracker):
+            self.slo = slo
+        elif slo is not None:
+            self.slo = SloTracker(parse_slo_spec(slo), enforce=True)
+        else:
+            # Default tracker: the repro_slo_* gauges always render (and
+            # tools/check_metrics.py can require them), but with
+            # enforce=False the objectives never touch /healthz.
+            self.slo = SloTracker(enforce=False)
+        self.slo.register(self.metrics)
+        # Continuous, ~100 Hz; started with the server in start() and
+        # stopped with it.  Feeds GET /debug/profile and the per-phase
+        # sample counts attached to slow traces.
+        self.profiler = SamplingProfiler()
         self.batcher = MicroBatcher(
             engine,
             batch_docs=batch_docs,
@@ -250,6 +309,7 @@ class MiningService:
             await self.batcher.close()
             self.engine.close()
             raise
+        self.profiler.start()
         bound = self._server.sockets[0].getsockname()
         self.address = (bound[0], bound[1])
         self._started_at = time.monotonic()
@@ -281,6 +341,9 @@ class MiningService:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        self.profiler.stop()
+        if self.trace_sink is not None:
+            self.trace_sink.close()
         self.engine.close()
 
     def stats(self) -> dict:
@@ -307,6 +370,21 @@ class MiningService:
                 "correction": self.engine.correction,
                 "alpha": self.engine.alpha,
             },
+            "slo": self.slo.summary(),
+            "profiler": self.profiler.summary(),
+            "tracing": {
+                "sample_rate": self.sampler.rate,
+                "recorded": self.traces.snapshot()["recorded"],
+                "sink": (
+                    {
+                        "path": self.trace_sink.path,
+                        "written": self.trace_sink.written,
+                        "errors": self.trace_sink.errors,
+                    }
+                    if self.trace_sink is not None
+                    else None
+                ),
+            },
             "metrics": self.metrics.snapshot(),
         }
         pool = getattr(executor, "pool", None)
@@ -331,11 +409,15 @@ class MiningService:
         """JSON-ready liveness payload (the ``GET /healthz`` body).
 
         ``status`` is ``"ok"`` while everything is healthy and
-        ``"degraded"`` (with a ``reason``) while the worker-pool circuit
-        breaker is anything but closed -- the service still answers
-        correctly, just slower (serial mining).  When the executor has a
-        breaker its full :meth:`~repro.engine.supervisor.PoolSupervisor.
-        status` rides along under ``"pool_breaker"``.
+        ``"degraded"`` (with a ``reason``) while either the worker-pool
+        circuit breaker is anything but closed -- the service still
+        answers correctly, just slower (serial mining) -- or an
+        *enforced* SLO objective is fast-burning its error budget
+        (see :class:`~repro.obs.slo.SloTracker`; behind the router a
+        degraded report ejects the shard from rotation, which is the
+        point).  When the executor has a breaker its full
+        :meth:`~repro.engine.supervisor.PoolSupervisor.status` rides
+        along under ``"pool_breaker"``.
         """
         data = {
             "status": "ok",
@@ -356,6 +438,14 @@ class MiningService:
                     f"worker-pool breaker {breaker['state']}"
                     + (f": {breaker['reason']}" if breaker["reason"] else "")
                 )
+        slo_reason = self.slo.degraded()
+        if slo_reason is not None:
+            data["status"] = "degraded"
+            data["reason"] = (
+                f"{data['reason']}; {slo_reason}"
+                if "reason" in data
+                else slo_reason
+            )
         return data
 
     # ------------------------------------------------------------------
@@ -403,7 +493,7 @@ class MiningService:
                 self._active_exchanges += 1
                 try:
                     started = time.perf_counter()
-                    response = await self._route(method, target, body)
+                    response = await self._route(method, target, headers, body)
                     self._count_request(target, response, started)
                     writer.write(response)
                     await writer.drain()
@@ -429,26 +519,33 @@ class MiningService:
         The status code is read back off the serialized status line
         (``HTTP/1.1 NNN ...``) so every path through :meth:`_route` is
         counted identically; unknown endpoints share one ``other`` label
-        to keep cardinality bounded.
+        to keep cardinality bounded (and ``/trace/<id>`` one "/trace").
+
+        Terminal ``/mine`` outcomes additionally feed the SLO tracker:
+        latency for every status, the 5xx flag for the error objectives.
         """
         path = target.split("?", 1)[0]
+        if path.startswith("/trace/"):
+            path = "/trace"
         endpoint = path if path in _KNOWN_ENDPOINTS else "other"
         try:
             status = response[9:12].decode("ascii")
         except (IndexError, UnicodeDecodeError):  # pragma: no cover
             status = "???"
+        elapsed = time.perf_counter() - started
         self._http_requests.labels(endpoint=endpoint, status=status).inc()
-        self._http_seconds.labels(endpoint=endpoint).observe(
-            time.perf_counter() - started
-        )
+        self._http_seconds.labels(endpoint=endpoint).observe(elapsed)
+        if endpoint == "/mine" and status.isdigit():
+            self.slo.observe(int(status), elapsed)
 
     def render_metrics(self) -> str:
         """The ``GET /metrics`` body: Prometheus text exposition 0.0.4.
 
-        Point-in-time gauges (uptime, queue depth, breaker state) are
-        refreshed at scrape time; everything else is already live in
-        the registry.
+        Point-in-time gauges (uptime, queue depth, breaker state, SLO
+        burn rates) are refreshed at scrape time; everything else is
+        already live in the registry.
         """
+        self.slo.refresh(self.metrics)
         self._uptime_gauge.set(
             time.monotonic() - self._started_at
             if self._started_at is not None
@@ -464,7 +561,9 @@ class MiningService:
             ).set(supervisor.state_code())
         return self.metrics.render_prometheus()
 
-    async def _route(self, method: str, target: str, body: bytes) -> bytes:
+    async def _route(
+        self, method: str, target: str, headers: dict, body: bytes
+    ) -> bytes:
         """Dispatch one request to its endpoint; always returns a response."""
         path, _, query = target.partition("?")
         if path == "/healthz":
@@ -482,11 +581,67 @@ class MiningService:
             if method != "GET":
                 return response_bytes(405, {"error": "use GET"})
             return text_response_bytes(200, self.render_metrics())
+        if path.startswith("/trace/"):
+            if method != "GET":
+                return response_bytes(405, {"error": "use GET"})
+            return self._trace_lookup(path[len("/trace/"):])
+        if path == "/debug/profile":
+            if method != "GET":
+                return response_bytes(405, {"error": "use GET"})
+            return self._profile_dump(query)
         if path == "/mine":
             if method != "POST":
                 return response_bytes(405, {"error": "use POST"})
-            return await self._mine(body)
+            return await self._mine(headers, body)
         return response_bytes(404, {"error": f"no such endpoint {path!r}"})
+
+    def _trace_lookup(self, trace_id: str) -> bytes:
+        """The ``GET /trace/<id>`` body: one recorded span tree or 404."""
+        if not valid_trace_id(trace_id):
+            return response_bytes(
+                400, {"error": "malformed trace id", "trace_id": trace_id[:64]}
+            )
+        tree = self.traces.get(trace_id)
+        if tree is None:
+            return response_bytes(
+                404,
+                {
+                    "error": "trace not found (not sampled, or aged out "
+                    "of the recent/slow rings)",
+                    "trace_id": trace_id,
+                },
+            )
+        return response_bytes(200, tree)
+
+    def _profile_dump(self, query: str) -> bytes:
+        """The ``GET /debug/profile`` body: collapsed stacks, plain text.
+
+        ``?seconds=N`` selects the trailing window of the continuous
+        sample ring (default 5 s, capped); because the profiler never
+        stops, the answer is immediate -- no mid-request sampling wait.
+        """
+        seconds = 5.0
+        for term in query.split("&"):
+            key, _, value = term.partition("=")
+            if key == "seconds" and value:
+                try:
+                    seconds = float(value)
+                except ValueError:
+                    return response_bytes(
+                        400, {"error": f"bad seconds value {value!r}"}
+                    )
+        if not 0.0 < seconds <= _PROFILE_WINDOW_MAX:
+            return response_bytes(
+                400,
+                {
+                    "error": "seconds must be in "
+                    f"(0, {_PROFILE_WINDOW_MAX:.0f}]"
+                },
+            )
+        text = self.profiler.collapsed(seconds=seconds)
+        return text_response_bytes(
+            200, text, content_type="text/plain; charset=utf-8"
+        )
 
     #: Bodies above this size are decoded and validated on a worker
     #: thread: json.loads plus the alphabet-membership encode pass over
@@ -494,13 +649,17 @@ class MiningService:
     #: connection sharing the event loop.
     _OFFLOAD_PARSE_BYTES = 256 * 1024
 
-    async def _mine(self, body: bytes) -> bytes:
+    async def _mine(self, headers: dict, body: bytes) -> bytes:
         """The ``POST /mine`` endpoint body.
 
         Every request gets a :class:`~repro.obs.tracing.Trace`; its id
         rides the ``X-Trace-Id`` header on all outcomes and inside the
-        JSON body of error responses.  Successful bodies stay
-        byte-identical to an untraced engine run.
+        JSON body of error responses.  A request arriving with a valid
+        ``X-Trace-Id`` header *adopts* that id (the router injected it;
+        minting a fresh one here is exactly what made routed traces
+        uncorrelatable), and ``X-Parent-Span`` names the upstream span
+        this trace hangs under during fleet-wide assembly.  Successful
+        bodies stay byte-identical to an untraced engine run.
 
         A request carrying ``timeout_ms`` (or inheriting the service's
         ``default_timeout_ms``) is stamped with a monotonic
@@ -508,7 +667,19 @@ class MiningService:
         along the pipeline -- at admission, while queued, or mid-mine --
         comes back as a 504 whose body carries the trace id.
         """
-        trace = Trace()
+        inbound = headers.get("x-trace-id")
+        parent_span = headers.get("x-parent-span")
+        if inbound is not None and valid_trace_id(inbound):
+            trace = Trace(
+                inbound,
+                parent_span=(
+                    parent_span
+                    if parent_span and len(parent_span) <= 64
+                    else None
+                ),
+            )
+        else:
+            trace = Trace()
 
         def decode_and_validate():
             return parse_mine_request(
@@ -626,12 +797,33 @@ class MiningService:
         return response
 
     def _finish_request(self, trace, request, status: int) -> None:
-        """Close out one traced request: histograms, ring buffer, log."""
+        """Close out one traced request: histograms, rings, sink, log.
+
+        The stage histograms and the access log always happen; whether
+        the trace *tree* is kept (rings + sink) is the head-sampling
+        decision -- errors and slow requests always, the rest at
+        ``trace_sample``.  A kept slow trace additionally gets the
+        profiler's per-phase sample counts over its own wall window
+        attached before rendering.
+        """
         trace.finish()
         stages = trace.stage_seconds()
         for stage, seconds in stages.items():
             self._stage_seconds.labels(stage=stage).observe(seconds)
-        self.traces.record(trace)
+        total_ms = trace.total_seconds * 1000.0
+        if self.sampler.keep(
+            trace.trace_id,
+            status=status,
+            total_ms=total_ms,
+            slow_ms=self.traces.slow_ms,
+        ):
+            if total_ms >= self.traces.slow_ms and self.profiler.running:
+                trace.profile = self.profiler.phase_counts(
+                    seconds=max(1.0, trace.total_seconds)
+                )
+            self.traces.record(trace)
+            if self.trace_sink is not None:
+                self.trace_sink.write(trace.tree())
         self._log.info(
             "access",
             trace_id=trace.trace_id,

@@ -699,7 +699,12 @@ class MicroBatcher:
         ``kernel`` / ``shm_pack`` / ``replay`` children are synthesised
         from the engine's per-document scan stats and the executor's
         ``last_run_info`` timings (their positions inside ``batch_mine``
-        are approximate, their durations are measured).
+        are approximate, their durations are measured).  One
+        ``worker_chunk`` child per mined chunk is rebuilt from the span
+        records the workers shipped home on their chunk payloads
+        (``chunk_spans``) -- durations measured worker-side, positions
+        re-based into this process's ``batch_mine`` window because
+        ``perf_counter`` epochs do not travel across processes.
         """
         trace = pending.trace
         trace.add(
@@ -742,6 +747,27 @@ class MicroBatcher:
                 mine_done,
                 parent="batch_mine",
             )
+        cursor = min(mine_done, started + pack_seconds)
+        for index, chunk in enumerate(run_info.get("chunk_spans") or ()):
+            mine_seconds = float(chunk.get("mine_seconds") or 0.0)
+            ended = min(mine_done, cursor + mine_seconds)
+            trace.add(
+                f"worker_chunk_{index}",
+                cursor,
+                ended,
+                parent="batch_mine",
+                pid=chunk.get("pid"),
+                docs=chunk.get("docs"),
+                worker=bool(chunk.get("worker")),
+                kernel_ms=round(
+                    float(chunk.get("kernel_seconds") or 0.0) * 1000.0, 3
+                ),
+            )
+            # Pool chunks overlap in wall time; laying them end to end
+            # would overrun batch_mine, so only in-process (serial)
+            # chunks advance the cursor.
+            if not chunk.get("worker"):
+                cursor = ended
 
     def _resolve_all(self, batch: list[_Pending], exc: Exception) -> None:
         """Fail every request of a batch whose mining pass blew up."""

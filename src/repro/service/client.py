@@ -15,6 +15,12 @@ keep-alive connection is re-established once per call (and when that
 fresh connection fails too, the raised error is chained to the
 original failure).
 
+Every exchange records the server's ``X-Trace-Id`` on
+:attr:`ServiceClient.last_trace_id` (errors carry it too, on
+:attr:`ServiceError.trace_id`), and :meth:`ServiceClient.trace` pulls
+the span tree for it from ``GET /trace/<id>`` -- against a router this
+is the assembled fleet-wide tree.
+
 :meth:`ServiceClient.mine` additionally takes ``retries=N``: capped
 exponential backoff with deterministic jitter around transient
 failures -- a 429 sleeps the server's ``Retry-After``, a 503 or a
@@ -38,13 +44,20 @@ class ServiceError(RuntimeError):
     """The service answered with an error status.
 
     ``status`` is the HTTP code; the message is the server's ``error``
-    field.
+    field.  ``trace_id`` is the ``X-Trace-Id`` the server (or router)
+    stamped on the failed answer, when it sent one -- quote it to
+    ``GET /trace/<id>`` (:meth:`ServiceClient.trace`) to see where the
+    request died.
     """
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, trace_id: str | None = None
+    ) -> None:
         super().__init__(f"{status}: {message}")
         #: The HTTP status code of the failed call.
         self.status = status
+        #: The server-assigned trace id of the failed call (or ``None``).
+        self.trace_id = trace_id
 
 
 class ServiceOverloadedError(ServiceError):
@@ -53,8 +66,13 @@ class ServiceOverloadedError(ServiceError):
     ``retry_after`` carries the server's suggested backoff in seconds.
     """
 
-    def __init__(self, message: str, retry_after: int) -> None:
-        super().__init__(429, message)
+    def __init__(
+        self,
+        message: str,
+        retry_after: int,
+        trace_id: str | None = None,
+    ) -> None:
+        super().__init__(429, message, trace_id)
         #: Server-suggested backoff in whole seconds.
         self.retry_after = retry_after
 
@@ -81,6 +99,11 @@ class ServiceClient:
     ) -> None:
         self.address = (host, port)
         self.timeout = timeout
+        #: The ``X-Trace-Id`` of the most recent exchange (``None``
+        #: before the first call, or when the server sent no id).
+        #: Survives errors: after a failed :meth:`mine`, pass it -- or
+        #: nothing -- to :meth:`trace` to pull the request's span tree.
+        self.last_trace_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
         #: Injectable sleep (tests swap it to record backoffs instead
         #: of actually waiting).
@@ -197,6 +220,22 @@ class ServiceClient:
         """``GET /metrics``: the Prometheus text exposition (raw text)."""
         return self._call("GET", "/metrics", expect_json=False)
 
+    def trace(self, trace_id: str | None = None) -> dict:
+        """``GET /trace/<id>``: the span tree of one finished request.
+
+        ``trace_id`` defaults to :attr:`last_trace_id` -- the id of
+        whatever this client just did -- so the idiom after a slow or
+        failed call is simply ``client.trace()``.  Against a router,
+        the answer is the assembled fleet-wide tree (router proxy spans
+        with the owning shard's spans stitched underneath).
+        """
+        trace_id = trace_id or self.last_trace_id
+        if not trace_id:
+            raise ValueError(
+                "no trace id: pass one explicitly or make a call first"
+            )
+        return self._call("GET", f"/trace/{trace_id}")
+
     def close(self) -> None:
         """Close the underlying connection (idempotent)."""
         if self._conn is not None:
@@ -254,26 +293,43 @@ class ServiceClient:
                 if attempt == 2:
                     raise exc from first_exc
                 first_exc = exc
+        trace_id = response.headers.get("X-Trace-Id")
+        if trace_id is not None:
+            self.last_trace_id = trace_id
         if not expect_json:
             if response.status >= 400:
                 raise ServiceError(
-                    response.status, data.decode("utf-8", "replace")[:200]
+                    response.status,
+                    data.decode("utf-8", "replace")[:200],
+                    trace_id,
                 )
             return data.decode("utf-8")
         try:
             decoded = json.loads(data)
         except ValueError:
             raise ServiceError(
-                response.status, f"non-JSON response: {data[:200]!r}"
+                response.status,
+                f"non-JSON response: {data[:200]!r}",
+                trace_id,
             ) from None
+        if trace_id is None and isinstance(decoded, dict):
+            # Synthesized errors carry the id in the body as well; old
+            # servers may send neither, leaving last_trace_id alone.
+            body_id = decoded.get("trace_id")
+            if isinstance(body_id, str) and body_id:
+                trace_id = body_id
+                self.last_trace_id = trace_id
         if response.status == 429:
             raise ServiceOverloadedError(
                 decoded.get("error", "overloaded"),
                 retry_after=int(response.headers.get("Retry-After", 1)),
+                trace_id=trace_id,
             )
         if response.status >= 400:
             raise ServiceError(
-                response.status, decoded.get("error", "unknown error")
+                response.status,
+                decoded.get("error", "unknown error"),
+                trace_id,
             )
         return decoded
 

@@ -1,0 +1,190 @@
+"""The continuous sampling profiler: collection, rendering, overhead.
+
+The profiler runs for the whole life of a service, so the tests pin the
+properties the read paths depend on: samples actually accumulate while
+Python code runs, the collapsed rendering is flamegraph.pl-parseable,
+phase classification maps mining frames onto the canonical span names,
+and the measured self-overhead stays a small fraction of wall time.
+"""
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import SamplingProfiler
+
+#: collapsed-stack line: semicolon-joined frames, space, integer count.
+_COLLAPSED_LINE = re.compile(r"^[^ ]+( \d+)$")
+
+
+def mine_batch(stop: threading.Event) -> None:
+    """Busy loop named after a kernel marker so samples classify."""
+    while not stop.is_set():
+        sum(i * i for i in range(500))
+
+
+class TestCollection:
+    def test_samples_accumulate_while_code_runs(self):
+        profiler = SamplingProfiler(interval=0.002)
+        stop = threading.Event()
+        worker = threading.Thread(target=mine_batch, args=(stop,))
+        worker.start()
+        profiler.start()
+        try:
+            deadline = time.perf_counter() + 2.0
+            while (
+                profiler.sample_count < 5
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+            stop.set()
+            worker.join()
+        assert profiler.sample_count >= 5
+
+    def test_ring_is_bounded(self):
+        profiler = SamplingProfiler(interval=0.001, max_samples=20)
+        stop = threading.Event()
+        worker = threading.Thread(target=mine_batch, args=(stop,))
+        worker.start()
+        profiler.start()
+        try:
+            time.sleep(0.15)
+        finally:
+            profiler.stop()
+            stop.set()
+            worker.join()
+        assert profiler.sample_count <= 20
+
+    def test_start_and_stop_are_idempotent(self):
+        profiler = SamplingProfiler(interval=0.005)
+        profiler.start()
+        profiler.start()
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+
+class TestCollapsedRendering:
+    def _profiled_burn(self):
+        profiler = SamplingProfiler(interval=0.002)
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=mine_batch, args=(stop,), name="burn worker"
+        )
+        worker.start()
+        profiler.start()
+        try:
+            deadline = time.perf_counter() + 2.0
+            while (
+                profiler.sample_count < 10
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+            stop.set()
+            worker.join()
+        return profiler
+
+    def test_every_line_is_flamegraph_parseable(self):
+        profiler = self._profiled_burn()
+        text = profiler.collapsed()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert _COLLAPSED_LINE.match(line), line
+        # thread names with spaces are collapsed-format sanitized
+        assert "burn_worker" in text
+        assert "mine_batch" in text
+
+    def test_counts_sum_to_the_sample_count(self):
+        profiler = self._profiled_burn()
+        total = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in profiler.collapsed().splitlines()
+        )
+        assert total == profiler.sample_count
+
+    def test_empty_ring_renders_empty_string(self):
+        assert SamplingProfiler().collapsed() == ""
+
+    def test_window_excludes_old_samples(self):
+        profiler = self._profiled_burn()
+        time.sleep(0.05)
+        # everything in the ring is now older than a tiny window
+        assert profiler.collapsed(seconds=0.001) == ""
+
+
+class TestPhaseClassification:
+    def test_kernel_marker_wins_from_the_leaf(self):
+        stack = ("app:_handle", "engine:mine_documents", "scan:mine_batch")
+        assert SamplingProfiler._classify(stack) == "kernel"
+
+    def test_outer_marker_applies_when_no_inner_hit(self):
+        stack = ("app:_handle", "engine:mine_documents", "x:<genexpr>")
+        assert SamplingProfiler._classify(stack) == "batch_mine"
+
+    def test_idle_leaves_classify_as_idle(self):
+        assert SamplingProfiler._classify(("threading:wait",)) == "idle"
+        assert (
+            SamplingProfiler._classify(("selectors:select",)) == "idle"
+        )
+
+    def test_unknown_stacks_classify_as_other(self):
+        assert SamplingProfiler._classify(("a:b", "c:d")) == "other"
+        assert SamplingProfiler._classify(()) == "other"
+
+    def test_live_samples_attribute_kernel_time(self):
+        profiler = SamplingProfiler(interval=0.002)
+        stop = threading.Event()
+        worker = threading.Thread(target=mine_batch, args=(stop,))
+        worker.start()
+        profiler.start()
+        try:
+            deadline = time.perf_counter() + 2.0
+            while (
+                profiler.sample_count < 10
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+            stop.set()
+            worker.join()
+        phases = profiler.phase_counts()
+        assert phases["samples"] == profiler.sample_count
+        assert phases["phases"].get("kernel", 0) >= 1
+
+
+class TestOverhead:
+    def test_overhead_is_measured_and_small(self):
+        profiler = SamplingProfiler(interval=0.01)
+        profiler.start()
+        time.sleep(0.25)
+        profiler.stop()
+        overhead = profiler.overhead()
+        # walking a test process's few stacks at 100 Hz is well under
+        # the 5% budget the benchmark gates; allow slack for slow CI
+        assert 0.0 <= overhead < 0.5
+
+    def test_overhead_before_first_start_is_zero(self):
+        assert SamplingProfiler().overhead() == 0.0
+
+    def test_summary_is_json_ready(self):
+        profiler = SamplingProfiler(interval=0.005)
+        profiler.start()
+        time.sleep(0.02)
+        profiler.stop()
+        summary = profiler.summary()
+        assert summary["running"] is False
+        assert summary["interval_seconds"] == 0.005
+        assert summary["samples"] >= 0
+        assert summary["overhead_ratio"] >= 0.0

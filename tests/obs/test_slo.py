@@ -1,0 +1,208 @@
+"""SLO burn-rate tracking: spec parsing, windows, enforcement, gauges.
+
+The layer's contract: ``--slo`` syntax parses into objectives whose
+budgets follow from the spec, burn rates are bad-fraction over budget
+per sliding window, the degraded verdict needs *every* window burning
+fast (one blip never ejects a shard), and the ``repro_slo_*`` gauge
+families render from the very first scrape.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLO_SPEC,
+    Objective,
+    SloTracker,
+    parse_slo_spec,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+def tracker(spec, clock, **kwargs):
+    kwargs.setdefault("windows", (("1m", 60.0), ("10m", 600.0)))
+    return SloTracker(parse_slo_spec(spec), clock=clock, **kwargs)
+
+
+class TestParseSloSpec:
+    def test_latency_term(self):
+        (objective,) = parse_slo_spec("p99:250ms")
+        assert objective.label == "p99:250ms"
+        assert objective.kind == "latency"
+        assert objective.budget == pytest.approx(0.01)
+        assert objective.threshold_seconds == pytest.approx(0.25)
+
+    def test_latency_in_seconds(self):
+        (objective,) = parse_slo_spec("p95:2s")
+        assert objective.budget == pytest.approx(0.05)
+        assert objective.threshold_seconds == pytest.approx(2.0)
+
+    def test_errors_percent_term(self):
+        (objective,) = parse_slo_spec("errors:0.1%")
+        assert objective.kind == "errors"
+        assert objective.budget == pytest.approx(0.001)
+
+    def test_errors_ratio_term(self):
+        (objective,) = parse_slo_spec("errors:0.02")
+        assert objective.budget == pytest.approx(0.02)
+
+    def test_combined_spec_and_default(self):
+        labels = [o.label for o in parse_slo_spec("p99:250ms,errors:0.1%")]
+        assert labels == ["p99:250ms", "errors:0.1%"]
+        assert [o.label for o in parse_slo_spec(DEFAULT_SLO_SPEC)]
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "latency:250ms",  # unknown term
+            "p0:250ms",       # quantile out of range
+            "p99:0ms",        # zero target
+            "errors:0%",      # zero budget
+            "errors:150%",    # budget past 1
+            "p99:250ms,p99:250ms",  # duplicate
+            "",               # empty
+            ", ,",            # effectively empty
+        ],
+    )
+    def test_bad_specs_are_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_slo_spec(spec)
+
+    def test_objective_bad_predicate(self):
+        latency = parse_slo_spec("p99:250ms")[0]
+        assert latency.bad(0.3, False)
+        assert not latency.bad(0.25, True)  # latency ignores errors
+        errors = parse_slo_spec("errors:1%")[0]
+        assert errors.bad(0.001, True)
+        assert not errors.bad(30.0, False)
+
+
+class TestBurnRates:
+    def test_burn_is_bad_fraction_over_budget(self):
+        clock = FakeClock()
+        slo = tracker("errors:10%", clock)
+        for index in range(10):
+            slo.observe(500 if index < 5 else 200, 0.01)
+        rows = slo.burn_rates()["errors:10%"]
+        assert rows["1m"]["events"] == 10
+        assert rows["1m"]["bad"] == 5
+        assert rows["1m"]["burn"] == pytest.approx(5.0)
+
+    def test_latency_objective_counts_slow_requests(self):
+        clock = FakeClock()
+        slo = tracker("p99:250ms", clock)
+        slo.observe(200, 0.5)   # violates
+        slo.observe(200, 0.1)   # fine
+        slo.observe(504, 30.0)  # a slow 504 is a latency violation too
+        rows = slo.burn_rates()["p99:250ms"]
+        assert rows["1m"]["bad"] == 2
+        assert rows["1m"]["burn"] == pytest.approx((2 / 3) / 0.01, rel=1e-3)
+
+    def test_empty_window_burns_zero(self):
+        clock = FakeClock()
+        slo = tracker("errors:1%", clock)
+        rows = slo.burn_rates()["errors:1%"]
+        assert rows["1m"] == {"burn": 0.0, "bad": 0, "events": 0}
+
+    def test_events_age_out_of_the_fast_window(self):
+        clock = FakeClock()
+        slo = tracker("errors:10%", clock)
+        for _ in range(10):
+            slo.observe(500, 0.01)
+        clock.now += 120.0  # past 1m, still inside 10m
+        rows = slo.burn_rates()["errors:10%"]
+        assert rows["1m"]["events"] == 0
+        assert rows["10m"]["events"] == 10
+        assert rows["10m"]["burn"] == pytest.approx(10.0)
+
+
+class TestDegraded:
+    def test_default_tracker_never_degrades(self):
+        clock = FakeClock()
+        slo = SloTracker(clock=clock)  # enforce=False, default spec
+        for _ in range(50):
+            slo.observe(500, 10.0)
+        assert slo.degraded() is None
+
+    def test_fast_burn_degrades_with_a_reason(self):
+        clock = FakeClock()
+        slo = tracker("errors:1%", clock, enforce=True)
+        for _ in range(20):
+            slo.observe(500, 0.01)
+        reason = slo.degraded()
+        assert reason is not None
+        assert "errors:1%" in reason
+        assert "slo fast burn" in reason
+
+    def test_min_events_suppresses_small_samples(self):
+        clock = FakeClock()
+        slo = tracker("errors:1%", clock, enforce=True, min_events=10)
+        for _ in range(9):
+            slo.observe(500, 0.01)
+        assert slo.degraded() is None
+
+    def test_old_burn_without_fresh_burn_does_not_degrade(self):
+        # The multi-window AND: budget burned 2 minutes ago but a quiet
+        # fast window now means recovery, not a page.
+        clock = FakeClock()
+        slo = tracker("errors:1%", clock, enforce=True)
+        for _ in range(20):
+            slo.observe(500, 0.01)
+        clock.now += 120.0
+        assert slo.degraded() is None
+
+    def test_recovery_clears_the_verdict(self):
+        clock = FakeClock()
+        slo = tracker("errors:1%", clock, enforce=True)
+        for _ in range(20):
+            slo.observe(500, 0.01)
+        assert slo.degraded() is not None
+        clock.now += 30.0
+        for _ in range(2000):
+            slo.observe(200, 0.01)
+        assert slo.degraded() is None
+
+
+class TestGauges:
+    def test_families_render_before_any_observation(self):
+        registry = MetricsRegistry()
+        SloTracker().register(registry)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_slo_burn_rate gauge" in text
+        assert 'objective="p99:250ms"' in text
+        assert 'window="1m"' in text
+        assert "# TYPE repro_slo_fast_burn_degraded gauge" in text
+
+    def test_refresh_publishes_current_burn(self):
+        clock = FakeClock()
+        slo = tracker("errors:1%", clock, enforce=True)
+        registry = MetricsRegistry()
+        slo.register(registry)
+        for _ in range(20):
+            slo.observe(500, 0.01)
+        slo.refresh(registry)
+        snapshot = registry.snapshot()
+        series = snapshot["repro_slo_burn_rate"]["series"]
+        by_labels = {
+            (s["labels"]["objective"], s["labels"]["window"]): s["value"]
+            for s in series
+        }
+        assert by_labels[("errors:1%", "1m")] == pytest.approx(100.0)
+        assert snapshot["repro_slo_fast_burn_degraded"]["value"] == 1.0
+
+    def test_summary_is_json_ready(self):
+        clock = FakeClock()
+        slo = tracker("p99:250ms,errors:1%", clock)
+        slo.observe(200, 0.01)
+        summary = slo.summary()
+        assert summary["enforce"] is False
+        assert summary["observed"] == 1
+        assert set(summary["burn_rates"]) == {"p99:250ms", "errors:1%"}
+        assert summary["degraded_reason"] is None

@@ -1,0 +1,104 @@
+"""Head-based sampling and the JSON-lines trace sink.
+
+The distributed-tracing contract these two classes carry: the sampling
+decision is a pure function of the trace id (so the router and every
+shard keep or drop the *same* request without coordinating), errors and
+slow requests always survive sampling, and the sink never lets a disk
+problem take down serving.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.tracesink import TraceSampler, TraceSink
+from repro.obs.tracing import new_trace_id
+
+
+class TestTraceSampler:
+    def test_rate_one_keeps_everything(self):
+        sampler = TraceSampler(1.0)
+        assert all(sampler.sampled(new_trace_id()) for _ in range(50))
+
+    def test_rate_zero_drops_everything(self):
+        sampler = TraceSampler(0.0)
+        assert not any(sampler.sampled(new_trace_id()) for _ in range(50))
+
+    def test_decision_is_deterministic_across_instances(self):
+        # The property the fleet relies on: two processes that never
+        # talk to each other reach the same verdict for the same id.
+        ids = [new_trace_id() for _ in range(200)]
+        first = [TraceSampler(0.3).sampled(i) for i in ids]
+        second = [TraceSampler(0.3).sampled(i) for i in ids]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_sampled_fraction_tracks_the_rate(self):
+        ids = [f"{n:016x}" for n in range(2000)]
+        kept = sum(TraceSampler(0.25).sampled(i) for i in ids)
+        assert 0.15 < kept / len(ids) < 0.35
+
+    def test_errors_bypass_the_rate(self):
+        sampler = TraceSampler(0.0)
+        assert sampler.keep(
+            "deadbeefdeadbeef", status=504, total_ms=1.0, slow_ms=250.0
+        )
+        assert sampler.keep(
+            "deadbeefdeadbeef", status=400, total_ms=1.0, slow_ms=250.0
+        )
+
+    def test_slow_requests_bypass_the_rate(self):
+        sampler = TraceSampler(0.0)
+        assert sampler.keep(
+            "deadbeefdeadbeef", status=200, total_ms=250.0, slow_ms=250.0
+        )
+        assert not sampler.keep(
+            "deadbeefdeadbeef", status=200, total_ms=249.9, slow_ms=250.0
+        )
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1, float("nan")])
+    def test_rate_out_of_bounds_is_rejected(self, rate):
+        with pytest.raises(ValueError):
+            TraceSampler(rate)
+
+
+class TestTraceSink:
+    def test_writes_one_json_line_per_tree(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = TraceSink(path)
+        sink.write({"trace_id": "a", "total_ms": 1.5, "spans": []})
+        sink.write({"trace_id": "b", "total_ms": 2.5, "spans": []})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["trace_id"] for line in lines] == ["a", "b"]
+        assert sink.written == 2
+        assert sink.errors == 0
+
+    def test_append_mode_survives_reopen(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        for trace_id in ("first", "second"):
+            sink = TraceSink(path)
+            sink.write({"trace_id": trace_id})
+            sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_unserializable_tree_counts_an_error_not_a_crash(self, tmp_path):
+        sink = TraceSink(tmp_path / "traces.jsonl")
+        sink.write({"trace_id": "ok"})
+        sink.write({"bad": object()})
+        sink.close()
+        assert sink.written == 1
+        assert sink.errors == 1
+
+    def test_write_after_close_counts_an_error(self, tmp_path):
+        sink = TraceSink(tmp_path / "traces.jsonl")
+        sink.close()
+        sink.write({"trace_id": "late"})
+        assert sink.written == 0
+        assert sink.errors == 1
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = TraceSink(tmp_path / "traces.jsonl")
+        sink.close()
+        sink.close()
+        assert sink.errors == 0

@@ -17,6 +17,7 @@ import http.client
 import json
 import threading
 import time
+import urllib.request
 
 import pytest
 
@@ -224,6 +225,20 @@ class TestEjectionAndRejoin:
                 conn.close()
             assert response.status == 503
             assert "retry_after" in body
+            # A router-synthesized error still identifies itself: the
+            # minted trace id rides the body AND the header, and the
+            # router records a trace for it (errors bypass sampling).
+            header_id = response.headers["X-Trace-Id"]
+            assert body["trace_id"] == header_id
+            assert len(header_id) == 16
+            tree = json.loads(
+                urllib.request.urlopen(
+                    f"http://{harness.address[0]}:{harness.address[1]}"
+                    f"/trace/{header_id}"
+                ).read()
+            )
+            assert tree["trace_id"] == header_id
+            assert "route" in [span["name"] for span in tree["spans"]]
 
 
 class TestAggregation:

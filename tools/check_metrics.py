@@ -24,7 +24,12 @@ scraper would choke on, all hard failures:
    series' ``_count`` sample;
 4. the families the dashboards are built on actually exist (see
    ``REQUIRED_FAMILIES``; pass ``--no-require`` to validate foreign
-   expositions).
+   expositions);
+5. with ``--sharded`` (the router's merged exposition): ``shard=``
+   labels exist at all, and every required family carries a sample for
+   *every* shard value seen anywhere in the scrape -- a shard whose
+   SLO gauges silently fell out of the merge fails here, not on a
+   dashboard.
 """
 
 from __future__ import annotations
@@ -41,6 +46,8 @@ REQUIRED_FAMILIES = (
     "repro_http_request_seconds",
     "repro_batcher_docs_total",
     "repro_service_uptime_seconds",
+    "repro_slo_burn_rate",
+    "repro_slo_fast_burn_degraded",
 )
 
 _NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
@@ -80,11 +87,20 @@ def _parse_value(raw: str) -> float:
     return float(raw)
 
 
-def check_exposition(text: str, *, require=REQUIRED_FAMILIES) -> list[str]:
-    """Validate one exposition body; returns one string per violation."""
+def check_exposition(
+    text: str, *, require=REQUIRED_FAMILIES, sharded: bool = False
+) -> list[str]:
+    """Validate one exposition body; returns one string per violation.
+
+    ``sharded=True`` additionally validates a router-merged scrape:
+    ``shard=`` labels must be present, and every required family must
+    carry at least one sample for every shard value the scrape names.
+    """
     errors: list[str] = []
     types: dict[str, str] = {}
     seen_families: set[str] = set()
+    shard_values: set[str] = set()
+    family_shards: dict[str, set] = {}
     # (family, labels-without-le) -> {le-bound: cumulative count}
     buckets: dict[tuple, dict[float, float]] = {}
     counts: dict[tuple, float] = {}
@@ -121,6 +137,10 @@ def check_exposition(text: str, *, require=REQUIRED_FAMILIES) -> list[str]:
             )
             continue
         seen_families.add(family)
+        shard = labels.get("shard")
+        if shard is not None:
+            shard_values.add(shard)
+            family_shards.setdefault(family, set()).add(shard)
         if types[family] == "histogram" and name.endswith("_bucket"):
             if "le" not in labels:
                 errors.append(f"line {number}: histogram bucket without le=")
@@ -156,6 +176,17 @@ def check_exposition(text: str, *, require=REQUIRED_FAMILIES) -> list[str]:
     for name in require:
         if name not in seen_families:
             errors.append(f"required family {name} is absent")
+    if sharded:
+        if not shard_values:
+            errors.append("sharded exposition carries no shard= labels")
+        for name in require:
+            if name not in seen_families:
+                continue  # already reported absent above
+            for shard in sorted(shard_values - family_shards.get(name, set())):
+                errors.append(
+                    f"required family {name} has no sample for "
+                    f'shard="{shard}"'
+                )
     return errors
 
 
@@ -169,6 +200,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the required-family presence check",
     )
+    parser.add_argument(
+        "--sharded",
+        action="store_true",
+        help="validate a router-merged exposition: every required "
+             "family must have a sample for every shard= label seen",
+    )
     args = parser.parse_args(argv)
     if args.path == "-":
         text = sys.stdin.read()
@@ -176,7 +213,7 @@ def main(argv=None) -> int:
         with open(args.path, encoding="utf-8") as handle:
             text = handle.read()
     require = () if args.no_require else REQUIRED_FAMILIES
-    errors = check_exposition(text, require=require)
+    errors = check_exposition(text, require=require, sharded=args.sharded)
     for error in errors:
         print(f"FAIL: {error}")
     families = len(re.findall(r"^# TYPE ", text, flags=re.MULTILINE))
